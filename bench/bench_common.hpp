@@ -1,0 +1,87 @@
+// Shared scaffolding for the figure-reproduction benches: the paper's
+// 6-deployment grid (2-PoD and 4-PoD, each under MR-MTP, BGP/ECMP, and
+// BGP/ECMP/BFD) swept over the four failure test cases, averaged over seeds
+// the way the paper averages over runs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace mrmtp::bench {
+
+inline const std::vector<std::uint64_t>& default_seeds() {
+  static const std::vector<std::uint64_t> seeds{11, 23, 37, 51, 73};
+  return seeds;
+}
+
+struct GridPoint {
+  std::string topo_name;
+  topo::ClosParams topo;
+  harness::Proto proto;
+  topo::TestCase tc;
+  harness::AveragedResult result;
+};
+
+/// Runs the full paper grid; `tweak` may adjust each spec (e.g. reverse the
+/// traffic flow for Fig. 8) before it runs.
+inline std::vector<GridPoint> run_paper_grid(
+    const std::function<void(harness::ExperimentSpec&)>& tweak = {}) {
+  std::vector<GridPoint> out;
+  const std::pair<std::string, topo::ClosParams> topologies[] = {
+      {"2-PoD", topo::ClosParams::paper_2pod()},
+      {"4-PoD", topo::ClosParams::paper_4pod()},
+  };
+  for (const auto& [topo_name, params] : topologies) {
+    for (harness::Proto proto : harness::kAllProtos) {
+      for (topo::TestCase tc : topo::kAllTestCases) {
+        harness::ExperimentSpec spec;
+        spec.topo = params;
+        spec.proto = proto;
+        spec.tc = tc;
+        if (tweak) tweak(spec);
+        out.push_back(GridPoint{topo_name, params, proto, tc,
+                                harness::run_averaged(spec, default_seeds())});
+      }
+    }
+  }
+  return out;
+}
+
+/// Prints one table per topology: rows are protocols, columns are TC1..TC4,
+/// cells come from `cell(result)`.
+inline void print_metric_tables(
+    const std::vector<GridPoint>& grid, const std::string& unit,
+    const std::function<std::string(const harness::AveragedResult&)>& cell) {
+  for (const std::string topo_name : {"2-PoD", "4-PoD"}) {
+    std::printf("%s topology (%s):\n", topo_name.c_str(), unit.c_str());
+    harness::Table table({"protocol", "TC1", "TC2", "TC3", "TC4"});
+    for (harness::Proto proto : harness::kAllProtos) {
+      std::vector<std::string> row{std::string(to_string(proto))};
+      for (topo::TestCase tc : topo::kAllTestCases) {
+        for (const auto& p : grid) {
+          if (p.topo_name == topo_name && p.proto == proto && p.tc == tc) {
+            row.push_back(cell(p.result));
+          }
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(/*with_csv=*/true);
+    std::printf("\n");
+  }
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Averaged over %zu seeds.\n", default_seeds().size());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace mrmtp::bench

@@ -1,0 +1,28 @@
+// Figure 4: network convergence time (ms) after an interface failure at
+// TC1..TC4, for MR-MTP vs BGP/ECMP vs BGP/ECMP/BFD on the 2-PoD and 4-PoD
+// folded-Clos topologies.
+//
+// Expected shape (paper §VII.A): MR-MTP converges within its 100 ms dead
+// timer at TC1/TC3 and near-instantly at TC2/TC4; BGP needs its ~3 s hold
+// timer at TC1/TC3, which BFD cuts to ~300 ms. MR-MTP beats both everywhere.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  print_header("Fig. 4 — Convergence time after interface failure",
+               "paper Fig. 4 (Section VII.A)");
+
+  auto grid = run_paper_grid();
+  print_metric_tables(grid, "ms, mean \xc2\xb1stddev over seeds",
+                      [](const harness::AveragedResult& r) {
+                        return r.convergence_dist.str(1);
+                      });
+
+  std::printf(
+      "Shape check: TC2/TC4 converge faster than failure detection (the\n"
+      "failing side originates updates immediately); TC1/TC3 are dominated\n"
+      "by the dead/hold timer. MR-MTP < BGP+BFD < BGP at every point.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: blast radius — the number of routers that updated their
+// routing/VID tables after each failure (network stability, §VII.B).
+//
+// Expected shape (paper): 2-PoD — MR-MTP {TC1/2: 3 ToRs, TC3/4: 1 router}
+// vs BGP {9, 3}; 4-PoD — MR-MTP {7, 3} vs BGP {15, 5}. BFD does not change
+// the blast radius. Three counting variants are printed (see EXPERIMENTS.md
+// §Fig 5 for how each maps to the paper's numbers).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  print_header("Fig. 5 — Blast radius (routers updating tables)",
+               "paper Fig. 5 (Section VII.B)");
+
+  auto grid = run_paper_grid();
+
+  std::printf(
+      "Primary metric — paper-comparable count (MR-MTP: ToR exclusion\n"
+      "updates at TC1/TC2, update-driven spine changes at TC3/TC4;\n"
+      "BGP: every router whose RIB changed):\n\n");
+  print_metric_tables(grid, "routers", [](const harness::AveragedResult& r) {
+    // The harness reports both counts; the paper's MTP methodology counts
+    // ToRs for ToR-link failures and spine updates for spine-link failures.
+    // For BGP blast_any == blast of the paper.
+    return harness::fmt(r.blast_any, 1) + " / " +
+           harness::fmt(r.blast_remote, 1) + " / " +
+           harness::fmt(r.blast_leaf_remote, 1);
+  });
+
+  std::printf(
+      "Cell format: ANY / REMOTE / LEAF-REMOTE where\n"
+      "  ANY         = routers whose forwarding state changed at all\n"
+      "                (the paper's BGP counting),\n"
+      "  REMOTE      = changed due to *received* updates, failure-adjacent\n"
+      "                routers excluded (paper's MR-MTP TC3/TC4 numbers),\n"
+      "  LEAF-REMOTE = ToRs only (paper's MR-MTP TC1/TC2 numbers).\n"
+      "Expected: MR-MTP LEAF-REMOTE = 3 (2-PoD) / 7 (4-PoD) at TC1-2,\n"
+      "REMOTE = 1 / 3 at TC3-4; BGP ANY = ~9 / ~15 at TC1-2 and 3 / 5 at\n"
+      "TC3-4; BFD identical to BGP.\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Figures 9 & 10: keep-alive message overhead during normal (idle)
+// operation (§VII.F).
+//
+// Expected shape (paper): each BFD control frame is 66 bytes and each BGP
+// KEEPALIVE 85 bytes at L2, both flowing continuously (BFD every 100 ms,
+// BGP every 1 s, plus TCP pure ACKs); the MR-MTP keep-alive is a single
+// 0x06 byte in an Ethernet frame every 50 ms, and any MTP traffic
+// suppresses it. Reproduces the capture views with hex dumps.
+#include "bench_common.hpp"
+#include "bfd/bfd.hpp"
+#include "bgp/message.hpp"
+#include "mtp/message.hpp"
+#include "transport/tcp_lite.hpp"
+#include "util/byte_io.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+/// Steady-state keep-alive traffic on the L-1-1 <-> S-1-1 link.
+struct LinkRates {
+  double frames_per_s[net::kTrafficClassCount] = {};
+  double bytes_per_s[net::kTrafficClassCount] = {};
+};
+
+LinkRates measure(harness::Proto proto) {
+  net::SimContext ctx(5);
+  topo::ClosBlueprint bp(topo::ClosParams::paper_2pod());
+  harness::Deployment dep(ctx, bp, proto, {});
+  dep.start();
+
+  // Converge, then observe an idle fabric for 10 s.
+  ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(5).ns()));
+  net::Node& leaf = dep.router(bp.leaf(1, 1));
+  net::Node& spine = dep.router(bp.pod_spine(1, 1));
+  net::TrafficStats before_leaf = leaf.port(1).tx_stats();
+  net::TrafficStats before_spine = spine.port(3).tx_stats();
+  ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(15).ns()));
+
+  LinkRates rates;
+  for (std::size_t c = 0; c < net::kTrafficClassCount; ++c) {
+    auto delta_frames = (leaf.port(1).tx_stats().by_class[c].frames -
+                         before_leaf.by_class[c].frames) +
+                        (spine.port(3).tx_stats().by_class[c].frames -
+                         before_spine.by_class[c].frames);
+    auto delta_bytes = (leaf.port(1).tx_stats().by_class[c].padded_bytes -
+                        before_leaf.by_class[c].padded_bytes) +
+                       (spine.port(3).tx_stats().by_class[c].padded_bytes -
+                        before_spine.by_class[c].padded_bytes);
+    rates.frames_per_s[c] = static_cast<double>(delta_frames) / 10.0;
+    rates.bytes_per_s[c] = static_cast<double>(delta_bytes) / 10.0;
+  }
+  return rates;
+}
+
+void dump_reference_frames() {
+  std::printf("--- Reference frames (wireshark-style, cf. paper Figs 9/10) ---\n\n");
+
+  // MR-MTP keep-alive: broadcast dst, EtherType 0x8850, payload 0x06.
+  net::Frame mtp_hello;
+  mtp_hello.dst = net::MacAddr::broadcast();
+  mtp_hello.src = net::MacAddr::for_port(1, 1);
+  mtp_hello.ethertype = net::EtherType::kMtp;
+  mtp_hello.payload = mtp::encode(mtp::MtpMessage{mtp::HelloMsg{}});
+  auto mtp_bytes = mtp_hello.serialize();
+  std::printf("MR-MTP keep-alive (%zu B raw, %zu B on wire):\n",
+              mtp_bytes.size(), mtp_hello.padded_wire_size());
+  std::printf("%s\n", util::hex_dump(mtp_bytes).c_str());
+
+  // BFD control packet inside UDP/IP/Ethernet.
+  bfd::BfdPacket bfd_pkt;
+  bfd_pkt.state = bfd::BfdState::kUp;
+  bfd_pkt.my_discriminator = 1;
+  bfd_pkt.your_discriminator = 2;
+  transport::UdpHeader udp{bfd::kBfdPort, bfd::kBfdPort};
+  ip::Ipv4Header iph;
+  iph.src = ip::Ipv4Addr::parse("172.16.0.8");
+  iph.dst = ip::Ipv4Addr::parse("172.16.0.9");
+  iph.protocol = ip::IpProto::kUdp;
+  net::Frame bfd_frame;
+  bfd_frame.src = net::MacAddr::for_port(2, 1);
+  bfd_frame.dst = net::MacAddr::broadcast();
+  bfd_frame.payload = iph.serialize(udp.serialize(bfd_pkt.serialize()));
+  auto bfd_bytes = bfd_frame.serialize();
+  std::printf("BFD control (%zu B at L2 — paper: 66 B):\n", bfd_bytes.size());
+  std::printf("%s\n", util::hex_dump(bfd_bytes).c_str());
+
+  // BGP KEEPALIVE inside TCP/IP/Ethernet.
+  transport::TcpSegment seg;
+  seg.src_port = 179;
+  seg.dst_port = 20000;
+  seg.flags.ack = true;
+  seg.payload = bgp::encode(bgp::KeepaliveMessage{});
+  iph.protocol = ip::IpProto::kTcp;
+  net::Frame bgp_frame;
+  bgp_frame.src = net::MacAddr::for_port(3, 1);
+  bgp_frame.dst = net::MacAddr::broadcast();
+  bgp_frame.payload = iph.serialize(seg.serialize());
+  auto bgp_bytes = bgp_frame.serialize();
+  std::printf("BGP KEEPALIVE (%zu B at L2 — paper: 85 B):\n",
+              bgp_bytes.size());
+  std::printf("%s\n", util::hex_dump(bgp_bytes).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  print_header("Figs. 9/10 — Keep-alive overhead in normal operation",
+               "paper Figs. 9 and 10 (Section VII.F)");
+
+  harness::Table table({"protocol", "class", "frames/s", "bytes/s (L2)",
+                        "bytes/frame"});
+  for (harness::Proto proto : harness::kAllProtos) {
+    LinkRates rates = measure(proto);
+    for (std::size_t c = 0; c < net::kTrafficClassCount; ++c) {
+      if (rates.frames_per_s[c] < 0.01) continue;
+      auto tc = static_cast<net::TrafficClass>(c);
+      table.add_row({std::string(to_string(proto)),
+                     std::string(net::to_string(tc)),
+                     harness::fmt(rates.frames_per_s[c], 1),
+                     harness::fmt(rates.bytes_per_s[c], 1),
+                     harness::fmt(rates.bytes_per_s[c] /
+                                      std::max(rates.frames_per_s[c], 1e-9),
+                                  1)});
+    }
+  }
+  std::printf("Per-link keep-alive traffic (one fabric link, both directions,"
+              " idle fabric):\n");
+  table.print(/*with_csv=*/true);
+  std::printf(
+      "\nExpected: BFD 66 B frames at ~10/s plus BGP 85 B keep-alives at\n"
+      "~1/s (and their TCP ACKs) for the BGP/BFD stack, vs a single padded\n"
+      "60 B MTP hello every 50 ms. With data flowing, MTP hellos vanish\n"
+      "entirely (every MTP frame is a keep-alive).\n\n");
+
+  // --- §IX claim: "Every MR-MTP message will be a keep-alive, which will
+  // cut down on the keep-alive overhead" — hello suppression vs load. ---
+  std::printf("--- MR-MTP hello suppression vs offered load (L-1-1 uplink) ---\n\n");
+  harness::Table sweep({"flow rate (pkt/s)", "hello frames/s", "data frames/s"});
+  for (std::int64_t gap_us : {0, 100000, 20000, 2000, 200}) {
+    net::SimContext ctx(5);
+    topo::ClosBlueprint bp(topo::ClosParams::paper_2pod());
+    harness::Deployment dep(ctx, bp, harness::Proto::kMtp, {});
+    dep.start();
+    ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(3).ns()));
+
+    if (gap_us > 0) {
+      auto& receiver = dep.host(3);
+      receiver.listen();
+      traffic::FlowConfig flow;
+      flow.dst = receiver.addr();
+      flow.gap = sim::Duration::micros(gap_us);
+      dep.host(0).start_flow(flow);
+    }
+
+    net::Node& leaf = dep.router(bp.leaf(1, 1));
+    // Pick whichever uplink the flow hashes to (or port 1 when idle).
+    ctx.sched.run_until(ctx.now() + sim::Duration::seconds(1));
+    std::uint32_t port = 1;
+    std::uint64_t best = 0;
+    for (std::uint32_t p = 1; p <= 2; ++p) {
+      auto frames =
+          leaf.port(p).tx_stats().of(net::TrafficClass::kMtpData).frames;
+      if (frames >= best) {
+        best = frames;
+        port = p;
+      }
+    }
+    net::TrafficStats before = leaf.port(port).tx_stats();
+    ctx.sched.run_until(ctx.now() + sim::Duration::seconds(5));
+    auto hello = (leaf.port(port).tx_stats().of(net::TrafficClass::kMtpHello).frames -
+                  before.of(net::TrafficClass::kMtpHello).frames) / 5.0;
+    auto data = (leaf.port(port).tx_stats().of(net::TrafficClass::kMtpData).frames -
+                 before.of(net::TrafficClass::kMtpData).frames) / 5.0;
+    sweep.add_row({gap_us == 0 ? "0 (idle)"
+                               : harness::fmt(1e6 / static_cast<double>(gap_us), 0),
+                   harness::fmt(static_cast<double>(hello), 1),
+                   harness::fmt(static_cast<double>(data), 1)});
+  }
+  sweep.print(/*with_csv=*/true);
+  std::printf(
+      "\nShape check: the 1-byte hellos vanish once the flow's inter-packet\n"
+      "gap drops below the 50 ms hello interval — every DATA frame already\n"
+      "proves liveness (paper §IV.B / §IX).\n\n");
+
+  dump_reference_frames();
+  return 0;
+}

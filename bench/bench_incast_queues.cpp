@@ -1,0 +1,85 @@
+// Incast study: many-to-one server traffic into finite access-link queues —
+// substrate realism beyond the paper's evaluation (its testbed had kernel
+// queues implicitly). Sweeps the victim's access-queue depth and compares
+// the fabrics: both protocols hash flows identically, so loss should be a
+// property of the queue, not the routing protocol.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+struct IncastResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue_drops = 0;
+};
+
+IncastResult run_incast(harness::Proto proto, sim::Duration queue_depth) {
+  net::SimContext ctx(19);
+  topo::ClosBlueprint bp(topo::ClosParams::paper_4pod());
+  harness::DeployOptions options;
+  options.host_link.bandwidth_bps = 100'000'000;  // 100 Mb/s access links
+  options.host_link.max_queue = queue_depth;
+  harness::Deployment dep(ctx, bp, proto, options);
+  dep.start();
+  ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(5).ns()));
+
+  auto& victim = dep.host(0);
+  victim.listen();
+  // Seven synchronized senders, 1000-byte packets: ~187 Mb/s offered into
+  // a 100 Mb/s access link for 2 s.
+  for (std::uint32_t h = 1; h < dep.host_count(); ++h) {
+    traffic::FlowConfig flow;
+    flow.dst = victim.addr();
+    flow.count = 5000;
+    flow.gap = sim::Duration::micros(300);
+    flow.payload_size = 1000;
+    dep.host(h).start_flow(flow);
+  }
+  ctx.sched.run_until(ctx.now() + sim::Duration::seconds(3));
+
+  IncastResult r;
+  r.sent = 7 * 5000;
+  r.delivered = victim.sink_stats().received;
+  for (const auto& link : dep.network().links()) {
+    r.queue_drops += link->stats().dropped_queue_full;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  print_header("Incast — many-to-one loss vs access-queue depth",
+               "substrate extension (finite queues)");
+  std::printf("7 senders x 1000 B @ ~3333 pkt/s each into one 100 Mb/s "
+              "access link.\n\n");
+
+  harness::Table table({"queue depth", "protocol", "offered", "delivered",
+                        "delivered %", "queue drops"});
+  for (auto depth : {sim::Duration::micros(100), sim::Duration::micros(500),
+                     sim::Duration::millis(2), sim::Duration::millis(10)}) {
+    for (harness::Proto proto : {harness::Proto::kMtp, harness::Proto::kBgp}) {
+      IncastResult r = run_incast(proto, depth);
+      table.add_row(
+          {depth.str(), std::string(to_string(proto)), std::to_string(r.sent),
+           std::to_string(r.delivered),
+           harness::fmt(100.0 * static_cast<double>(r.delivered) /
+                            static_cast<double>(r.sent),
+                        1),
+           std::to_string(r.queue_drops)});
+    }
+  }
+  table.print(/*with_csv=*/true);
+
+  std::printf(
+      "\nShape check: delivery rises with queue depth and saturates at the\n"
+      "access-link capacity share (~53%% of offered load); MR-MTP and\n"
+      "BGP/ECMP behave identically because loss happens at the congested\n"
+      "edge queue, not in the (equal-cost-balanced) fabric.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: VID operations,
+// LPM route lookup, ECMP hashing, codec throughput, scheduler throughput,
+// and full simulated-fabric event rates.
+#include <benchmark/benchmark.h>
+
+#include "bgp/message.hpp"
+#include "harness/deploy.hpp"
+#include "ip/route_table.hpp"
+#include "mtp/message.hpp"
+#include "mtp/vid_table.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+void BM_VidChildDerivation(benchmark::State& state) {
+  mtp::Vid base = mtp::Vid::parse("11.1");
+  std::uint16_t port = 1;
+  for (auto _ : state) {
+    mtp::Vid child = base.child(port++);
+    benchmark::DoNotOptimize(child);
+  }
+}
+BENCHMARK(BM_VidChildDerivation);
+
+void BM_VidParseFormat(benchmark::State& state) {
+  for (auto _ : state) {
+    mtp::Vid v = mtp::Vid::parse("11.1.2");
+    benchmark::DoNotOptimize(v.str());
+  }
+}
+BENCHMARK(BM_VidParseFormat);
+
+void BM_VidTableLookup(benchmark::State& state) {
+  mtp::VidTable table;
+  auto racks = static_cast<std::uint16_t>(state.range(0));
+  for (std::uint16_t r = 0; r < racks; ++r) {
+    table.add(mtp::Vid(static_cast<std::uint16_t>(11 + r)).child(1).child(2),
+              (r % 4) + 1);
+  }
+  std::uint16_t root = 11;
+  for (auto _ : state) {
+    auto entries = table.entries_for_root(root);
+    benchmark::DoNotOptimize(entries);
+    root = static_cast<std::uint16_t>(11 + (root - 10) % racks);
+  }
+}
+BENCHMARK(BM_VidTableLookup)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LpmLookup(benchmark::State& state) {
+  ip::RouteTable table;
+  sim::Rng rng(1);
+  auto routes = static_cast<int>(state.range(0));
+  for (int i = 0; i < routes; ++i) {
+    table.set(ip::Ipv4Prefix(ip::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                             static_cast<std::uint8_t>(rng.range(8, 28))),
+              ip::RouteProto::kBgp, {{ip::Ipv4Addr(1), 1}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.lookup(ip::Ipv4Addr(static_cast<std::uint32_t>(rng.next()))));
+  }
+}
+BENCHMARK(BM_LpmLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_EcmpSelect(benchmark::State& state) {
+  ip::RouteTable table;
+  std::vector<ip::NextHop> hops;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    hops.push_back({ip::Ipv4Addr(i), i + 1});
+  }
+  table.set(ip::Ipv4Prefix::parse("192.168.0.0/16"), ip::RouteProto::kBgp, hops);
+  std::uint64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.select(ip::Ipv4Addr::parse("192.168.14.1"), h++));
+  }
+}
+BENCHMARK(BM_EcmpSelect);
+
+void BM_MtpDataEncode(benchmark::State& state) {
+  mtp::DataMsg msg;
+  msg.src_root = 11;
+  msg.dst_root = 14;
+  msg.ip_packet.assign(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mtp::encode(mtp::MtpMessage{msg}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MtpDataEncode)->Arg(64)->Arg(1400);
+
+void BM_BgpUpdateCodec(benchmark::State& state) {
+  bgp::UpdateMessage u;
+  u.as_path = {64513, 64600};
+  u.next_hop = ip::Ipv4Addr::parse("172.16.0.1");
+  for (int i = 0; i < 8; ++i) {
+    u.nlri.push_back(ip::Ipv4Prefix(
+        ip::Ipv4Addr(192, 168, static_cast<std::uint8_t>(11 + i), 0), 24));
+  }
+  for (auto _ : state) {
+    auto bytes = bgp::encode(u);
+    bgp::MessageReader reader;
+    reader.append(bytes);
+    benchmark::DoNotOptimize(reader.next());
+  }
+}
+BENCHMARK(BM_BgpUpdateCodec);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(sim::Time::from_ns(i), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+/// End-to-end: one simulated second of a converged idle fabric.
+void BM_SimulatedSecondIdleFabric(benchmark::State& state) {
+  bool mtp = state.range(0) == 0;
+  for (auto _ : state) {
+    net::SimContext ctx(1);
+    topo::ClosBlueprint bp(topo::ClosParams::paper_2pod());
+    harness::Deployment dep(ctx, bp,
+                            mtp ? harness::Proto::kMtp : harness::Proto::kBgp,
+                            {});
+    dep.start();
+    ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(1).ns()));
+    benchmark::DoNotOptimize(ctx.sched.events_fired());
+  }
+}
+BENCHMARK(BM_SimulatedSecondIdleFabric)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

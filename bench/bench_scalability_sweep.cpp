@@ -1,0 +1,53 @@
+// Scalability sweep (paper §IX future work: "Scaling the DCN"): the paper's
+// metrics re-measured as the fabric grows from 2 to 16 PoDs, testing its
+// claim that MR-MTP's advantages "increase multiplicatively as the DCN size
+// increases".
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  print_header("Scalability sweep — PoDs 2..16 (paper Section IX)",
+               "future-work extension of Figs. 4-6");
+
+  const std::pair<std::string, topo::ClosParams> sweeps[] = {
+      {"2-PoD", topo::ClosParams::paper_2pod()},
+      {"4-PoD", topo::ClosParams::paper_4pod()},
+      {"8-PoD", {8, 2, 2, 4, 1}},
+      {"12-PoD", {12, 2, 4, 8, 1}},
+      {"16-PoD", {16, 2, 4, 8, 1}},
+      {"2x4-PoD 4-tier", topo::ClosParams::four_tier_clusters(2, 8)},
+  };
+  const std::vector<std::uint64_t> seeds{11, 23, 37};
+
+  harness::Table table({"topology", "routers", "protocol",
+                        "convergence TC1 (ms)", "ctrl bytes TC1",
+                        "blast TC1 (any)", "loss TC2 (pkts)"});
+  for (const auto& [name, params] : sweeps) {
+    for (harness::Proto proto :
+         {harness::Proto::kMtp, harness::Proto::kBgp, harness::Proto::kBgpBfd}) {
+      harness::ExperimentSpec spec;
+      spec.topo = params;
+      spec.proto = proto;
+      spec.tc = topo::TestCase::kTC1;
+      spec.settle = sim::Duration::seconds(5);  // larger fabrics need longer
+      auto tc1 = harness::run_averaged(spec, seeds);
+      spec.tc = topo::TestCase::kTC2;
+      auto tc2 = harness::run_averaged(spec, seeds);
+      table.add_row({name, std::to_string(params.router_count()),
+                     std::string(to_string(proto)),
+                     harness::fmt(tc1.convergence_ms, 1),
+                     harness::fmt(tc1.ctrl_bytes_raw, 0),
+                     harness::fmt(tc1.blast_any, 1),
+                     harness::fmt(tc2.packets_lost, 1)});
+    }
+  }
+  table.print(/*with_csv=*/true);
+  std::printf(
+      "\nShape check: MR-MTP convergence stays pinned at the dead timer and\n"
+      "its control bytes grow mildly with fan-out, while BGP's overhead and\n"
+      "blast radius grow with the router count — the paper's 'benefits\n"
+      "increase with DCN size' claim.\n");
+  return 0;
+}

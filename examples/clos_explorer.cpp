@@ -1,0 +1,72 @@
+// Clos explorer: build a folded-Clos of any size and inspect everything the
+// library derives from it — device/link inventory, VID plan, /31 addressing,
+// ASN plan, failure points, the Listing-2 MR-MTP JSON, and a generated FRR
+// configuration.
+//
+//   $ ./clos_explorer                 # the paper's 4-PoD
+//   $ ./clos_explorer 8 4 4 16       # pods tors/pod spines/pod top-spines
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/deploy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrmtp;
+
+  topo::ClosParams params = topo::ClosParams::paper_4pod();
+  if (argc == 5) {
+    params.pods = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    params.tors_per_pod = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    params.spines_per_pod = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    params.top_spines = static_cast<std::uint32_t>(std::atoi(argv[4]));
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [pods tors/pod spines/pod top-spines]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  topo::ClosBlueprint bp(params);
+  std::printf("folded-Clos: %u pods x (%u ToRs + %u spines) + %u top spines "
+              "= %u routers, %zu fabric links, %zu servers\n\n",
+              params.pods, params.tors_per_pod, params.spines_per_pod,
+              params.top_spines, params.router_count(), bp.links().size(),
+              bp.hosts().size());
+
+  std::printf("ToRs (name / VID / rack subnet / BGP ASN):\n");
+  for (const auto& d : bp.devices()) {
+    if (d.role != topo::Role::kLeaf) continue;
+    std::printf("  %-8s VID %-4u %-18s AS %u\n", d.name.c_str(), d.vid,
+                d.server_subnet->str().c_str(), d.asn);
+  }
+
+  std::printf("\nfirst fabric links (upper:port <-> lower:port, /31):\n");
+  for (std::uint32_t li = 0; li < bp.links().size() && li < 8; ++li) {
+    const auto& l = bp.links()[li];
+    std::printf("  %s:%u (%s) <-> %s:%u (%s)\n",
+                bp.device(l.upper).name.c_str(), bp.port_on(l.upper, li),
+                l.upper_addr.str().c_str(), bp.device(l.lower).name.c_str(),
+                bp.port_on(l.lower, li), l.lower_addr.str().c_str());
+  }
+  if (bp.links().size() > 8) {
+    std::printf("  ... %zu more\n", bp.links().size() - 8);
+  }
+
+  std::printf("\nfailure test points (paper Fig. 3):\n");
+  for (topo::TestCase tc : topo::kAllTestCases) {
+    auto fp = bp.failure_point(tc);
+    std::printf("  %s: %s port %u (link to %s)\n",
+                std::string(to_string(tc)).c_str(), fp.device.c_str(), fp.port,
+                fp.peer.c_str());
+  }
+
+  std::printf("\nMR-MTP configuration (paper Listing 2):\n%s\n",
+              bp.mtp_config().dump().c_str());
+
+  // Deploy under BGP just to generate a per-router FRR configuration.
+  net::SimContext ctx(1);
+  harness::Deployment dep(ctx, bp, harness::Proto::kBgpBfd, {});
+  std::printf("\ngenerated FRR configuration for %s (paper Listing 1):\n%s",
+              bp.device(bp.top_spine(1)).name.c_str(),
+              dep.bgp(bp.top_spine(1)).config_text().c_str());
+  return 0;
+}

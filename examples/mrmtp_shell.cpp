@@ -1,0 +1,335 @@
+// mrmtp_shell — an interactive (and pipe-scriptable) console for driving
+// the simulator, in the spirit of the mininet CLI the paper plans to use
+// for its scaling studies (§IX). Reads commands from stdin:
+//
+//   topo <pods> <tors> <spines> <tops> [clusters supers]   rebuild fabric
+//   proto mtp|bgp|bgpbfd                                   pick the stack
+//   start                                                  boot the fabric
+//   run <ms>                                               advance sim time
+//   converged                                              print yes/no
+//   nodes                                                  list devices
+//   show vids|routes|exclusions|neighbors|stats|config <node>   inspect
+//   fail <node> <port> | heal <node> <port>                one interface
+//   crash <node> | restore <node>                          whole router
+//   tc TC1..TC4                                            paper failure
+//   traffic <hostIdx> <hostIdx> <count> [gap_us]           probe flow
+//   pcap <file>                                            tap every link
+//   help | quit
+//
+// Example:
+//   printf 'start\nrun 2000\nconverged\nshow vids T-1\nquit\n' | mrmtp_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "harness/deploy.hpp"
+#include "net/pcap.hpp"
+#include "topo/failure.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+class Shell {
+ public:
+  int run() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!dispatch(line)) break;
+    }
+    flush_pcap();
+    return 0;
+  }
+
+ private:
+  bool dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+
+    try {
+      if (cmd == "quit" || cmd == "exit") return false;
+      if (cmd == "help") return help();
+      if (cmd == "topo") return cmd_topo(in);
+      if (cmd == "proto") return cmd_proto(in);
+      if (cmd == "start") return cmd_start();
+      if (cmd == "run") return cmd_run(in);
+      if (cmd == "converged") return cmd_converged();
+      if (cmd == "nodes") return cmd_nodes();
+      if (cmd == "show") return cmd_show(in);
+      if (cmd == "fail") return cmd_toggle_iface(in, false);
+      if (cmd == "heal") return cmd_toggle_iface(in, true);
+      if (cmd == "crash") return cmd_toggle_node(in, false);
+      if (cmd == "restore") return cmd_toggle_node(in, true);
+      if (cmd == "tc") return cmd_tc(in);
+      if (cmd == "traffic") return cmd_traffic(in);
+      if (cmd == "pcap") return cmd_pcap(in);
+      std::printf("?? unknown command '%s' (try: help)\n", cmd.c_str());
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    return true;
+  }
+
+  bool help() {
+    std::printf(
+        "commands: topo proto start run converged nodes show fail heal\n"
+        "          crash restore tc traffic pcap help quit\n");
+    return true;
+  }
+
+  bool cmd_topo(std::istringstream& in) {
+    topo::ClosParams p = topo::ClosParams::paper_2pod();
+    in >> p.pods >> p.tors_per_pod >> p.spines_per_pod >> p.top_spines;
+    if (!(in >> p.clusters)) p.clusters = 1;
+    if (!(in >> p.super_spines)) p.super_spines = 0;
+    params_ = p;
+    reset();
+    std::printf("topology: %u routers, %zu links\n", p.router_count(),
+                blueprint_->links().size());
+    return true;
+  }
+
+  bool cmd_proto(std::istringstream& in) {
+    std::string name;
+    in >> name;
+    if (name == "mtp") proto_ = harness::Proto::kMtp;
+    else if (name == "bgp") proto_ = harness::Proto::kBgp;
+    else if (name == "bgpbfd") proto_ = harness::Proto::kBgpBfd;
+    else {
+      std::printf("?? proto mtp|bgp|bgpbfd\n");
+      return true;
+    }
+    reset();
+    std::printf("protocol: %s\n", std::string(to_string(proto_)).c_str());
+    return true;
+  }
+
+  bool cmd_start() {
+    ensure();
+    dep_->start();
+    started_ = true;
+    std::printf("started %s on %u routers\n",
+                std::string(to_string(proto_)).c_str(),
+                params_.router_count());
+    return true;
+  }
+
+  bool cmd_run(std::istringstream& in) {
+    ensure();
+    std::int64_t ms = 1000;
+    in >> ms;
+    ctx_->sched.run_until(ctx_->now() + sim::Duration::millis(ms));
+    std::printf("t=%s\n", ctx_->now().str().c_str());
+    return true;
+  }
+
+  bool cmd_converged() {
+    ensure();
+    std::printf("converged: %s\n", dep_->converged() ? "yes" : "no");
+    return true;
+  }
+
+  bool cmd_nodes() {
+    ensure();
+    for (const auto& d : blueprint_->devices()) {
+      std::printf("  %-10s tier %u\n", d.name.c_str(), d.tier);
+    }
+    for (std::uint32_t h = 0; h < dep_->host_count(); ++h) {
+      std::printf("  host %u: %s (%s)\n", h, dep_->host(h).name().c_str(),
+                  dep_->host(h).addr().str().c_str());
+    }
+    return true;
+  }
+
+  bool cmd_show(std::istringstream& in) {
+    ensure();
+    std::string what;
+    std::string name;
+    in >> what >> name;
+    std::uint32_t d = blueprint_->device_index(name);
+    if (what == "vids") {
+      std::printf("%s", dep_->mtp(d).vid_table().dump().c_str());
+    } else if (what == "exclusions") {
+      std::printf("%s", dep_->mtp(d).exclusions().dump().c_str());
+    } else if (what == "routes") {
+      std::printf("%s", dep_->bgp(d).routes().dump().c_str());
+    } else if (what == "config") {
+      if (proto_ == harness::Proto::kMtp) {
+        std::printf("%s\n", blueprint_->mtp_config().dump().c_str());
+      } else {
+        std::printf("%s", dep_->bgp(d).config_text().c_str());
+      }
+    } else if (what == "neighbors") {
+      if (proto_ == harness::Proto::kMtp) {
+        std::printf("%s", dep_->mtp(d).neighbor_summary().c_str());
+      } else {
+        std::printf("%s", dep_->bgp(d).summary_text().c_str());
+      }
+    } else if (what == "stats") {
+      if (proto_ == harness::Proto::kMtp) {
+        const auto& s = dep_->mtp(d).mtp_stats();
+        std::printf("hellos %llu, updates tx/rx %llu/%llu, data fwd %llu, "
+                    "drops(no-path/ttl) %llu/%llu\n",
+                    (unsigned long long)s.hellos_sent,
+                    (unsigned long long)s.updates_sent,
+                    (unsigned long long)s.updates_received,
+                    (unsigned long long)s.data_forwarded,
+                    (unsigned long long)s.data_dropped_no_path,
+                    (unsigned long long)s.data_dropped_ttl);
+      } else {
+        const auto& s = dep_->bgp(d).bgp_stats();
+        std::printf("updates tx/rx %llu/%llu, keepalives %llu, rib changes "
+                    "%llu, sessions %zu\n",
+                    (unsigned long long)s.updates_sent,
+                    (unsigned long long)s.updates_received,
+                    (unsigned long long)s.keepalives_sent,
+                    (unsigned long long)s.rib_changes,
+                    dep_->bgp(d).established_sessions());
+      }
+    } else {
+      std::printf("?? show vids|routes|exclusions|neighbors|stats|config <node>\n");
+    }
+    return true;
+  }
+
+  bool cmd_toggle_iface(std::istringstream& in, bool up) {
+    ensure();
+    std::string name;
+    std::uint32_t port = 0;
+    in >> name >> port;
+    net::Node& node = dep_->network().find(name);
+    if (up) {
+      node.set_interface_up(port);
+    } else {
+      node.set_interface_down(port);
+    }
+    std::printf("%s %s:%u\n", up ? "healed" : "failed", name.c_str(), port);
+    return true;
+  }
+
+  bool cmd_toggle_node(std::istringstream& in, bool up) {
+    ensure();
+    std::string name;
+    in >> name;
+    net::Node& node = dep_->network().find(name);
+    for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
+      if (up) {
+        node.set_interface_up(p);
+      } else {
+        node.set_interface_down(p);
+      }
+    }
+    std::printf("%s %s\n", up ? "restored" : "crashed", name.c_str());
+    return true;
+  }
+
+  bool cmd_tc(std::istringstream& in) {
+    ensure();
+    std::string name;
+    in >> name;
+    for (topo::TestCase tc : topo::kAllTestCases) {
+      if (to_string(tc) == name) {
+        auto fp = blueprint_->failure_point(tc);
+        dep_->network().find(fp.device).set_interface_down(fp.port);
+        std::printf("%s: failed %s:%u (link to %s)\n", name.c_str(),
+                    fp.device.c_str(), fp.port, fp.peer.c_str());
+        return true;
+      }
+    }
+    std::printf("?? tc TC1|TC2|TC3|TC4\n");
+    return true;
+  }
+
+  bool cmd_traffic(std::istringstream& in) {
+    ensure();
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint64_t count = 100;
+    std::int64_t gap_us = 1000;
+    in >> from >> to >> count;
+    in >> gap_us;
+    auto& sender = dep_->host(from);
+    auto& receiver = dep_->host(to);
+    receiver.reset_sink();
+    receiver.listen();
+    traffic::FlowConfig flow;
+    flow.dst = receiver.addr();
+    flow.count = count;
+    flow.gap = sim::Duration::micros(gap_us);
+    sender.start_flow(flow);
+    ctx_->sched.run_until(ctx_->now() +
+                          sim::Duration::micros(gap_us * static_cast<std::int64_t>(count)) +
+                          sim::Duration::millis(100));
+    const auto& s = receiver.sink_stats();
+    std::printf("traffic %s -> %s: sent %llu, received %llu unique "
+                "(%llu dup, %llu ooo, %llu lost)\n",
+                sender.name().c_str(), receiver.name().c_str(),
+                (unsigned long long)sender.packets_sent(),
+                (unsigned long long)s.unique_received,
+                (unsigned long long)s.duplicates,
+                (unsigned long long)s.out_of_order,
+                (unsigned long long)s.lost(sender.packets_sent()));
+    return true;
+  }
+
+  bool cmd_pcap(std::istringstream& in) {
+    ensure();
+    in >> pcap_path_;
+    if (pcap_path_.empty()) {
+      std::printf("?? pcap <file>\n");
+      return true;
+    }
+    for (const auto& link : dep_->network().links()) {
+      net::attach_tap(*link, pcap_);
+    }
+    std::printf("capturing every link to %s (written at quit)\n",
+                pcap_path_.c_str());
+    return true;
+  }
+
+  void flush_pcap() {
+    if (pcap_path_.empty()) return;
+    if (pcap_.write_file(pcap_path_)) {
+      std::printf("wrote %zu frames to %s\n", pcap_.size(),
+                  pcap_path_.c_str());
+    } else {
+      std::printf("error: cannot write %s\n", pcap_path_.c_str());
+    }
+  }
+
+  void ensure() {
+    if (!dep_) reset();
+    if (!started_ && dep_) {
+      // Commands that need a running fabric auto-start it.
+    }
+  }
+
+  void reset() {
+    started_ = false;
+    dep_.reset();
+    blueprint_.reset();
+    ctx_ = std::make_unique<net::SimContext>(seed_);
+    blueprint_ = std::make_unique<topo::ClosBlueprint>(params_);
+    dep_ = std::make_unique<harness::Deployment>(*ctx_, *blueprint_, proto_,
+                                                 harness::DeployOptions{});
+  }
+
+  std::uint64_t seed_ = 1;
+  topo::ClosParams params_ = topo::ClosParams::paper_2pod();
+  harness::Proto proto_ = harness::Proto::kMtp;
+  std::unique_ptr<net::SimContext> ctx_;
+  std::unique_ptr<topo::ClosBlueprint> blueprint_;
+  std::unique_ptr<harness::Deployment> dep_;
+  bool started_ = false;
+  net::PcapWriter pcap_;
+  std::string pcap_path_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("mrmtp_shell — 'help' for commands\n");
+  return Shell().run();
+}

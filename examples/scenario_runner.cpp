@@ -1,0 +1,154 @@
+// Scenario runner: drive failure experiments from a JSON description and
+// emit machine-readable JSON results — the simulator's equivalent of the
+// paper's FABRIC automation scripts (§I item list).
+//
+//   $ ./scenario_runner                 # runs a built-in demo scenario
+//   $ ./scenario_runner my.json        # or your own
+//
+// Scenario schema (all fields optional, defaults in brackets):
+// {
+//   "topology": {"pods": 2, "torsPerPod": 2, "spinesPerPod": 2,
+//                 "topSpines": 4, "clusters": 1, "superSpines": 0},
+//   "protocols": ["MR-MTP", "BGP/ECMP", "BGP/ECMP/BFD"],
+//   "testCases": ["TC1", "TC4"],
+//   "seeds": [1, 2, 3],
+//   "reverseFlow": false,
+//   "trafficGapUs": 3000
+// }
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+const char* kDefaultScenario = R"({
+  "topology": {"pods": 2, "torsPerPod": 2, "spinesPerPod": 2, "topSpines": 4},
+  "protocols": ["MR-MTP", "BGP/ECMP/BFD"],
+  "testCases": ["TC1", "TC2", "TC3", "TC4"],
+  "seeds": [1, 2, 3],
+  "reverseFlow": false,
+  "trafficGapUs": 3000
+})";
+
+std::int64_t get_int(const util::Json* obj, std::string_view key,
+                     std::int64_t fallback) {
+  if (obj == nullptr) return fallback;
+  const util::Json* v = obj->find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+harness::Proto parse_proto(const std::string& name) {
+  for (harness::Proto p : harness::kAllProtos) {
+    if (to_string(p) == name) return p;
+  }
+  throw util::CodecError("unknown protocol: " + name);
+}
+
+topo::TestCase parse_tc(const std::string& name) {
+  for (topo::TestCase tc : topo::kAllTestCases) {
+    if (to_string(tc) == name) return tc;
+  }
+  throw util::CodecError("unknown test case: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDefaultScenario;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  util::Json scenario;
+  try {
+    scenario = util::Json::parse(text);
+  } catch (const util::CodecError& e) {
+    std::fprintf(stderr, "scenario parse error: %s\n", e.what());
+    return 1;
+  }
+
+  topo::ClosParams params;
+  const util::Json* topo_cfg = scenario.find("topology");
+  params.pods = static_cast<std::uint32_t>(get_int(topo_cfg, "pods", 2));
+  params.tors_per_pod =
+      static_cast<std::uint32_t>(get_int(topo_cfg, "torsPerPod", 2));
+  params.spines_per_pod =
+      static_cast<std::uint32_t>(get_int(topo_cfg, "spinesPerPod", 2));
+  params.top_spines =
+      static_cast<std::uint32_t>(get_int(topo_cfg, "topSpines", 4));
+  params.clusters = static_cast<std::uint32_t>(get_int(topo_cfg, "clusters", 1));
+  params.super_spines =
+      static_cast<std::uint32_t>(get_int(topo_cfg, "superSpines", 0));
+
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  if (const util::Json* s = scenario.find("seeds"); s != nullptr && s->is_array()) {
+    seeds.clear();
+    for (const auto& v : s->as_array()) {
+      seeds.push_back(static_cast<std::uint64_t>(v.as_int()));
+    }
+  }
+
+  util::Json results;
+  results["scenario"] = scenario;
+  util::JsonArray runs;
+
+  auto run_one = [&](harness::Proto proto, topo::TestCase tc) {
+    harness::ExperimentSpec spec;
+    spec.topo = params;
+    spec.proto = proto;
+    spec.tc = tc;
+    if (const util::Json* r = scenario.find("reverseFlow"); r && r->is_bool()) {
+      spec.reverse_flow = r->as_bool();
+    }
+    spec.traffic_gap = sim::Duration::micros(
+        get_int(&scenario, "trafficGapUs", 3000));
+    harness::AveragedResult avg = harness::run_averaged(spec, seeds);
+
+    util::Json row;
+    row["protocol"] = std::string(to_string(proto));
+    row["testCase"] = std::string(to_string(tc));
+    row["convergenceMsMean"] = avg.convergence_ms;
+    row["convergenceMsStddev"] = avg.convergence_dist.stddev();
+    row["blastRadiusAny"] = avg.blast_any;
+    row["blastRadiusRemote"] = avg.blast_remote;
+    row["controlBytes"] = avg.ctrl_bytes_raw;
+    row["packetsLost"] = avg.packets_lost;
+    row["outageMs"] = avg.outage_ms;
+    row["runs"] = avg.runs;
+    row["convergedRuns"] = avg.converged_runs;
+    runs.push_back(std::move(row));
+    std::fprintf(stderr, "done: %s %s\n",
+                 std::string(to_string(proto)).c_str(),
+                 std::string(to_string(tc)).c_str());
+  };
+
+  const util::Json* protos = scenario.find("protocols");
+  const util::Json* tcs = scenario.find("testCases");
+  try {
+    for (const auto& pj : protos != nullptr ? protos->as_array()
+                                            : util::JsonArray{}) {
+      for (const auto& tj : tcs != nullptr ? tcs->as_array()
+                                           : util::JsonArray{}) {
+        run_one(parse_proto(pj.as_string()), parse_tc(tj.as_string()));
+      }
+    }
+  } catch (const util::CodecError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 1;
+  }
+
+  results["results"] = util::Json(std::move(runs));
+  std::printf("%s\n", results.dump().c_str());
+  return 0;
+}

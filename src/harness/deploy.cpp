@@ -1,0 +1,190 @@
+#include "harness/deploy.hpp"
+
+#include <stdexcept>
+
+namespace mrmtp::harness {
+
+std::string_view to_string(Proto p) {
+  switch (p) {
+    case Proto::kMtp: return "MR-MTP";
+    case Proto::kBgp: return "BGP/ECMP";
+    case Proto::kBgpBfd: return "BGP/ECMP/BFD";
+  }
+  return "?";
+}
+
+Deployment::Deployment(net::SimContext& ctx,
+                       const topo::ClosBlueprint& blueprint, Proto proto,
+                       DeployOptions options)
+    : ctx_(ctx), blueprint_(&blueprint), proto_(proto), network_(ctx) {
+  if (proto_ == Proto::kMtp) {
+    deploy_mtp(options);
+  } else {
+    deploy_bgp(options);
+  }
+}
+
+void Deployment::deploy_mtp(const DeployOptions& options) {
+  const auto& bp = *blueprint_;
+
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    mtp::MtpConfig cfg;
+    cfg.tier = spec.tier;
+    cfg.timers = options.mtp_timers;
+    if (spec.role == topo::Role::kLeaf) {
+      cfg.server_subnet = spec.server_subnet;
+      std::uint32_t base_port = bp.leaf_host_port(d);
+      std::uint32_t offset = 0;
+      for (const auto& hs : bp.hosts()) {
+        if (hs.leaf == d) cfg.rack_hosts[hs.addr] = base_port + offset++;
+      }
+    }
+    routers_.push_back(&network_.add_node<mtp::MtpRouter>(spec.name, cfg));
+  }
+
+  add_hosts(options);
+  wire(options);
+}
+
+void Deployment::deploy_bgp(const DeployOptions& options) {
+  const auto& bp = *blueprint_;
+
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    bgp::BgpConfig cfg;
+    cfg.asn = spec.asn;
+    cfg.router_id = d + 1;
+    cfg.timers = options.bgp_timers;
+    cfg.ecmp = true;
+    cfg.enable_bfd = proto_ == Proto::kBgpBfd;
+    cfg.bfd = options.bfd;
+    for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+      const auto& link = bp.links()[li];
+      if (link.upper == d) {
+        cfg.neighbors.push_back({link.upper_addr, link.lower_addr,
+                                 bp.device(link.lower).asn});
+      } else if (link.lower == d) {
+        cfg.neighbors.push_back({link.lower_addr, link.upper_addr,
+                                 bp.device(link.upper).asn});
+      }
+    }
+    if (spec.role == topo::Role::kLeaf) {
+      cfg.originate.push_back(*spec.server_subnet);
+    }
+    routers_.push_back(
+        &network_.add_node<bgp::BgpRouter>(spec.name, spec.tier, cfg));
+  }
+
+  add_hosts(options);
+  wire(options);
+
+  // Interface addressing: /31 per fabric link, /24 gateway on rack ports.
+  for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+    const auto& link = bp.links()[li];
+    auto& upper = dynamic_cast<bgp::BgpRouter&>(*routers_[link.upper]);
+    auto& lower = dynamic_cast<bgp::BgpRouter&>(*routers_[link.lower]);
+    upper.configure_port(bp.port_on(link.upper, li), link.upper_addr, 31);
+    lower.configure_port(bp.port_on(link.lower, li), link.lower_addr, 31);
+  }
+  std::vector<std::uint32_t> next_rack_port(bp.devices().size(), 0);
+  for (const auto& hs : bp.hosts()) {
+    auto& leaf = dynamic_cast<bgp::BgpRouter&>(*routers_[hs.leaf]);
+    std::uint32_t port_number =
+        bp.leaf_host_port(hs.leaf) + next_rack_port[hs.leaf]++;
+    leaf.configure_port(port_number, hs.gateway, 24);
+  }
+}
+
+void Deployment::add_hosts(const DeployOptions& options) {
+  for (const auto& hs : blueprint_->hosts()) {
+    if (options.vtep_hosts) {
+      hosts_.push_back(&network_.add_node<traffic::VtepHost>(hs.name, hs.addr,
+                                                             24, hs.gateway));
+    } else {
+      hosts_.push_back(
+          &network_.add_node<traffic::Host>(hs.name, hs.addr, 24, hs.gateway));
+    }
+  }
+}
+
+traffic::VtepHost& Deployment::vtep(std::uint32_t host_index) {
+  auto* v = dynamic_cast<traffic::VtepHost*>(hosts_[host_index]);
+  if (v == nullptr) throw std::logic_error("Deployment: not a VTEP host");
+  return *v;
+}
+
+void Deployment::wire(const DeployOptions& options) {
+  const auto& bp = *blueprint_;
+  for (const auto& link : bp.links()) {
+    network_.connect(*routers_[link.upper], *routers_[link.lower], options.link);
+  }
+  for (std::uint32_t h = 0; h < bp.hosts().size(); ++h) {
+    network_.connect(*routers_[bp.hosts()[h].leaf], *hosts_[h],
+                     options.host_link);
+  }
+}
+
+mtp::MtpRouter& Deployment::mtp(std::uint32_t device_index) {
+  auto* r = dynamic_cast<mtp::MtpRouter*>(routers_[device_index]);
+  if (r == nullptr) throw std::logic_error("Deployment: not an MTP router");
+  return *r;
+}
+
+bgp::BgpRouter& Deployment::bgp(std::uint32_t device_index) {
+  auto* r = dynamic_cast<bgp::BgpRouter*>(routers_[device_index]);
+  if (r == nullptr) throw std::logic_error("Deployment: not a BGP router");
+  return *r;
+}
+
+std::vector<std::uint16_t> Deployment::all_vids() const {
+  std::vector<std::uint16_t> vids;
+  for (const auto& spec : blueprint_->devices()) {
+    if (spec.role == topo::Role::kLeaf) vids.push_back(spec.vid);
+  }
+  return vids;
+}
+
+bool Deployment::converged() const {
+  const auto& bp = *blueprint_;
+
+  if (proto_ == Proto::kMtp) {
+    std::vector<std::uint16_t> all = all_vids();
+    for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+      const auto& spec = bp.device(d);
+      const auto& router = dynamic_cast<const mtp::MtpRouter&>(*routers_[d]);
+      std::vector<std::uint16_t> scope;
+      if (spec.role == topo::Role::kSuperSpine) {
+        scope = all;  // supers mesh every cluster's trees
+      } else if (spec.role == topo::Role::kTopSpine) {
+        // A top spine joins every tree of its own cluster.
+        for (std::uint32_t pod = 1; pod <= bp.params().pods; ++pod) {
+          for (std::uint32_t t = 1; t <= bp.params().tors_per_pod; ++t) {
+            scope.push_back(bp.tor_vid_in(spec.cluster, pod, t));
+          }
+        }
+      } else if (spec.role == topo::Role::kPodSpine) {
+        for (std::uint32_t t = 1; t <= bp.params().tors_per_pod; ++t) {
+          scope.push_back(bp.tor_vid_in(spec.cluster, spec.pod, t));
+        }
+      }
+      if (!router.joined_all(scope)) return false;
+    }
+    return true;
+  }
+
+  // BGP: all sessions up and a route (or origination) for every subnet.
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& router = dynamic_cast<const bgp::BgpRouter&>(*routers_[d]);
+    if (router.established_sessions() != router.config().neighbors.size()) {
+      return false;
+    }
+    for (const auto& spec : bp.devices()) {
+      if (spec.role != topo::Role::kLeaf) continue;
+      if (router.routes().exact(*spec.server_subnet) == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mrmtp::harness

@@ -1,0 +1,84 @@
+// Deployment: instantiate a ClosBlueprint as a running network under one of
+// the paper's three protocol stacks — MR-MTP, BGP/ECMP, or BGP/ECMP/BFD —
+// with identical topology, link parameters, and hosts (paper §VI: identical
+// slices per protocol).
+#pragma once
+
+#include <memory>
+
+#include "bgp/router.hpp"
+#include "mtp/router.hpp"
+#include "net/network.hpp"
+#include "topo/clos.hpp"
+#include "traffic/vxlan.hpp"
+
+namespace mrmtp::harness {
+
+enum class Proto : std::uint8_t { kMtp, kBgp, kBgpBfd };
+
+[[nodiscard]] std::string_view to_string(Proto p);
+inline constexpr Proto kAllProtos[] = {Proto::kMtp, Proto::kBgp, Proto::kBgpBfd};
+
+struct DeployOptions {
+  mtp::MtpTimers mtp_timers;            // paper: hello 50 ms / dead 100 ms
+  /// Instantiate servers as VXLAN tunnel endpoints (traffic::VtepHost)
+  /// instead of plain hosts — the paper's assumed VM deployment (§III.A).
+  bool vtep_hosts = false;
+  bgp::BgpTimers bgp_timers;            // paper: keepalive 1 s / hold 3 s
+  bfd::BfdSession::Config bfd;          // paper: tx 100 ms, mult 3
+  net::Link::Params link;               // fabric links
+  net::Link::Params host_link;          // server-to-ToR links
+};
+
+/// A deployed network; indices mirror the blueprint's device/host vectors.
+class Deployment {
+ public:
+  Deployment(net::SimContext& ctx, const topo::ClosBlueprint& blueprint,
+             Proto proto, DeployOptions options = {});
+
+  [[nodiscard]] Proto proto() const { return proto_; }
+  [[nodiscard]] const topo::ClosBlueprint& blueprint() const { return *blueprint_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::SimContext& ctx() { return ctx_; }
+
+  [[nodiscard]] net::Node& router(std::uint32_t device_index) {
+    return *routers_[device_index];
+  }
+  /// Typed access; throws std::logic_error under the wrong protocol.
+  [[nodiscard]] mtp::MtpRouter& mtp(std::uint32_t device_index);
+  [[nodiscard]] bgp::BgpRouter& bgp(std::uint32_t device_index);
+
+  [[nodiscard]] traffic::Host& host(std::uint32_t host_index) {
+    return *hosts_[host_index];
+  }
+  /// Typed access when deployed with DeployOptions::vtep_hosts.
+  [[nodiscard]] traffic::VtepHost& vtep(std::uint32_t host_index);
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Calls start() on every node.
+  void start() { network_.start_all(); }
+
+  /// True once every router reached its converged steady state: MTP routers
+  /// joined all trees in their scope; BGP routers established all sessions
+  /// and hold full routing tables.
+  [[nodiscard]] bool converged() const;
+
+  /// All ToR VIDs in the fabric.
+  [[nodiscard]] std::vector<std::uint16_t> all_vids() const;
+
+ private:
+  void deploy_mtp(const DeployOptions& options);
+  void deploy_bgp(const DeployOptions& options);
+  void add_hosts(const DeployOptions& options);
+  void wire(const DeployOptions& options);
+
+  net::SimContext& ctx_;
+  const topo::ClosBlueprint* blueprint_;
+  Proto proto_;
+  net::Network network_;
+  std::vector<net::Node*> routers_;
+  std::vector<traffic::Host*> hosts_;
+};
+
+}  // namespace mrmtp::harness

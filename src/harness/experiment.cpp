@@ -1,0 +1,209 @@
+#include "harness/experiment.hpp"
+
+namespace mrmtp::harness {
+
+namespace {
+
+/// Sums transmitted L2 bytes of one traffic class over every fabric port.
+struct ByteSnapshot {
+  std::uint64_t raw = 0;
+  std::uint64_t padded = 0;
+};
+
+ByteSnapshot bgp_update_bytes(Deployment& dep) {
+  ByteSnapshot snap;
+  for (std::size_t d = 0; d < dep.router_count(); ++d) {
+    net::Node& node = dep.router(static_cast<std::uint32_t>(d));
+    for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
+      const auto& c =
+          node.port(p).tx_stats().of(net::TrafficClass::kBgpUpdate);
+      snap.raw += c.bytes;
+      snap.padded += c.padded_bytes;
+    }
+  }
+  return snap;
+}
+
+ByteSnapshot mtp_update_bytes(Deployment& dep) {
+  ByteSnapshot snap;
+  for (std::size_t d = 0; d < dep.router_count(); ++d) {
+    const auto& stats =
+        dep.mtp(static_cast<std::uint32_t>(d)).mtp_stats();
+    snap.raw += stats.update_bytes_raw;
+    snap.padded += stats.update_bytes_padded;
+  }
+  return snap;
+}
+
+ByteSnapshot update_bytes(Deployment& dep) {
+  return dep.proto() == Proto::kMtp ? mtp_update_bytes(dep)
+                                    : bgp_update_bytes(dep);
+}
+
+}  // namespace
+
+ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
+  net::SimContext ctx(spec.seed);
+  topo::ClosBlueprint blueprint(spec.topo);
+  Deployment dep(ctx, blueprint, spec.proto, spec.options);
+
+  const sim::Time t_traffic = sim::Time::zero() + spec.settle;
+  const sim::Time t_fail = t_traffic + spec.traffic_lead;
+  const sim::Time t_end = t_fail + spec.post_failure;
+
+  // --- instrumentation ---
+  struct Track {
+    bool changed_any = false;
+    bool changed_remote = false;
+  };
+  std::vector<Track> tracks(dep.router_count());
+  sim::Time last_update = sim::Time::zero();
+  std::uint64_t update_events = 0;
+  bool armed = false;  // true once the failure has fired
+
+  for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+    Track& track = tracks[d];
+    if (spec.proto == Proto::kMtp) {
+      auto& router = dep.mtp(d);
+      router.on_update_activity = [&](sim::Time at) {
+        if (!armed) return;
+        last_update = at;
+        ++update_events;
+      };
+      router.on_table_change = [&track, &armed](sim::Time, bool from_update) {
+        if (!armed) return;
+        track.changed_any = true;
+        if (from_update) track.changed_remote = true;
+      };
+    } else {
+      auto& router = dep.bgp(d);
+      router.on_update_activity = [&](sim::Time at) {
+        if (!armed) return;
+        last_update = at;
+        ++update_events;
+      };
+      router.on_rib_change = [&track, &armed](sim::Time) {
+        if (!armed) return;
+        track.changed_any = true;
+        // BGP routers change tables in response to received UPDATEs except
+        // the failure detectors; the runner cannot distinguish locally, so
+        // remote counting is refined below by excluding the failure point.
+        track.changed_remote = true;
+      };
+    }
+  }
+
+  dep.start();
+
+  // --- traffic ---
+  traffic::Host* sender = nullptr;
+  traffic::Host* receiver = nullptr;
+  if (spec.with_traffic && dep.host_count() >= 2) {
+    std::uint32_t first = 0;
+    auto last = static_cast<std::uint32_t>(dep.host_count() - 1);
+    sender = &dep.host(spec.reverse_flow ? last : first);
+    receiver = &dep.host(spec.reverse_flow ? first : last);
+    receiver->listen();
+    ctx.sched.schedule_at(t_traffic, [&, sender, receiver] {
+      traffic::FlowConfig flow;
+      flow.dst = receiver->addr();
+      flow.gap = spec.traffic_gap;
+      flow.payload_size = spec.payload_size;
+      sender->start_flow(flow);
+    });
+  }
+
+  // --- failure + snapshots ---
+  ExperimentResult result;
+  ByteSnapshot before;
+  // The snapshot event is scheduled before the injector's so it observes the
+  // pre-failure counters (ties break by insertion order).
+  ctx.sched.schedule_at(t_fail, [&] {
+    result.initial_converged = dep.converged();
+    before = update_bytes(dep);
+    armed = true;
+  });
+  topo::FailureInjector injector(dep.network(), blueprint);
+  injector.schedule_failure(spec.tc, t_fail);
+
+  if (sender != nullptr) {
+    ctx.sched.schedule_at(t_end, [sender] { sender->stop_flow(); });
+  }
+  ctx.sched.run_until(t_end + sim::Duration::millis(200));
+
+  // --- collect ---
+  if (update_events > 0) result.convergence = last_update - t_fail;
+  result.update_events = update_events;
+
+  // Identify the two routers adjacent to the failed link: the interface
+  // owner and its peer. Their own-detection table changes are not part of
+  // the received-update blast radius.
+  const auto& fp = *injector.point();
+  std::uint32_t owner = blueprint.device_index(fp.device);
+  std::uint32_t peer = blueprint.device_index(fp.peer);
+
+  for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+    if (tracks[d].changed_any) ++result.blast_any;
+    bool remote = tracks[d].changed_remote && d != owner && d != peer;
+    if (remote) {
+      ++result.blast_remote;
+      if (blueprint.device(d).role == topo::Role::kLeaf) {
+        ++result.blast_leaf_remote;
+      }
+    }
+  }
+
+  ByteSnapshot after = update_bytes(dep);
+  result.ctrl_bytes_raw = after.raw - before.raw;
+  result.ctrl_bytes_padded = after.padded - before.padded;
+
+  if (sender != nullptr && receiver != nullptr) {
+    result.packets_sent = sender->packets_sent();
+    const auto& sink = receiver->sink_stats();
+    result.packets_lost = sink.lost(result.packets_sent);
+    result.duplicates = sink.duplicates;
+    result.out_of_order = sink.out_of_order;
+    result.outage = sink.max_gap;
+  }
+  return result;
+}
+
+AveragedResult run_averaged(ExperimentSpec spec,
+                            const std::vector<std::uint64_t>& seeds) {
+  AveragedResult avg;
+  for (std::uint64_t seed : seeds) {
+    spec.seed = seed;
+    ExperimentResult r = run_failure_experiment(spec);
+    avg.convergence_ms += r.convergence.to_millis();
+    avg.blast_any += static_cast<double>(r.blast_any);
+    avg.blast_remote += static_cast<double>(r.blast_remote);
+    avg.blast_leaf_remote += static_cast<double>(r.blast_leaf_remote);
+    avg.ctrl_bytes_raw += static_cast<double>(r.ctrl_bytes_raw);
+    avg.ctrl_bytes_padded += static_cast<double>(r.ctrl_bytes_padded);
+    avg.packets_lost += static_cast<double>(r.packets_lost);
+    avg.duplicates += static_cast<double>(r.duplicates);
+    avg.out_of_order += static_cast<double>(r.out_of_order);
+    avg.outage_ms += r.outage.to_millis();
+    avg.convergence_dist.add(r.convergence.to_millis());
+    avg.loss_dist.add(static_cast<double>(r.packets_lost));
+    avg.ctrl_bytes_dist.add(static_cast<double>(r.ctrl_bytes_raw));
+    ++avg.runs;
+    if (r.initial_converged) ++avg.converged_runs;
+  }
+  if (avg.runs > 0) {
+    double n = avg.runs;
+    avg.convergence_ms /= n;
+    avg.blast_any /= n;
+    avg.blast_remote /= n;
+    avg.blast_leaf_remote /= n;
+    avg.ctrl_bytes_raw /= n;
+    avg.ctrl_bytes_padded /= n;
+    avg.packets_lost /= n;
+    avg.duplicates /= n;
+    avg.out_of_order /= n;
+    avg.outage_ms /= n;
+  }
+  return avg;
+}
+
+}  // namespace mrmtp::harness

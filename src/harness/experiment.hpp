@@ -1,0 +1,90 @@
+// The failure-experiment runner: deploy, converge, start traffic, fail an
+// interface at one of TC1..TC4, and collect the paper's §V metrics —
+// convergence time, blast radius, control overhead, and packet loss.
+#pragma once
+
+#include <vector>
+
+#include "harness/deploy.hpp"
+#include "harness/stats.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp::harness {
+
+struct ExperimentSpec {
+  topo::ClosParams topo = topo::ClosParams::paper_2pod();
+  Proto proto = Proto::kMtp;
+  topo::TestCase tc = topo::TestCase::kTC1;
+  std::uint64_t seed = 1;
+  DeployOptions options;
+
+  /// Initial convergence allowance before traffic starts.
+  sim::Duration settle = sim::Duration::seconds(3);
+  /// Traffic lead time before the failure fires.
+  sim::Duration traffic_lead = sim::Duration::seconds(1);
+  /// Observation window after the failure (must exceed the slowest dead
+  /// timer plus dissemination; BGP's hold timer is 3 s).
+  sim::Duration post_failure = sim::Duration::seconds(8);
+
+  /// Probe stream: one packet per `traffic_gap` (3 ms ~ 333 pps, which makes
+  /// a 3 s BGP hold-timer outage cost ~1000 packets as in the paper).
+  sim::Duration traffic_gap = sim::Duration::millis(3);
+  std::size_t payload_size = 64;
+  /// false: sender near the failure (H-1-1 -> last host, paper Fig. 7);
+  /// true: sender at the far end (last host -> H-1-1, paper Fig. 8).
+  bool reverse_flow = false;
+  bool with_traffic = true;
+};
+
+struct ExperimentResult {
+  bool initial_converged = false;
+
+  /// Failure instant -> last update-message activity (0 if no updates).
+  sim::Duration convergence{};
+  std::uint64_t update_events = 0;
+
+  /// Blast radius variants (see DESIGN.md §4):
+  std::uint64_t blast_any = 0;          // routers whose tables changed at all
+  std::uint64_t blast_remote = 0;       // ... due to *received* updates
+  std::uint64_t blast_leaf_remote = 0;  // ... leaves only (paper's MTP count)
+
+  /// Update-message bytes at L2 during convergence.
+  std::uint64_t ctrl_bytes_raw = 0;
+  std::uint64_t ctrl_bytes_padded = 0;
+
+  /// Probe-stream outcome across the failure.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t out_of_order = 0;
+  sim::Duration outage{};  // longest inter-arrival gap at the receiver
+};
+
+[[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);
+
+/// Seed-averaged metrics (the paper plots multi-run averages).
+struct AveragedResult {
+  double convergence_ms = 0;
+  double blast_any = 0;
+  double blast_remote = 0;
+  double blast_leaf_remote = 0;
+  double ctrl_bytes_raw = 0;
+  double ctrl_bytes_padded = 0;
+  double packets_lost = 0;
+  double duplicates = 0;
+  double out_of_order = 0;
+  double outage_ms = 0;
+  int runs = 0;
+  int converged_runs = 0;
+
+  /// Full spread across seeds for the headline metrics (mean == the
+  /// corresponding field above).
+  Distribution convergence_dist;
+  Distribution loss_dist;
+  Distribution ctrl_bytes_dist;
+};
+
+[[nodiscard]] AveragedResult run_averaged(ExperimentSpec spec,
+                                          const std::vector<std::uint64_t>& seeds);
+
+}  // namespace mrmtp::harness

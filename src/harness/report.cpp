@@ -1,0 +1,67 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+namespace mrmtp::harness {
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::csv() const {
+  auto render = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = render(columns_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void Table::print(bool with_csv) const {
+  std::fputs(str().c_str(), stdout);
+  if (with_csv) {
+    std::fputs("\nCSV:\n", stdout);
+    std::fputs(csv().c_str(), stdout);
+  }
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace mrmtp::harness

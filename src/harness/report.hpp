@@ -1,0 +1,35 @@
+// Fixed-width table and CSV reporters for the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrmtp::harness {
+
+/// Accumulates rows and prints an aligned ASCII table plus (optionally) CSV,
+/// matching the "rows the paper reports" requirement: one table per figure.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Aligned human-readable rendering.
+  [[nodiscard]] std::string str() const;
+  /// Machine-readable CSV.
+  [[nodiscard]] std::string csv() const;
+
+  void print(bool with_csv = false) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.1f" etc.).
+[[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+}  // namespace mrmtp::harness

@@ -1,0 +1,18 @@
+#include "harness/stats.hpp"
+
+#include <cstdio>
+
+namespace mrmtp::harness {
+
+std::string Distribution::str(int decimals) const {
+  char buf[64];
+  if (n_ < 2) {
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, mean());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f \xc2\xb1%.*f", decimals, mean(),
+                  decimals, stddev());
+  }
+  return buf;
+}
+
+}  // namespace mrmtp::harness

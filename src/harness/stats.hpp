@@ -1,0 +1,45 @@
+// Small online-statistics accumulator for seed-averaged experiment results
+// (mean, standard deviation, min, max via Welford's algorithm) — the error
+// bars behind the paper's "averaged over multiple runs" plots.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mrmtp::harness {
+
+class Distribution {
+ public:
+  void add(double value) {
+    ++n_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample standard deviation (n-1); 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const {
+    return n_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// "12.3 ±1.2" rendering for tables.
+  [[nodiscard]] std::string str(int decimals = 1) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mrmtp::harness

@@ -1,0 +1,50 @@
+#include "ip/addr.hpp"
+
+#include <cstdio>
+
+#include "util/byte_io.hpp"
+#include "util/strings.hpp"
+
+namespace mrmtp::ip {
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    throw util::CodecError("bad IPv4 address: " + std::string(text));
+  }
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    std::uint64_t octet = 0;
+    if (!util::parse_u64(p, octet) || octet > 255) {
+      throw util::CodecError("bad IPv4 octet: " + std::string(text));
+    }
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw util::CodecError("prefix missing /len: " + std::string(text));
+  }
+  Ipv4Addr addr = Ipv4Addr::parse(text.substr(0, slash));
+  std::uint64_t len = 0;
+  if (!util::parse_u64(text.substr(slash + 1), len) || len > 32) {
+    throw util::CodecError("bad prefix length: " + std::string(text));
+  }
+  return Ipv4Prefix(addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::str() const {
+  return addr_.str() + "/" + std::to_string(length_);
+}
+
+}  // namespace mrmtp::ip

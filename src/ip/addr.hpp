@@ -1,0 +1,88 @@
+// IPv4 addresses and prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mrmtp::ip {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad; throws util::CodecError on malformed input.
+  static Ipv4Addr parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+  /// The third byte — MR-MTP's ToR VID derivation input (paper §III.A:
+  /// 192.168.11.0/24 -> VID 11).
+  [[nodiscard]] constexpr std::uint8_t third_octet() const { return octet(2); }
+
+  [[nodiscard]] std::string str() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t length)
+      : addr_(Ipv4Addr(addr.value() & mask(length))), length_(length) {}
+
+  /// Parses "a.b.c.d/len".
+  static Ipv4Prefix parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Addr network() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const {
+    return (a.value() & mask(length_)) == addr_.value();
+  }
+
+  /// Host address `index` within the prefix (index 0 = network address).
+  [[nodiscard]] constexpr Ipv4Addr host(std::uint32_t index) const {
+    return Ipv4Addr(addr_.value() | index);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+  static constexpr std::uint32_t mask(std::uint8_t length) {
+    return length == 0 ? 0u : ~0u << (32 - length);
+  }
+
+ private:
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace mrmtp::ip
+
+template <>
+struct std::hash<mrmtp::ip::Ipv4Addr> {
+  std::size_t operator()(const mrmtp::ip::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<mrmtp::ip::Ipv4Prefix> {
+  std::size_t operator()(const mrmtp::ip::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.network().value() * 33u + p.length());
+  }
+};

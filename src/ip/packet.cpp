@@ -1,0 +1,67 @@
+#include "ip/packet.hpp"
+
+namespace mrmtp::ip {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> Ipv4Header::serialize(
+    std::span<const std::uint8_t> payload) const {
+  util::BufWriter w(kSize + payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(identification);
+  w.u16(0x4000);  // DF, no fragmentation in this fabric
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(w.data().data(), kSize));
+  auto out = w.take();
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum & 0xff);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
+                             std::span<const std::uint8_t>& out_payload) {
+  util::BufReader r(data);
+  std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) throw util::CodecError("IPv4: bad version");
+  std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+  if (ihl != kSize) throw util::CodecError("IPv4: options unsupported");
+
+  Ipv4Header h;
+  h.tos = r.u8();
+  std::uint16_t total_length = r.u16();
+  h.identification = r.u16();
+  r.u16();  // flags/frag
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  r.u16();  // checksum (verified over the whole header below)
+  h.src = Ipv4Addr(r.u32());
+  h.dst = Ipv4Addr(r.u32());
+
+  if (total_length < kSize || total_length > data.size()) {
+    throw util::CodecError("IPv4: bad total length");
+  }
+  if (internet_checksum(data.subspan(0, kSize)) != 0) {
+    throw util::CodecError("IPv4: header checksum mismatch");
+  }
+  out_payload = data.subspan(kSize, total_length - kSize);
+  return h;
+}
+
+}  // namespace mrmtp::ip

@@ -1,0 +1,44 @@
+// IPv4 header codec (RFC 791, no options) with a real internet checksum, so
+// serialized packets carry the exact 20 bytes the paper's wireshark captures
+// count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ip/addr.hpp"
+#include "util/byte_io.hpp"
+
+namespace mrmtp::ip {
+
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  // total_length is derived from the payload at serialization time.
+
+  /// Serializes header + payload.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Parses a header; `out_payload` receives the bytes after it. Throws
+  /// util::CodecError on truncation, bad version, or checksum mismatch.
+  static Ipv4Header parse(std::span<const std::uint8_t> data,
+                          std::span<const std::uint8_t>& out_payload);
+};
+
+/// RFC 1071 internet checksum over `data`.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace mrmtp::ip

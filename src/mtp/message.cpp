@@ -1,0 +1,165 @@
+#include "mtp/message.hpp"
+
+namespace mrmtp::mtp {
+
+std::string_view to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kAdvertise: return "ADVERTISE";
+    case MsgType::kJoinRequest: return "JOIN_REQUEST";
+    case MsgType::kJoinOffer: return "JOIN_OFFER";
+    case MsgType::kCtrlAck: return "CTRL_ACK";
+    case MsgType::kVidWithdraw: return "VID_WITHDRAW";
+    case MsgType::kDestUnreach: return "DEST_UNREACH";
+    case MsgType::kDestClear: return "DEST_CLEAR";
+    case MsgType::kData: return "DATA";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_vids(util::BufWriter& w, const std::vector<Vid>& vids) {
+  w.u8(static_cast<std::uint8_t>(vids.size()));
+  for (const Vid& v : vids) v.serialize(w);
+}
+
+std::vector<Vid> read_vids(util::BufReader& r) {
+  std::uint8_t count = r.u8();
+  std::vector<Vid> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(Vid::deserialize(r));
+  return out;
+}
+
+void write_roots(util::BufWriter& w, const std::vector<std::uint16_t>& roots) {
+  w.u8(static_cast<std::uint8_t>(roots.size()));
+  for (std::uint16_t root : roots) w.u16(root);
+}
+
+std::vector<std::uint16_t> read_roots(util::BufReader& r) {
+  std::uint8_t count = r.u8();
+  std::vector<std::uint16_t> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(r.u16());
+  return out;
+}
+
+}  // namespace
+
+MsgType type_of(const MtpMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> MsgType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloMsg>) return MsgType::kHello;
+        else if constexpr (std::is_same_v<T, AdvertiseMsg>) return MsgType::kAdvertise;
+        else if constexpr (std::is_same_v<T, JoinRequestMsg>) return MsgType::kJoinRequest;
+        else if constexpr (std::is_same_v<T, JoinOfferMsg>) return MsgType::kJoinOffer;
+        else if constexpr (std::is_same_v<T, CtrlAckMsg>) return MsgType::kCtrlAck;
+        else if constexpr (std::is_same_v<T, VidWithdrawMsg>) return MsgType::kVidWithdraw;
+        else if constexpr (std::is_same_v<T, DestUnreachMsg>) return MsgType::kDestUnreach;
+        else if constexpr (std::is_same_v<T, DestClearMsg>) return MsgType::kDestClear;
+        else return MsgType::kData;
+      },
+      msg);
+}
+
+std::vector<std::uint8_t> encode(const MtpMessage& msg) {
+  util::BufWriter w(32);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloMsg>) {
+          // Nothing: the keep-alive is the single type byte 0x06.
+        } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          w.u8(m.tier);
+          write_vids(w, m.vids);
+        } else if constexpr (std::is_same_v<T, JoinRequestMsg>) {
+          write_vids(w, m.vids);
+        } else if constexpr (std::is_same_v<T, JoinOfferMsg>) {
+          w.u16(m.msg_id);
+          write_vids(w, m.vids);
+        } else if constexpr (std::is_same_v<T, CtrlAckMsg>) {
+          w.u16(m.msg_id);
+        } else if constexpr (std::is_same_v<T, VidWithdrawMsg>) {
+          w.u16(m.msg_id);
+          write_vids(w, m.vids);
+        } else if constexpr (std::is_same_v<T, DestUnreachMsg>) {
+          w.u16(m.msg_id);
+          write_roots(w, m.roots);
+        } else if constexpr (std::is_same_v<T, DestClearMsg>) {
+          w.u16(m.msg_id);
+          write_roots(w, m.roots);
+        } else if constexpr (std::is_same_v<T, DataMsg>) {
+          w.u16(m.src_root);
+          w.u16(m.dst_root);
+          w.u8(m.ttl);
+          w.bytes(m.ip_packet.data(), m.ip_packet.size());
+        }
+      },
+      msg);
+  return w.take();
+}
+
+MtpMessage decode(std::span<const std::uint8_t> payload) {
+  util::BufReader r(payload);
+  auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kHello:
+      return HelloMsg{};
+    case MsgType::kAdvertise: {
+      AdvertiseMsg m;
+      m.tier = r.u8();
+      m.vids = read_vids(r);
+      return m;
+    }
+    case MsgType::kJoinRequest: {
+      JoinRequestMsg m;
+      m.vids = read_vids(r);
+      return m;
+    }
+    case MsgType::kJoinOffer: {
+      JoinOfferMsg m;
+      m.msg_id = r.u16();
+      m.vids = read_vids(r);
+      return m;
+    }
+    case MsgType::kCtrlAck: {
+      CtrlAckMsg m;
+      m.msg_id = r.u16();
+      return m;
+    }
+    case MsgType::kVidWithdraw: {
+      VidWithdrawMsg m;
+      m.msg_id = r.u16();
+      m.vids = read_vids(r);
+      return m;
+    }
+    case MsgType::kDestUnreach: {
+      DestUnreachMsg m;
+      m.msg_id = r.u16();
+      m.roots = read_roots(r);
+      return m;
+    }
+    case MsgType::kDestClear: {
+      DestClearMsg m;
+      m.msg_id = r.u16();
+      m.roots = read_roots(r);
+      return m;
+    }
+    case MsgType::kData: {
+      DataMsg m;
+      m.src_root = r.u16();
+      m.dst_root = r.u16();
+      m.ttl = r.u8();
+      auto rest = r.rest();
+      m.ip_packet.assign(rest.begin(), rest.end());
+      return m;
+    }
+  }
+  throw util::CodecError("MTP: unknown message type");
+}
+
+}  // namespace mrmtp::mtp

@@ -1,0 +1,105 @@
+// MR-MTP message codecs, carried directly in Ethernet frames with the
+// paper's EtherType 0x8850 and broadcast destination MAC (links are
+// point-to-point, so no ARP is needed — paper §VII.F).
+//
+// The HELLO keep-alive is a single byte 0x06, matching the paper's Fig. 10
+// capture ("Data: 06, [Length: 1]"). Control messages that mutate state
+// (offers, withdrawals, unreachability updates) carry a 16-bit message id
+// and are acknowledged with CTRL_ACK — the paper's "request-response and
+// accept-acknowledge" reliability that lets MR-MTP dispense with TCP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "mtp/vid.hpp"
+
+namespace mrmtp::mtp {
+
+/// EtherType value from the paper (an unassigned type).
+constexpr std::uint16_t kMtpEtherType = 0x8850;
+
+enum class MsgType : std::uint8_t {
+  kHello = 0x06,  // the single keep-alive byte seen in the paper's capture
+  kAdvertise = 0x01,
+  kJoinRequest = 0x02,
+  kJoinOffer = 0x03,
+  kCtrlAck = 0x04,
+  kVidWithdraw = 0x05,
+  kDestUnreach = 0x07,
+  kDestClear = 0x08,
+  kData = 0x09,
+};
+
+[[nodiscard]] std::string_view to_string(MsgType t);
+
+/// 1-byte keep-alive.
+struct HelloMsg {};
+
+/// Sender announces its tier and the VIDs it holds; upstream neighbors
+/// respond with join requests for trees they have not joined on this link.
+struct AdvertiseMsg {
+  std::uint8_t tier = 0;
+  std::vector<Vid> vids;
+};
+
+/// Upstream device asks to join the advertised trees (listing the
+/// advertiser's VIDs it wants children of).
+struct JoinRequestMsg {
+  std::vector<Vid> vids;
+};
+
+/// Assigner's reply: the derived child VIDs (base + arrival port).
+struct JoinOfferMsg {
+  std::uint16_t msg_id = 0;
+  std::vector<Vid> vids;
+};
+
+/// Acknowledges a reliable control message by id.
+struct CtrlAckMsg {
+  std::uint16_t msg_id = 0;
+};
+
+/// Travels up: these VIDs (children the receiver acquired from the sender)
+/// are gone; receivers prune and propagate further up.
+struct VidWithdrawMsg {
+  std::uint16_t msg_id = 0;
+  std::vector<Vid> vids;
+};
+
+/// Travels down: the sender can no longer reach these ToR trees at all;
+/// receivers exclude this port for those destinations.
+struct DestUnreachMsg {
+  std::uint16_t msg_id = 0;
+  std::vector<std::uint16_t> roots;
+};
+
+/// Travels down: reachability restored; receivers clear exclusions.
+struct DestClearMsg {
+  std::uint16_t msg_id = 0;
+  std::vector<std::uint16_t> roots;
+};
+
+/// An encapsulated IP packet: 2-byte source and destination ToR VIDs plus a
+/// TTL backstop, then the untouched IP packet (paper §III.D).
+struct DataMsg {
+  std::uint16_t src_root = 0;
+  std::uint16_t dst_root = 0;
+  std::uint8_t ttl = 16;
+  std::vector<std::uint8_t> ip_packet;
+};
+
+using MtpMessage =
+    std::variant<HelloMsg, AdvertiseMsg, JoinRequestMsg, JoinOfferMsg,
+                 CtrlAckMsg, VidWithdrawMsg, DestUnreachMsg, DestClearMsg,
+                 DataMsg>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const MtpMessage& msg);
+/// Throws util::CodecError on malformed frames.
+[[nodiscard]] MtpMessage decode(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] MsgType type_of(const MtpMessage& msg);
+
+}  // namespace mrmtp::mtp

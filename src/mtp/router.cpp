@@ -1,0 +1,754 @@
+#include "mtp/router.hpp"
+
+#include <algorithm>
+
+namespace mrmtp::mtp {
+
+namespace {
+/// Root 0 is reserved as "every destination beyond my uplinks": a spine that
+/// loses its last usable uplink tells its downstream neighbors to stop
+/// load-balancing anything through it. Rack subnets therefore must not use
+/// third octet 0 (the topology builder starts VIDs at 11).
+constexpr std::uint16_t kWildcardRoot = 0;
+}  // namespace
+
+MtpRouter::MtpRouter(net::SimContext& ctx, std::string name, MtpConfig config)
+    : net::Node(ctx, std::move(name), config.tier), config_(std::move(config)) {
+  if (config_.server_subnet.has_value()) {
+    own_vid_ = config_.server_subnet->network().third_octet();
+  }
+}
+
+void MtpRouter::start() {
+  ports_state_.resize(port_count());
+  std::set<std::uint32_t> rack_ports;
+  for (const auto& [addr, port] : config_.rack_hosts) rack_ports.insert(port);
+
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    PortState& s = pstate(p);
+    if (rack_ports.contains(p)) {
+      s.mtp = false;
+      continue;
+    }
+    s.hello_timer = std::make_unique<sim::Timer>(
+        ctx_.sched, [this, p] { send_hello_if_idle(p); });
+    s.dead_timer = std::make_unique<sim::Timer>(ctx_.sched, [this, p] {
+      log(sim::LogLevel::kDebug,
+          "dead timer expired on port " + std::to_string(p));
+      neighbor_down(p, /*local_detect=*/true);
+    });
+    s.join_retry_timer =
+        std::make_unique<sim::Timer>(ctx_.sched, [this, p] { retry_joins(p); });
+    s.hello_timer->start_periodic(config_.timers.hello);
+    send_advertise(p);
+  }
+}
+
+// ---------------------------------------------------------------- frame I/O
+
+void MtpRouter::send_msg(std::uint32_t port_number, const MtpMessage& msg) {
+  net::Port& out = port(port_number);
+  if (!out.connected() || !out.admin_up()) return;
+
+  net::Frame frame;
+  frame.dst = net::MacAddr::broadcast();
+  frame.src = out.mac();
+  frame.ethertype = net::EtherType::kMtp;
+  frame.payload = encode(msg);
+
+  switch (type_of(msg)) {
+    case MsgType::kHello:
+      frame.traffic_class = net::TrafficClass::kMtpHello;
+      ++stats_.hellos_sent;
+      break;
+    case MsgType::kData:
+      frame.traffic_class = net::TrafficClass::kMtpData;
+      break;
+    default:
+      frame.traffic_class = net::TrafficClass::kMtpControl;
+  }
+
+  switch (type_of(msg)) {
+    case MsgType::kVidWithdraw:
+    case MsgType::kDestUnreach:
+    case MsgType::kDestClear:
+      note_update_stats(frame);
+      break;
+    default:
+      break;
+  }
+
+  pstate(port_number).last_tx = ctx_.now();
+  transmit(out, std::move(frame));
+}
+
+void MtpRouter::note_update_stats(const net::Frame& frame) {
+  ++stats_.updates_sent;
+  stats_.update_bytes_raw += frame.wire_size();
+  stats_.update_bytes_padded += frame.padded_wire_size();
+  if (on_update_activity) on_update_activity(ctx_.now());
+}
+
+void MtpRouter::send_reliable(std::uint32_t port_number, MtpMessage msg) {
+  std::uint16_t id = next_msg_id_++;
+  if (next_msg_id_ == 0) next_msg_id_ = 1;
+  std::visit(
+      [id](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (requires { m.msg_id; }) {
+          m.msg_id = id;
+        } else {
+          (void)sizeof(T);
+        }
+      },
+      msg);
+
+  auto [it, inserted] = outstanding_.emplace(id, Outstanding{port_number, msg, 0, nullptr});
+  Outstanding& entry = it->second;
+  entry.timer = std::make_unique<sim::Timer>(ctx_.sched, [this, id] {
+    auto found = outstanding_.find(id);
+    if (found == outstanding_.end()) return;
+    Outstanding& o = found->second;
+    if (o.retries >= config_.timers.max_retransmits) {
+      // Give up; the dead timer will declare the neighbor down if it is
+      // truly gone. Deferred erase: we are inside this entry's own timer.
+      ctx_.sched.schedule_after(sim::Duration::nanos(0),
+                                [this, id] { outstanding_.erase(id); });
+      return;
+    }
+    ++o.retries;
+    send_msg(o.port, o.msg);
+    o.timer->restart();
+  });
+  entry.timer->start(config_.timers.retransmit);
+  send_msg(port_number, msg);
+}
+
+void MtpRouter::handle_frame(net::Port& in, net::Frame frame) {
+  PortState& s = pstate(in.number());
+  if (!s.mtp) {
+    if (frame.ethertype == net::EtherType::kIpv4) handle_rack_frame(in, frame);
+    return;
+  }
+  if (frame.ethertype != net::EtherType::kMtp) return;
+
+  MtpMessage msg;
+  try {
+    msg = decode(frame.payload);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  note_rx(in);
+  handle_msg(in, msg);
+}
+
+void MtpRouter::handle_msg(net::Port& in, const MtpMessage& msg) {
+  std::uint32_t p = in.number();
+  bool alive = pstate(p).alive;
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloMsg>) {
+          // Liveness already recorded by note_rx.
+        } else if constexpr (std::is_same_v<T, CtrlAckMsg>) {
+          outstanding_.erase(m.msg_id);
+        } else if constexpr (std::is_same_v<T, DataMsg>) {
+          forward_data(m, p);
+        } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          if (alive) handle_advertise(p, m);
+        } else if constexpr (std::is_same_v<T, JoinRequestMsg>) {
+          if (alive) handle_join_request(p, m);
+        } else if constexpr (std::is_same_v<T, JoinOfferMsg>) {
+          send_msg(p, CtrlAckMsg{m.msg_id});
+          if (alive) handle_join_offer(p, m);
+        } else if constexpr (std::is_same_v<T, VidWithdrawMsg>) {
+          send_msg(p, CtrlAckMsg{m.msg_id});
+          handle_withdraw(p, m);
+        } else if constexpr (std::is_same_v<T, DestUnreachMsg>) {
+          send_msg(p, CtrlAckMsg{m.msg_id});
+          handle_dest_unreach(p, m);
+        } else if constexpr (std::is_same_v<T, DestClearMsg>) {
+          send_msg(p, CtrlAckMsg{m.msg_id});
+          handle_dest_clear(p, m);
+        }
+      },
+      msg);
+}
+
+// ----------------------------------------------------------------- liveness
+
+void MtpRouter::note_rx(net::Port& in) {
+  PortState& s = pstate(in.number());
+  sim::Time now = ctx_.now();
+  if (s.alive) {
+    s.dead_timer->start(config_.timers.dead);
+  } else {
+    // Slow-to-Accept: require `accept_streak` *consecutive* keep-alives —
+    // a gap of more than 1.5 hello intervals (a missed hello) restarts the
+    // count, so a flapping interface never accumulates a streak (§IV.B).
+    if (now - s.last_rx > config_.timers.hello + config_.timers.hello / 2) {
+      s.streak = 0;
+    }
+    ++s.streak;
+    if (!config_.timers.slow_to_accept ||
+        s.streak >= config_.timers.accept_streak) {
+      s.last_rx = now;
+      neighbor_up(in.number());
+      return;
+    }
+  }
+  s.last_rx = now;
+}
+
+void MtpRouter::neighbor_up(std::uint32_t p) {
+  PortState& s = pstate(p);
+  if (s.alive) return;
+  s.alive = true;
+  s.streak = 0;
+  ++stats_.neighbors_accepted;
+  s.dead_timer->start(config_.timers.dead);
+  log(sim::LogLevel::kInfo, "neighbor on port " + std::to_string(p) + " UP");
+
+  // Stale failure state for this port is moot; the neighbor re-announces
+  // any unreachability below.
+  exclusions_.clear_port(p);
+
+  send_advertise(p);
+  if (is_downstream(p) && !advertised_unreach_.empty()) {
+    DestUnreachMsg m;
+    m.roots.assign(advertised_unreach_.begin(), advertised_unreach_.end());
+    send_reliable(p, m);
+  }
+  // Roots (and the wildcard) may have become reachable through this port.
+  std::set<std::uint16_t> recheck = advertised_unreach_;
+  recheck.insert(kWildcardRoot);
+  update_reachability(recheck);
+}
+
+void MtpRouter::neighbor_down(std::uint32_t p, bool local_detect) {
+  PortState& s = pstate(p);
+  if (!s.alive) return;
+  s.alive = false;
+  s.streak = 0;
+  ++stats_.neighbors_lost;
+  s.dead_timer->stop();
+  s.join_pending.clear();
+  s.join_retry_timer->stop();
+  log(sim::LogLevel::kInfo, "neighbor on port " + std::to_string(p) + " DOWN");
+
+  // Abandon reliable messages directed at the dead neighbor.
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    it = (it->second.port == p) ? outstanding_.erase(it) : std::next(it);
+  }
+
+  std::vector<VidEntry> lost = vid_table_.remove_port(p);
+  s.assigned.clear();
+  exclusions_.clear_port(p);
+
+  if (!lost.empty()) {
+    ++stats_.table_changes_local;
+    if (on_table_change) on_table_change(ctx_.now(), false);
+  }
+  (void)local_detect;
+  process_vid_loss(lost, /*from_update=*/false);
+
+  // Losing an uplink can sever the default route entirely (wildcard) and
+  // strand roots that were only reachable upward.
+  std::set<std::uint16_t> recheck;
+  recheck.insert(kWildcardRoot);
+  for (const auto& e : lost) recheck.insert(e.vid.root());
+  update_reachability(recheck);
+}
+
+void MtpRouter::send_hello_if_idle(std::uint32_t p) {
+  // Integrated control/data plane: any frame is a keep-alive, so the 1-byte
+  // HELLO goes out only if the link carried nothing for a hello interval.
+  if (ctx_.now() - pstate(p).last_tx < config_.timers.hello) return;
+  // While an accepted upstream neighbor has not joined all of our trees,
+  // the keep-alive slot re-advertises instead (an ADVERTISE is also a
+  // keep-alive) so a lost ADVERTISE cannot stall tree establishment.
+  const PortState& s = pstate(p);
+  if (s.alive && is_upstream(p) && !fully_assigned(p)) {
+    send_advertise(p);
+    return;
+  }
+  send_msg(p, HelloMsg{});
+}
+
+bool MtpRouter::fully_assigned(std::uint32_t p) const {
+  const PortState& s = pstate(p);
+  for (const Vid& base : advertisable_vids()) {
+    if (!s.assigned.contains(base.child(static_cast<std::uint16_t>(p)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MtpRouter::on_port_down(net::Port& p) {
+  PortState& s = pstate(p.number());
+  if (!s.mtp) return;
+  s.hello_timer->stop();
+  neighbor_down(p.number(), /*local_detect=*/true);
+}
+
+void MtpRouter::on_port_up(net::Port& p) {
+  PortState& s = pstate(p.number());
+  if (!s.mtp) return;
+  s.hello_timer->start_periodic(config_.timers.hello);
+}
+
+// ------------------------------------------------------- tree establishment
+
+std::vector<Vid> MtpRouter::advertisable_vids() const {
+  if (is_leaf()) return {Vid(own_vid_)};
+  std::vector<Vid> out;
+  out.reserve(vid_table_.size());
+  for (const auto& e : vid_table_.entries()) out.push_back(e.vid);
+  return out;
+}
+
+void MtpRouter::send_advertise(std::uint32_t p) {
+  AdvertiseMsg m;
+  m.tier = static_cast<std::uint8_t>(config_.tier);
+  m.vids = advertisable_vids();
+  send_msg(p, m);
+}
+
+void MtpRouter::handle_advertise(std::uint32_t p, const AdvertiseMsg& msg) {
+  PortState& s = pstate(p);
+  bool first_contact = !s.neighbor_tier.has_value();
+  s.neighbor_tier = msg.tier;
+  if (first_contact) send_advertise(p);  // let the neighbor learn our tier
+
+  if (msg.tier >= config_.tier) return;  // we only join trees from below
+
+  bool added = false;
+  for (const Vid& base : msg.vids) {
+    bool already_joined = false;
+    bool duplicate_root = false;
+    for (const auto& e : vid_table_.entries()) {
+      if (e.port == p && e.vid.parent() == base) {
+        already_joined = true;
+        break;
+      }
+      // Misconfiguration guard: two *different* ToRs advertising the same
+      // root VID means two racks share a subnet third octet — joining both
+      // would silently split that destination's traffic between racks.
+      if (base.depth() == 1 && e.vid.root() == base.root() &&
+          e.vid.depth() == 2 && e.port != p) {
+        duplicate_root = true;
+        break;
+      }
+    }
+    if (duplicate_root) {
+      ++stats_.duplicate_roots_rejected;
+      log(sim::LogLevel::kError,
+          "rejecting join of tree " + base.str() + " on port " +
+              std::to_string(p) + ": root already rooted on another port "
+              "(duplicate rack subnet?)");
+      continue;
+    }
+    if (!already_joined && s.join_pending.insert(base).second) added = true;
+  }
+  if (added) {
+    retry_joins(p);
+    s.join_retry_timer->start_periodic(config_.timers.retransmit);
+  }
+}
+
+void MtpRouter::retry_joins(std::uint32_t p) {
+  PortState& s = pstate(p);
+  if (s.join_pending.empty()) {
+    s.join_retry_timer->stop();
+    return;
+  }
+  JoinRequestMsg m;
+  m.vids.assign(s.join_pending.begin(), s.join_pending.end());
+  send_msg(p, m);
+}
+
+void MtpRouter::handle_join_request(std::uint32_t p, const JoinRequestMsg& msg) {
+  PortState& s = pstate(p);
+  JoinOfferMsg offer;
+  for (const Vid& base : msg.vids) {
+    bool held = is_leaf() ? (base == Vid(own_vid_)) : vid_table_.contains(base);
+    if (!held) continue;
+    // The derived VID is the base plus the port the request arrived on
+    // (paper §III.B).
+    Vid child = base.child(static_cast<std::uint16_t>(p));
+    s.assigned.emplace(child, base);
+    offer.vids.push_back(std::move(child));
+  }
+  if (!offer.vids.empty()) send_reliable(p, offer);
+}
+
+void MtpRouter::handle_join_offer(std::uint32_t p, const JoinOfferMsg& msg) {
+  PortState& s = pstate(p);
+  std::set<std::uint16_t> new_roots;
+  for (const Vid& child : msg.vids) {
+    s.join_pending.erase(child.parent());
+    // Invariant: in a folded-Clos a tree reaches any device through exactly
+    // one port, so a second root instance from elsewhere is a duplicate
+    // rack subnet (misconfiguration), never legitimate meshing.
+    bool foreign_root = false;
+    for (const auto& e : vid_table_.entries_for_root(child.root())) {
+      if (e.port != p || e.vid != child) {
+        foreign_root = true;
+        break;
+      }
+    }
+    if (foreign_root) {
+      ++stats_.duplicate_roots_rejected;
+      log(sim::LogLevel::kError,
+          "rejecting offered VID " + child.str() + " on port " +
+              std::to_string(p) +
+              ": tree already joined elsewhere (duplicate rack subnet?)");
+      continue;
+    }
+    if (vid_table_.add(child, p)) new_roots.insert(child.root());
+  }
+  if (s.join_pending.empty()) s.join_retry_timer->stop();
+  if (new_roots.empty()) return;
+
+  log(sim::LogLevel::kDebug,
+      "acquired " + std::to_string(msg.vids.size()) + " VID(s) on port " +
+          std::to_string(p));
+  // New VIDs mean new trees to offer upward.
+  for (std::uint32_t up : alive_ports(/*upstream=*/true)) send_advertise(up);
+  update_reachability(new_roots);
+}
+
+// ----------------------------------------------------------- failure plane
+
+void MtpRouter::process_vid_loss(const std::vector<VidEntry>& lost,
+                                 bool from_update) {
+  (void)from_update;
+  if (lost.empty()) return;
+
+  std::set<Vid> lost_vids;
+  std::set<std::uint16_t> roots;
+  for (const auto& e : lost) {
+    lost_vids.insert(e.vid);
+    roots.insert(e.vid.root());
+  }
+
+  // Withdraw the children we derived from the lost VIDs, upward.
+  for (std::uint32_t up : alive_ports(/*upstream=*/true)) {
+    PortState& s = pstate(up);
+    VidWithdrawMsg m;
+    for (auto it = s.assigned.begin(); it != s.assigned.end();) {
+      if (lost_vids.contains(it->second)) {
+        m.vids.push_back(it->first);
+        it = s.assigned.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!m.vids.empty()) send_reliable(up, m);
+  }
+
+  update_reachability(roots);
+}
+
+bool MtpRouter::reachable(std::uint16_t root) const {
+  if (root != kWildcardRoot) {
+    if (is_leaf() && root == own_vid_) return true;
+    if (vid_table_.has_root(root)) return true;
+  }
+  // Default route up: any accepted uplink not excluded for this root.
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    const PortState& s = pstate(p);
+    if (!s.mtp || !s.alive || !is_upstream(p)) continue;
+    if (!port(p).admin_up()) continue;
+    if (exclusions_.is_excluded(kWildcardRoot, p)) continue;
+    if (root != kWildcardRoot && exclusions_.is_excluded(root, p)) continue;
+    return true;
+  }
+  return false;
+}
+
+void MtpRouter::update_reachability(const std::set<std::uint16_t>& roots) {
+  // The wildcard ("everything beyond my uplinks") only means something on
+  // devices that have uplinks; top-tier spines reach ToRs exclusively via
+  // their VID tables.
+  bool has_uplinks = false;
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    if (pstate(p).mtp && is_upstream(p)) {
+      has_uplinks = true;
+      break;
+    }
+  }
+
+  DestUnreachMsg unreach;
+  DestClearMsg clear;
+  for (std::uint16_t root : roots) {
+    if (root == kWildcardRoot && !has_uplinks) continue;
+    bool ok = reachable(root);
+    bool advertised = advertised_unreach_.contains(root);
+    if (!ok && !advertised) {
+      advertised_unreach_.insert(root);
+      unreach.roots.push_back(root);
+    } else if (ok && advertised) {
+      advertised_unreach_.erase(root);
+      clear.roots.push_back(root);
+    }
+  }
+  if (unreach.roots.empty() && clear.roots.empty()) return;
+  for (std::uint32_t down : alive_ports(/*upstream=*/false)) {
+    if (!unreach.roots.empty()) send_reliable(down, unreach);
+    if (!clear.roots.empty()) send_reliable(down, clear);
+  }
+}
+
+void MtpRouter::handle_withdraw(std::uint32_t p, const VidWithdrawMsg& msg) {
+  ++stats_.updates_received;
+  if (on_update_activity) on_update_activity(ctx_.now());
+
+  std::vector<VidEntry> removed;
+  for (const Vid& v : msg.vids) {
+    const VidEntry* e = vid_table_.find(v);
+    if (e != nullptr && e->port == p) {
+      removed.push_back(*e);
+      vid_table_.remove(v);
+    }
+  }
+  if (removed.empty()) return;
+
+  ++stats_.table_changes_remote;
+  if (on_table_change) on_table_change(ctx_.now(), true);
+  process_vid_loss(removed, /*from_update=*/true);
+}
+
+void MtpRouter::handle_dest_unreach(std::uint32_t p, const DestUnreachMsg& msg) {
+  if (!is_upstream(p)) return;  // unreachability only flows down
+  ++stats_.updates_received;
+  if (on_update_activity) on_update_activity(ctx_.now());
+
+  std::set<std::uint16_t> affected;
+  bool changed = false;
+  for (std::uint16_t root : msg.roots) {
+    if (exclusions_.exclude(root, p)) {
+      changed = true;
+      ++stats_.exclusion_changes;
+    }
+    affected.insert(root);
+  }
+  if (changed) {
+    ++stats_.table_changes_remote;
+    if (on_table_change) on_table_change(ctx_.now(), true);
+  }
+  update_reachability(affected);
+}
+
+void MtpRouter::handle_dest_clear(std::uint32_t p, const DestClearMsg& msg) {
+  if (!is_upstream(p)) return;
+  ++stats_.updates_received;
+  if (on_update_activity) on_update_activity(ctx_.now());
+
+  std::set<std::uint16_t> affected;
+  bool changed = false;
+  for (std::uint16_t root : msg.roots) {
+    if (exclusions_.clear(root, p)) {
+      changed = true;
+      ++stats_.exclusion_changes;
+    }
+    affected.insert(root);
+  }
+  if (changed) {
+    ++stats_.table_changes_remote;
+    if (on_table_change) on_table_change(ctx_.now(), true);
+  }
+  update_reachability(affected);
+}
+
+// ---------------------------------------------------------------- data path
+
+void MtpRouter::handle_rack_frame(net::Port& in, const net::Frame& frame) {
+  std::span<const std::uint8_t> payload;
+  ip::Ipv4Header header;
+  try {
+    header = ip::Ipv4Header::parse(frame.payload, payload);
+  } catch (const util::CodecError&) {
+    return;
+  }
+
+  // The VID derivation algorithm: destination ToR VID = third octet of the
+  // destination IP (paper §III.D).
+  std::uint16_t dst_root = header.dst.third_octet();
+
+  if (dst_root == own_vid_) {
+    // Intra-rack: switch between host ports.
+    auto it = config_.rack_hosts.find(header.dst);
+    if (it == config_.rack_hosts.end() || it->second == in.number()) return;
+    net::Frame out = frame;
+    transmit(port(it->second), std::move(out));
+    return;
+  }
+
+  DataMsg msg;
+  msg.src_root = own_vid_;
+  msg.dst_root = dst_root;
+  msg.ttl = config_.data_ttl;
+  msg.ip_packet = frame.payload;
+  forward_data(std::move(msg), std::nullopt);
+}
+
+void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) {
+  if (is_leaf() && msg.dst_root == own_vid_) {
+    deliver_to_rack(msg);
+    return;
+  }
+
+  if (in_port.has_value()) {
+    if (msg.ttl <= 1) {
+      ++stats_.data_dropped_ttl;
+      return;
+    }
+    --msg.ttl;
+  }
+
+  // Downward: a VID rooted at the destination names the exact port.
+  auto candidates = vid_table_.entries_for_root(msg.dst_root);
+  if (!candidates.empty()) {
+    std::uint64_t h = data_flow_hash(msg);
+    const VidEntry& pick = candidates[h % candidates.size()];
+    ++stats_.data_forwarded;
+    send_msg(pick.port, msg);
+    return;
+  }
+
+  // Upward default: never bounce a packet that already came down.
+  if (in_port.has_value() && is_upstream(*in_port)) {
+    ++stats_.data_dropped_no_path;
+    return;
+  }
+  auto ups = eligible_up_ports(msg.dst_root);
+  if (ups.empty()) {
+    ++stats_.data_dropped_no_path;
+    return;
+  }
+  std::uint64_t h = data_flow_hash(msg);
+  ++stats_.data_forwarded;
+  send_msg(ups[h % ups.size()], msg);
+}
+
+void MtpRouter::deliver_to_rack(const DataMsg& msg) {
+  std::span<const std::uint8_t> payload;
+  ip::Ipv4Header header;
+  try {
+    header = ip::Ipv4Header::parse(msg.ip_packet, payload);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  auto it = config_.rack_hosts.find(header.dst);
+  if (it == config_.rack_hosts.end()) return;
+
+  net::Port& out = port(it->second);
+  net::Frame frame;
+  frame.dst = net::MacAddr::broadcast();
+  frame.src = out.mac();
+  frame.ethertype = net::EtherType::kIpv4;
+  frame.payload = msg.ip_packet;
+  frame.traffic_class = net::TrafficClass::kIpData;
+  ++stats_.data_delivered;
+  transmit(out, std::move(frame));
+}
+
+std::vector<std::uint32_t> MtpRouter::eligible_up_ports(
+    std::uint16_t dst_root) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    const PortState& s = pstate(p);
+    if (!s.mtp || !s.alive || !is_upstream(p)) continue;
+    if (!port(p).admin_up()) continue;
+    if (exclusions_.is_excluded(kWildcardRoot, p)) continue;
+    if (exclusions_.is_excluded(dst_root, p)) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::uint64_t MtpRouter::data_flow_hash(const DataMsg& msg) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint8_t>(msg.src_root >> 8));
+  mix(static_cast<std::uint8_t>(msg.src_root));
+  mix(static_cast<std::uint8_t>(msg.dst_root >> 8));
+  mix(static_cast<std::uint8_t>(msg.dst_root));
+  // Inner IP addresses + first 4 transport bytes (the ports).
+  for (std::size_t i = 12; i < 24 && i < msg.ip_packet.size(); ++i) {
+    mix(msg.ip_packet[i]);
+  }
+  return h;
+}
+
+// ------------------------------------------------------------------ helpers
+
+bool MtpRouter::is_upstream(std::uint32_t p) const {
+  const PortState& s = pstate(p);
+  return s.neighbor_tier.has_value() && *s.neighbor_tier > config_.tier;
+}
+
+bool MtpRouter::is_downstream(std::uint32_t p) const {
+  const PortState& s = pstate(p);
+  return s.neighbor_tier.has_value() && *s.neighbor_tier < config_.tier;
+}
+
+std::vector<std::uint32_t> MtpRouter::alive_ports(bool upstream) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    const PortState& s = pstate(p);
+    if (!s.mtp || !s.alive) continue;
+    if (upstream ? is_upstream(p) : is_downstream(p)) out.push_back(p);
+  }
+  return out;
+}
+
+bool MtpRouter::joined_all(const std::vector<std::uint16_t>& roots) const {
+  for (std::uint16_t root : roots) {
+    if (is_leaf() && root == own_vid_) continue;
+    if (!vid_table_.has_root(root)) return false;
+  }
+  return true;
+}
+
+bool MtpRouter::neighbor_alive(std::uint32_t port_number) const {
+  return pstate(port_number).alive;
+}
+
+std::string MtpRouter::neighbor_summary() const {
+  std::string out = name() + " tier " + std::to_string(config_.tier);
+  if (is_leaf()) out += " (root VID " + std::to_string(own_vid_) + ")";
+  out += "\n";
+  for (std::uint32_t p = 1; p <= port_count(); ++p) {
+    const PortState& s = pstate(p);
+    if (!s.mtp) {
+      out += "  eth" + std::to_string(p) + "  rack port\n";
+      continue;
+    }
+    out += "  eth" + std::to_string(p) + "  ";
+    out += s.neighbor_tier.has_value()
+               ? ("tier " + std::to_string(*s.neighbor_tier))
+               : std::string("tier ?");
+    out += s.alive ? "  up" : "  down";
+    std::string held;
+    for (const auto& e : vid_table_.entries()) {
+      if (e.port == p) held += (held.empty() ? "" : ",") + e.vid.str();
+    }
+    if (!held.empty()) out += "  holds " + held;
+    std::string given;
+    for (const auto& [child, base] : s.assigned) {
+      given += (given.empty() ? "" : ",") + child.str();
+    }
+    if (!given.empty()) out += "  assigned " + given;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mrmtp::mtp

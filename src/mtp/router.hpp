@@ -1,0 +1,205 @@
+// MtpRouter: the Multi-Root Meshed Tree Protocol engine (paper §III–IV).
+//
+// One object serves every tier; the role differences fall out of the tier
+// number and the presence of a server subnet:
+//   * Leaves (ToRs) derive their root VID from the rack subnet's third
+//     octet, advertise it upward, and encapsulate/decapsulate server IP
+//     packets in MTP DATA frames.
+//   * Spines join the trees advertised from below (request -> offer -> ack,
+//     all retransmitted until acknowledged — MR-MTP's built-in reliability
+//     in place of TCP) and acquire one VID per tree per downstream branch.
+//   * Forwarding is VID-table down, hash-load-balanced default-route up,
+//     with per-destination port exclusions maintained by failure updates.
+//
+// Failure handling implements the paper's Quick-to-Detect / Slow-to-Accept:
+// a neighbor is declared down after a single missed hello window (dead
+// interval = 2 x hello), and re-accepted only after `accept_streak`
+// consecutive messages. Every MTP frame counts as a keep-alive; the 1-byte
+// HELLO is sent only on links idle for a hello interval.
+//
+// Failure updates never recompute routes (paper §IV.B): VID_WITHDRAW prunes
+// exact table entries upward; DEST_UNREACH/DEST_CLEAR maintain load-balancer
+// exclusions downward.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "ip/packet.hpp"
+#include "mtp/message.hpp"
+#include "mtp/vid_table.hpp"
+#include "net/network.hpp"
+
+namespace mrmtp::mtp {
+
+struct MtpTimers {
+  sim::Duration hello = sim::Duration::millis(50);
+  sim::Duration dead = sim::Duration::millis(100);
+  /// Consecutive keep-alives required to re-accept a neighbor (paper: 3).
+  int accept_streak = 3;
+  /// Ablation switch: false accepts a neighbor on the first keep-alive.
+  bool slow_to_accept = true;
+  /// Reliable-control retransmission interval and cap.
+  sim::Duration retransmit = sim::Duration::millis(100);
+  int max_retransmits = 10;
+};
+
+struct MtpConfig {
+  /// Tier in the folded-Clos (1 = ToR). This is the only per-device value
+  /// the paper's Listing 2 configuration carries besides the rack port.
+  std::uint32_t tier = 1;
+  MtpTimers timers;
+  std::uint8_t data_ttl = 16;
+
+  // --- leaf-only ---
+  /// Rack subnet; the VID is its third octet (192.168.11.0/24 -> 11).
+  std::optional<ip::Ipv4Prefix> server_subnet;
+  /// Host-facing ports (plain IP, no MTP), keyed by the host address.
+  std::map<ip::Ipv4Addr, std::uint32_t> rack_hosts;
+};
+
+class MtpRouter : public net::Node {
+ public:
+  MtpRouter(net::SimContext& ctx, std::string name, MtpConfig config);
+
+  void start() override;
+  void handle_frame(net::Port& in, net::Frame frame) override;
+  void on_port_down(net::Port& port) override;
+  void on_port_up(net::Port& port) override;
+
+  [[nodiscard]] bool is_leaf() const { return config_.server_subnet.has_value(); }
+  /// Leaf root VID (0 on spines).
+  [[nodiscard]] std::uint16_t own_vid() const { return own_vid_; }
+  [[nodiscard]] const MtpConfig& config() const { return config_; }
+  [[nodiscard]] const VidTable& vid_table() const { return vid_table_; }
+  [[nodiscard]] const ExclusionTable& exclusions() const { return exclusions_; }
+
+  /// True once this router has joined every expected tree: a spine holds a
+  /// VID for each of `roots`; a leaf counts its own root as joined.
+  [[nodiscard]] bool joined_all(const std::vector<std::uint16_t>& roots) const;
+
+  /// Neighbor liveness as seen by this router (tests/harness).
+  [[nodiscard]] bool neighbor_alive(std::uint32_t port) const;
+
+  /// Operator view: one line per MTP port with tier, liveness, and the
+  /// VIDs held/assigned across it.
+  [[nodiscard]] std::string neighbor_summary() const;
+
+  struct MtpStats {
+    std::uint64_t hellos_sent = 0;
+    std::uint64_t updates_sent = 0;        // withdraw/unreach/clear frames
+    std::uint64_t update_bytes_raw = 0;    // L2 bytes, unpadded
+    std::uint64_t update_bytes_padded = 0; // L2 bytes with 60B minimum
+    std::uint64_t updates_received = 0;
+    std::uint64_t data_forwarded = 0;
+    std::uint64_t data_delivered = 0;
+    std::uint64_t data_dropped_no_path = 0;
+    std::uint64_t data_dropped_ttl = 0;
+    std::uint64_t table_changes_local = 0;   // from own interface/dead-timer
+    std::uint64_t table_changes_remote = 0;  // from received update messages
+    std::uint64_t exclusion_changes = 0;
+    std::uint64_t neighbors_lost = 0;
+    std::uint64_t neighbors_accepted = 0;
+    /// Joins refused because another port already roots the same ToR VID
+    /// (duplicate rack subnet misconfiguration).
+    std::uint64_t duplicate_roots_rejected = 0;
+  };
+  [[nodiscard]] const MtpStats& mtp_stats() const { return stats_; }
+
+  /// Fired when an update message (withdraw/unreach/clear) is sent or
+  /// received — the convergence-quiescence signal.
+  std::function<void(sim::Time)> on_update_activity;
+  /// Fired on forwarding-state changes; `from_update` distinguishes remote
+  /// (blast-radius) updates from local detection.
+  std::function<void(sim::Time, bool from_update)> on_table_change;
+
+ private:
+  struct PortState {
+    bool mtp = true;  // rack ports carry plain IP
+    std::optional<std::uint8_t> neighbor_tier;
+    bool alive = false;
+    int streak = 0;
+    sim::Time last_rx{};
+    sim::Time last_tx{};
+    std::unique_ptr<sim::Timer> hello_timer;
+    std::unique_ptr<sim::Timer> dead_timer;
+    std::unique_ptr<sim::Timer> join_retry_timer;
+    /// Tree bases requested on this port, awaiting offers (we are upstream).
+    std::set<Vid> join_pending;
+    /// Child VIDs we assigned to the neighbor on this port -> their base.
+    std::map<Vid, Vid> assigned;
+  };
+
+  struct Outstanding {
+    std::uint32_t port;
+    MtpMessage msg;
+    int retries = 0;
+    std::unique_ptr<sim::Timer> timer;
+  };
+
+  // --- frame I/O ---
+  void send_msg(std::uint32_t port, const MtpMessage& msg);
+  void send_reliable(std::uint32_t port, MtpMessage msg);
+  void handle_msg(net::Port& in, const MtpMessage& msg);
+
+  // --- liveness ---
+  void note_rx(net::Port& in);
+  void neighbor_up(std::uint32_t port);
+  void neighbor_down(std::uint32_t port, bool local_detect);
+  void send_hello_if_idle(std::uint32_t port);
+  /// True when the upstream neighbor on `port` holds a child of every tree
+  /// we can offer (steady state: plain hellos only).
+  [[nodiscard]] bool fully_assigned(std::uint32_t port) const;
+
+  // --- tree establishment ---
+  void send_advertise(std::uint32_t port);
+  void handle_advertise(std::uint32_t port, const AdvertiseMsg& msg);
+  void handle_join_request(std::uint32_t port, const JoinRequestMsg& msg);
+  void handle_join_offer(std::uint32_t port, const JoinOfferMsg& msg);
+  void retry_joins(std::uint32_t port);
+  [[nodiscard]] std::vector<Vid> advertisable_vids() const;
+
+  // --- failure updates ---
+  void handle_withdraw(std::uint32_t port, const VidWithdrawMsg& msg);
+  void handle_dest_unreach(std::uint32_t port, const DestUnreachMsg& msg);
+  void handle_dest_clear(std::uint32_t port, const DestClearMsg& msg);
+  /// Withdraws children derived from `lost` upward, then refreshes
+  /// reachability advertisements for the affected roots.
+  void process_vid_loss(const std::vector<VidEntry>& lost, bool from_update);
+  [[nodiscard]] bool reachable(std::uint16_t root) const;
+  void update_reachability(const std::set<std::uint16_t>& roots);
+
+  // --- data plane ---
+  void handle_rack_frame(net::Port& in, const net::Frame& frame);
+  void forward_data(DataMsg msg, std::optional<std::uint32_t> in_port);
+  void deliver_to_rack(const DataMsg& msg);
+  [[nodiscard]] std::vector<std::uint32_t> eligible_up_ports(
+      std::uint16_t dst_root) const;
+  [[nodiscard]] static std::uint64_t data_flow_hash(const DataMsg& msg);
+
+  // --- helpers ---
+  [[nodiscard]] bool is_upstream(std::uint32_t port) const;
+  [[nodiscard]] bool is_downstream(std::uint32_t port) const;
+  [[nodiscard]] std::vector<std::uint32_t> alive_ports(bool upstream) const;
+  PortState& pstate(std::uint32_t port) { return ports_state_[port - 1]; }
+  [[nodiscard]] const PortState& pstate(std::uint32_t port) const {
+    return ports_state_[port - 1];
+  }
+  void note_update_stats(const net::Frame& frame);
+
+  MtpConfig config_;
+  std::uint16_t own_vid_ = 0;
+  VidTable vid_table_;
+  ExclusionTable exclusions_;
+  /// Roots we have told downstream neighbors we cannot reach.
+  std::set<std::uint16_t> advertised_unreach_;
+  std::vector<PortState> ports_state_;
+  std::unordered_map<std::uint16_t, Outstanding> outstanding_;
+  std::uint16_t next_msg_id_ = 1;
+  MtpStats stats_;
+};
+
+}  // namespace mrmtp::mtp

@@ -1,0 +1,43 @@
+#include "mtp/vid.hpp"
+
+#include "util/strings.hpp"
+
+namespace mrmtp::mtp {
+
+Vid Vid::parse(std::string_view text) {
+  std::vector<std::uint16_t> labels;
+  for (const auto& part : util::split(text, '.')) {
+    std::uint64_t v = 0;
+    if (!util::parse_u64(part, v) || v > 0xffff) {
+      throw util::CodecError("bad VID: " + std::string(text));
+    }
+    labels.push_back(static_cast<std::uint16_t>(v));
+  }
+  if (labels.empty()) throw util::CodecError("empty VID");
+  return Vid(std::move(labels));
+}
+
+std::string Vid::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out.push_back('.');
+    out += std::to_string(labels_[i]);
+  }
+  return out;
+}
+
+void Vid::serialize(util::BufWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(labels_.size()));
+  for (std::uint16_t label : labels_) w.u16(label);
+}
+
+Vid Vid::deserialize(util::BufReader& r) {
+  std::uint8_t count = r.u8();
+  if (count == 0) throw util::CodecError("VID: zero labels");
+  std::vector<std::uint16_t> labels;
+  labels.reserve(count);
+  for (int i = 0; i < count; ++i) labels.push_back(r.u16());
+  return Vid(std::move(labels));
+}
+
+}  // namespace mrmtp::mtp

@@ -1,0 +1,85 @@
+// Virtual IDs (VIDs) — the heart of MR-MTP.
+//
+// A VID is a label path rooted at a ToR: the ToR's VID is one label derived
+// from its rack subnet's third octet (192.168.11.0/24 -> "11"); each tier up
+// appends the port number on which the join request arrived ("11" -> "11.1"
+// -> "11.1.2"). A VID therefore *is* a loop-free route back to its root ToR,
+// which is why MR-MTP needs no routing protocol and no spine addressing
+// (paper §III.B).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace mrmtp::mtp {
+
+class Vid {
+ public:
+  Vid() = default;
+  explicit Vid(std::uint16_t root) : labels_{root} {}
+  explicit Vid(std::vector<std::uint16_t> labels) : labels_(std::move(labels)) {}
+
+  /// Parses dotted form "11.1.2"; throws util::CodecError on bad input.
+  static Vid parse(std::string_view text);
+
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  /// Number of labels; a ToR root VID has depth 1.
+  [[nodiscard]] std::size_t depth() const { return labels_.size(); }
+  /// The ToR this VID's tree is rooted at.
+  [[nodiscard]] std::uint16_t root() const { return labels_.front(); }
+  [[nodiscard]] std::uint16_t label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<std::uint16_t>& labels() const { return labels_; }
+
+  /// The VID an assigner derives for a joiner: itself plus the port number
+  /// the join request arrived on.
+  [[nodiscard]] Vid child(std::uint16_t port) const {
+    std::vector<std::uint16_t> l = labels_;
+    l.push_back(port);
+    return Vid(std::move(l));
+  }
+
+  /// Drops the last label ("11.1.2" -> "11.1"); parent of a root is empty.
+  [[nodiscard]] Vid parent() const {
+    if (labels_.size() <= 1) return Vid();
+    return Vid(std::vector<std::uint16_t>(labels_.begin(), labels_.end() - 1));
+  }
+
+  /// True if this VID lies on the path from the root to `other` (inclusive).
+  [[nodiscard]] bool is_prefix_of(const Vid& other) const {
+    if (labels_.size() > other.labels_.size()) return false;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] != other.labels_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  /// Wire form: 1-byte label count, then 2 bytes per label.
+  void serialize(util::BufWriter& w) const;
+  static Vid deserialize(util::BufReader& r);
+  [[nodiscard]] std::size_t wire_size() const { return 1 + 2 * labels_.size(); }
+
+  auto operator<=>(const Vid&) const = default;
+
+ private:
+  std::vector<std::uint16_t> labels_;
+};
+
+}  // namespace mrmtp::mtp
+
+template <>
+struct std::hash<mrmtp::mtp::Vid> {
+  std::size_t operator()(const mrmtp::mtp::Vid& v) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint16_t label : v.labels()) {
+      h = (h ^ label) * 1099511628211ull;
+    }
+    return h;
+  }
+};

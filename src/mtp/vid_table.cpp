@@ -1,0 +1,123 @@
+#include "mtp/vid_table.hpp"
+
+#include <algorithm>
+
+namespace mrmtp::mtp {
+
+bool VidTable::add(Vid vid, std::uint32_t port) {
+  if (contains(vid)) return false;
+  entries_.push_back(VidEntry{std::move(vid), port});
+  return true;
+}
+
+bool VidTable::remove(const Vid& vid) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const VidEntry& e) { return e.vid == vid; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<VidEntry> VidTable::remove_port(std::uint32_t port) {
+  std::vector<VidEntry> removed;
+  auto it = std::remove_if(entries_.begin(), entries_.end(),
+                           [&](const VidEntry& e) {
+                             if (e.port == port) {
+                               removed.push_back(e);
+                               return true;
+                             }
+                             return false;
+                           });
+  entries_.erase(it, entries_.end());
+  return removed;
+}
+
+const VidEntry* VidTable::find(const Vid& vid) const {
+  for (const auto& e : entries_) {
+    if (e.vid == vid) return &e;
+  }
+  return nullptr;
+}
+
+bool VidTable::has_root(std::uint16_t root) const {
+  for (const auto& e : entries_) {
+    if (e.vid.root() == root) return true;
+  }
+  return false;
+}
+
+std::vector<VidEntry> VidTable::entries_for_root(std::uint16_t root) const {
+  std::vector<VidEntry> out;
+  for (const auto& e : entries_) {
+    if (e.vid.root() == root) out.push_back(e);
+  }
+  return out;
+}
+
+std::string VidTable::dump() const {
+  // Group by port, Listing 5 style: "eth2    37.1.1, 38.1.1".
+  std::map<std::uint32_t, std::vector<const VidEntry*>> by_port;
+  for (const auto& e : entries_) by_port[e.port].push_back(&e);
+
+  std::string out;
+  for (const auto& [port, entries] : by_port) {
+    out += port == 0 ? "self" : ("eth" + std::to_string(port));
+    out += "\t";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += entries[i]->vid.str();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t VidTable::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& e : entries_) {
+    bytes += sizeof(VidEntry) + e.vid.depth() * sizeof(std::uint16_t);
+  }
+  return bytes;
+}
+
+bool ExclusionTable::exclude(std::uint16_t root, std::uint32_t port) {
+  return excluded_[root].insert(port).second;
+}
+
+bool ExclusionTable::clear(std::uint16_t root, std::uint32_t port) {
+  auto it = excluded_.find(root);
+  if (it == excluded_.end()) return false;
+  bool erased = it->second.erase(port) > 0;
+  if (it->second.empty()) excluded_.erase(it);
+  return erased;
+}
+
+void ExclusionTable::clear_port(std::uint32_t port) {
+  for (auto it = excluded_.begin(); it != excluded_.end();) {
+    it->second.erase(port);
+    it = it->second.empty() ? excluded_.erase(it) : std::next(it);
+  }
+}
+
+bool ExclusionTable::is_excluded(std::uint16_t root, std::uint32_t port) const {
+  auto it = excluded_.find(root);
+  return it != excluded_.end() && it->second.contains(port);
+}
+
+std::size_t ExclusionTable::size() const {
+  std::size_t n = 0;
+  for (const auto& [root, ports] : excluded_) n += ports.size();
+  return n;
+}
+
+std::string ExclusionTable::dump() const {
+  std::string out;
+  for (const auto& [root, ports] : excluded_) {
+    out += "dest " + std::to_string(root) + " avoid:";
+    for (std::uint32_t p : ports) out += " eth" + std::to_string(p);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mrmtp::mtp

@@ -1,0 +1,79 @@
+// The VID table: every VID a device has acquired, with the port it was
+// acquired on (paper Fig. 2 side tables, Listing 5). Downward forwarding is
+// a root lookup; the table also drives withdrawal pruning on failures.
+//
+// The exclusion table is the failure-time companion: destination roots that
+// must not be load-balanced toward a given upstream port because the device
+// up there lost its last path to that ToR tree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mtp/vid.hpp"
+
+namespace mrmtp::mtp {
+
+struct VidEntry {
+  Vid vid;
+  std::uint32_t port = 0;  // acquisition port; 0 for a ToR's own root VID
+
+  auto operator<=>(const VidEntry&) const = default;
+};
+
+class VidTable {
+ public:
+  /// Adds an entry; returns false (no-op) if the VID is already present.
+  bool add(Vid vid, std::uint32_t port);
+
+  bool remove(const Vid& vid);
+
+  /// Removes every VID acquired on `port`; returns the removed entries.
+  std::vector<VidEntry> remove_port(std::uint32_t port);
+
+  [[nodiscard]] const VidEntry* find(const Vid& vid) const;
+  [[nodiscard]] bool contains(const Vid& vid) const { return find(vid) != nullptr; }
+
+  /// True if any held VID is rooted at `root`.
+  [[nodiscard]] bool has_root(std::uint16_t root) const;
+
+  /// All entries rooted at `root` (the candidates for downward forwarding).
+  [[nodiscard]] std::vector<VidEntry> entries_for_root(std::uint16_t root) const;
+
+  [[nodiscard]] const std::vector<VidEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Paper Listing 5 rendering: one line per port, comma-separated VIDs.
+  [[nodiscard]] std::string dump() const;
+
+  /// Approximate resident bytes — compared against the BGP RouteTable in the
+  /// table-size experiment.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<VidEntry> entries_;
+};
+
+class ExclusionTable {
+ public:
+  /// Marks `port` unusable for destination tree `root`; true if new.
+  bool exclude(std::uint16_t root, std::uint32_t port);
+  /// Clears one exclusion; true if it existed.
+  bool clear(std::uint16_t root, std::uint32_t port);
+  /// Drops every exclusion referencing `port` (port came back / was pruned).
+  void clear_port(std::uint32_t port);
+
+  [[nodiscard]] bool is_excluded(std::uint16_t root, std::uint32_t port) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::map<std::uint16_t, std::set<std::uint32_t>> excluded_;
+};
+
+}  // namespace mrmtp::mtp

@@ -1,0 +1,98 @@
+// Ethernet frames and traffic classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "util/byte_io.hpp"
+
+namespace mrmtp::net {
+
+/// EtherTypes used in this DCN. 0x8850 is the unused type the paper picked
+/// for MR-MTP (§VII.F).
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kMtp = 0x8850,
+};
+
+/// Simulation-side classification of a frame's purpose. This never appears on
+/// the wire; it exists so per-port byte accounting can split overhead the way
+/// the paper splits wireshark captures (BGP UPDATEs vs keep-alives vs data).
+enum class TrafficClass : std::uint8_t {
+  kMtpControl,    // tree establishment + failure updates
+  kMtpHello,      // 1-byte keep-alives
+  kMtpData,       // MTP-encapsulated server traffic
+  kBgpUpdate,     // BGP UPDATE messages (convergence control overhead)
+  kBgpKeepalive,  // BGP KEEPALIVE / OPEN / NOTIFICATION
+  kBfd,           // BFD control packets
+  kTcpAck,        // pure TCP acknowledgements (no payload)
+  kIpData,        // server IP traffic on host links / BGP-routed fabric
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(TrafficClass tc);
+constexpr std::size_t kTrafficClassCount = 9;
+
+/// An Ethernet II frame. `wire_size()` counts the 14-byte header plus
+/// payload; `padded_wire_size()` additionally applies the 60-byte minimum
+/// (64 minus FCS) that a real NIC pads to and wireshark reports — the sizes
+/// the paper's overhead figures are built from.
+struct Frame {
+  MacAddr dst;
+  MacAddr src;
+  EtherType ethertype = EtherType::kIpv4;
+  std::vector<std::uint8_t> payload;
+  TrafficClass traffic_class = TrafficClass::kOther;
+
+  static constexpr std::size_t kHeaderSize = 14;
+  static constexpr std::size_t kMinWireSize = 60;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return kHeaderSize + payload.size();
+  }
+
+  [[nodiscard]] std::size_t padded_wire_size() const {
+    return std::max(wire_size(), kMinWireSize);
+  }
+
+  /// Serializes header + payload (no padding, no FCS), e.g. for hex dumps.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+};
+
+/// Per-class frame/byte counters kept by every port in each direction.
+struct TrafficStats {
+  struct Counter {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;         // un-padded L2 bytes
+    std::uint64_t padded_bytes = 0;  // with 60-byte Ethernet minimum
+  };
+
+  Counter by_class[kTrafficClassCount];
+
+  void record(const Frame& f) {
+    auto& c = by_class[static_cast<std::size_t>(f.traffic_class)];
+    ++c.frames;
+    c.bytes += f.wire_size();
+    c.padded_bytes += f.padded_wire_size();
+  }
+
+  [[nodiscard]] Counter total() const {
+    Counter t;
+    for (const auto& c : by_class) {
+      t.frames += c.frames;
+      t.bytes += c.bytes;
+      t.padded_bytes += c.padded_bytes;
+    }
+    return t;
+  }
+
+  [[nodiscard]] const Counter& of(TrafficClass tc) const {
+    return by_class[static_cast<std::size_t>(tc)];
+  }
+
+  void reset() { *this = TrafficStats{}; }
+};
+
+}  // namespace mrmtp::net

@@ -1,0 +1,85 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mrmtp::net {
+
+Link::Link(SimContext& ctx, Port& a, Port& b, Params params)
+    : ctx_(ctx), a_(&a), b_(&b), params_(params) {
+  if (a.link_ != nullptr || b.link_ != nullptr) {
+    throw std::logic_error("Link: port already wired (" + a.str() + " / " +
+                           b.str() + ")");
+  }
+  a.link_ = this;
+  b.link_ = this;
+}
+
+void Link::transmit(Port& from, Frame frame) {
+  if (&from != a_ && &from != b_) {
+    throw std::logic_error("Link::transmit from foreign port");
+  }
+  if (!from.admin_up()) {
+    ++stats_.dropped_link_down;
+    return;
+  }
+  from.tx_stats().record(frame);
+
+  Port& to = other(from);
+  int dir = (&from == a_) ? 0 : 1;
+
+  // Tail drop: the output queue (expressed as serialization backlog) is
+  // full when the transmitter is more than max_queue behind.
+  if (busy_until_[dir] > ctx_.now() + params_.max_queue) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+
+  // Serialization occupies the transmitter; back-to-back frames queue.
+  // 20 bytes of preamble + inter-frame gap per frame, as on real Ethernet.
+  std::uint64_t wire_bits = (frame.padded_wire_size() + 20) * 8;
+  auto ser = sim::Duration::nanos(static_cast<std::int64_t>(
+      (wire_bits * 1000000000ull) / params_.bandwidth_bps));
+  sim::Time start = std::max(ctx_.now(), busy_until_[dir]);
+  busy_until_[dir] = start + ser;
+  sim::Time arrival = busy_until_[dir] + params_.delay;
+
+  if (params_.reorder_jitter > sim::Duration{}) {
+    arrival = arrival + sim::Duration::nanos(static_cast<std::int64_t>(
+                  ctx_.rng.below(static_cast<std::uint64_t>(
+                      params_.reorder_jitter.ns()))));
+  }
+
+  bool duplicate = params_.duplicate_probability > 0 &&
+                   ctx_.rng.chance(params_.duplicate_probability);
+  if (params_.loss_probability > 0 && ctx_.rng.chance(params_.loss_probability)) {
+    ++stats_.dropped_impairment;
+    if (!duplicate) return;
+    duplicate = false;  // the "copy" survives as the only delivery
+  }
+
+  ctx_.sched.schedule_at(arrival, [this, &to, frame]() mutable {
+    deliver(to, std::move(frame));
+  });
+  if (duplicate) {
+    ++stats_.duplicated;
+    Frame copy = *&frame;
+    ctx_.sched.schedule_at(arrival + sim::Duration::micros(1),
+                           [this, &to, copy]() mutable {
+                             deliver(to, std::move(copy));
+                           });
+  }
+}
+
+void Link::deliver(Port& to, Frame frame) {
+  if (!to.admin_up()) {
+    ++stats_.dropped_dst_down;
+    return;
+  }
+  ++stats_.delivered;
+  if (tap_) tap_(ctx_.now(), frame);
+  to.rx_stats().record(frame);
+  to.owner().handle_frame(to, std::move(frame));
+}
+
+}  // namespace mrmtp::net

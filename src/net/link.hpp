@@ -1,0 +1,76 @@
+// Full-duplex point-to-point link with propagation delay, serialization at a
+// configured bandwidth, and optional impairments (loss / duplication /
+// reorder jitter) for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace mrmtp::net {
+
+class Link {
+ public:
+  struct Params {
+    /// One-way propagation delay.
+    sim::Duration delay = sim::Duration::micros(5);
+    /// Serialization rate in bits per second (10 GbE default).
+    std::uint64_t bandwidth_bps = 10'000'000'000ull;
+    /// Probability a frame is silently lost (impairment testing).
+    double loss_probability = 0.0;
+    /// Probability a frame is delivered twice.
+    double duplicate_probability = 0.0;
+    /// Extra uniform random delay in [0, reorder_jitter] per frame; a value
+    /// larger than the inter-frame gap causes reordering.
+    sim::Duration reorder_jitter{};
+    /// Maximum serialization backlog per direction (output-queue depth in
+    /// time units); frames arriving when the transmitter is further behind
+    /// are tail-dropped. 1 ms at 10 GbE is ~1.25 MB of buffer.
+    sim::Duration max_queue = sim::Duration::millis(1);
+  };
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_link_down = 0;   // sender-side port down
+    std::uint64_t dropped_dst_down = 0;    // receiver-side port down at arrival
+    std::uint64_t dropped_impairment = 0;  // random loss
+    std::uint64_t dropped_queue_full = 0;  // output-queue tail drop
+    std::uint64_t duplicated = 0;
+  };
+
+  Link(SimContext& ctx, Port& a, Port& b, Params params);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Observer invoked for every frame delivered (either direction) — the
+  /// hook pcap capture attaches to.
+  using Tap = std::function<void(sim::Time at, const Frame& frame)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Queues `frame` for transmission from `from` toward the other side.
+  void transmit(Port& from, Frame frame);
+
+  [[nodiscard]] Port& a() const { return *a_; }
+  [[nodiscard]] Port& b() const { return *b_; }
+  [[nodiscard]] Port& other(const Port& p) const { return &p == a_ ? *b_ : *a_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  Params& mutable_params() { return params_; }
+
+ private:
+  void deliver(Port& to, Frame frame);
+
+  SimContext& ctx_;
+  Port* a_;
+  Port* b_;
+  Params params_;
+  Stats stats_;
+  Tap tap_;
+  /// Per-direction time the transmitter becomes free (0 = a->b, 1 = b->a).
+  sim::Time busy_until_[2];
+};
+
+}  // namespace mrmtp::net

@@ -1,0 +1,67 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/link.hpp"
+
+namespace mrmtp::net {
+
+MacAddr Port::mac() const { return MacAddr::for_port(owner_->id(), number_); }
+
+Port* Port::peer() const {
+  if (link_ == nullptr) return nullptr;
+  return &link_->other(*this);
+}
+
+std::string Port::str() const {
+  return owner_->name() + ":" + std::to_string(number_);
+}
+
+Port& Node::add_port() {
+  auto number = static_cast<std::uint32_t>(ports_.size() + 1);
+  ports_.push_back(std::make_unique<Port>(*this, number));
+  return *ports_.back();
+}
+
+Port& Node::port(std::uint32_t number) {
+  if (number == 0 || number > ports_.size()) {
+    throw std::out_of_range("Node " + name_ + ": no port " +
+                            std::to_string(number));
+  }
+  return *ports_[number - 1];
+}
+
+const Port& Node::port(std::uint32_t number) const {
+  return const_cast<Node*>(this)->port(number);
+}
+
+void Node::transmit(Port& out, Frame frame) {
+  if (&out.owner() != this) {
+    throw std::logic_error("Node::transmit via foreign port");
+  }
+  if (!out.connected() || !out.admin_up()) return;
+  out.link()->transmit(out, std::move(frame));
+}
+
+void Node::set_interface_down(std::uint32_t port_number) {
+  Port& p = port(port_number);
+  if (!p.admin_up_) return;
+  p.admin_up_ = false;
+  log(sim::LogLevel::kInfo, "interface " + p.str() + " DOWN");
+  on_port_down(p);
+}
+
+void Node::set_interface_up(std::uint32_t port_number) {
+  Port& p = port(port_number);
+  if (p.admin_up_) return;
+  p.admin_up_ = true;
+  log(sim::LogLevel::kInfo, "interface " + p.str() + " UP");
+  on_port_up(p);
+}
+
+void Node::log(sim::LogLevel level, std::string msg) const {
+  ctx_.log.log(ctx_.sched.now(), level, name_, std::move(msg));
+}
+
+}  // namespace mrmtp::net

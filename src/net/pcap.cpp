@@ -1,0 +1,63 @@
+#include "net/pcap.hpp"
+
+#include <cstdio>
+
+namespace mrmtp::net {
+
+namespace {
+
+void le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PcapWriter::to_pcap() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + records_.size() * 80);
+
+  // Global header: little-endian magic, version 2.4, UTC, snaplen 65535,
+  // LINKTYPE_ETHERNET (1).
+  le32(out, 0xa1b2c3d4);
+  le16(out, 2);
+  le16(out, 4);
+  le32(out, 0);  // thiszone
+  le32(out, 0);  // sigfigs
+  le32(out, 65535);
+  le32(out, 1);
+
+  for (const Record& rec : records_) {
+    std::int64_t ns = rec.at.ns();
+    le32(out, static_cast<std::uint32_t>(ns / 1'000'000'000));
+    le32(out, static_cast<std::uint32_t>((ns % 1'000'000'000) / 1000));
+    le32(out, static_cast<std::uint32_t>(rec.bytes.size()));
+    le32(out, static_cast<std::uint32_t>(rec.bytes.size()));
+    out.insert(out.end(), rec.bytes.begin(), rec.bytes.end());
+  }
+  return out;
+}
+
+bool PcapWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  auto bytes = to_pcap();
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+void attach_tap(Link& link, PcapWriter& writer) {
+  link.set_tap([&writer](sim::Time at, const Frame& frame) {
+    writer.capture(at, frame);
+  });
+}
+
+}  // namespace mrmtp::net

@@ -1,0 +1,50 @@
+// Pcap capture: the simulator's wireshark.
+//
+// The paper collects tshark captures on every interface to measure update
+// and keep-alive overhead (§VI.C, Figs 9/10). PcapWriter produces standard
+// libpcap files (LINKTYPE_ETHERNET, microsecond timestamps from the
+// simulation clock) that real wireshark/tshark can open; Link::set_tap
+// feeds it every delivered frame.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace mrmtp::net {
+
+class PcapWriter {
+ public:
+  /// One captured frame.
+  struct Record {
+    sim::Time at;
+    std::vector<std::uint8_t> bytes;  // serialized Ethernet frame
+    TrafficClass traffic_class;       // simulator metadata (not in the file)
+  };
+
+  /// Captures a frame (serialize + timestamp).
+  void capture(sim::Time at, const Frame& frame) {
+    records_.push_back(Record{at, frame.serialize(), frame.traffic_class});
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Serializes the classic libpcap format (magic 0xa1b2c3d4, version 2.4,
+  /// LINKTYPE_ETHERNET). Wireshark-compatible.
+  [[nodiscard]] std::vector<std::uint8_t> to_pcap() const;
+
+  /// Writes to_pcap() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Attaches a writer to a link; every frame delivered in either direction
+/// is captured (like tshark on both endpoints).
+void attach_tap(Link& link, PcapWriter& writer);
+
+}  // namespace mrmtp::net

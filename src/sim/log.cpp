@@ -1,0 +1,35 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace mrmtp::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(Time at, LogLevel level, std::string_view component,
+                 std::string message) {
+  if (!enabled(level)) return;
+  LogRecord rec{at, level, std::string(component), std::move(message)};
+  if (sink_) sink_(rec);
+  if (capturing_) records_.push_back(std::move(rec));
+}
+
+Logger::Sink Logger::stdout_sink() {
+  return [](const LogRecord& rec) {
+    std::printf("[%s] %-5s %-14s %s\n", rec.at.str().c_str(),
+                std::string(to_string(rec.level)).c_str(),
+                rec.component.c_str(), rec.message.c_str());
+  };
+}
+
+}  // namespace mrmtp::sim

@@ -1,0 +1,61 @@
+// Leveled trace log with simulation timestamps.
+//
+// Protocol code emits component-tagged events ("mtp/S-1-1", "bgp/T-1"); the
+// harness and tests either silence the log, stream it to stdout, or capture
+// it to a buffer for assertions — mirroring the paper's use of C-code print
+// statements and parsed log files for timing extraction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mrmtp::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+struct LogRecord {
+  Time at;
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  /// Default sink discards records (metrics never depend on logging).
+  Logger() = default;
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the sink; pass the result of stdout_sink() to stream records.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Begins capturing records into an internal buffer (also keeps the sink).
+  void capture(bool enabled) { capturing_ = enabled; }
+  [[nodiscard]] const std::vector<LogRecord>& captured() const { return records_; }
+  void clear_captured() { records_.clear(); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(Time at, LogLevel level, std::string_view component,
+           std::string message);
+
+  static Sink stdout_sink();
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+  bool capturing_ = false;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace mrmtp::sim

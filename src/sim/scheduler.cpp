@@ -1,0 +1,74 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace mrmtp::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback fn) {
+  if (at < now_) {
+    throw std::logic_error("Scheduler: schedule_at in the past (at=" +
+                           at.str() + " now=" + now_.str() + ")");
+  }
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Scheduler::schedule_after(Duration delay, Callback fn) {
+  if (delay < Duration{}) delay = Duration{};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) callbacks_.erase(id.seq);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    auto it = callbacks_.find(e.seq);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled; discard lazily
+      continue;
+    }
+    queue_.pop();
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.at;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing time.
+    Entry e = queue_.top();
+    auto it = callbacks_.find(e.seq);
+    if (it == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (e.at > deadline) break;
+    queue_.pop();
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.at;
+    ++fired_;
+    fn();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+bool Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n >= max_events) return false;
+  }
+  return true;
+}
+
+}  // namespace mrmtp::sim

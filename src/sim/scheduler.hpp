@@ -1,0 +1,131 @@
+// Discrete-event scheduler.
+//
+// A binary heap orders events by (time, insertion sequence); ties at the same
+// instant fire in insertion order, which makes every run bit-reproducible.
+// Cancellation is O(1): callbacks live in a side map keyed by sequence number
+// and cancelled entries are skipped lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mrmtp::sim {
+
+/// Handle for a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (time of the most recently fired event).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`. `at` must be >= now().
+  EventId schedule_at(Time at, Callback fn);
+
+  /// Schedules `fn` after `delay` from now. Negative delays clamp to zero.
+  EventId schedule_after(Duration delay, Callback fn);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Fires the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events with time <= deadline, then advances the clock to deadline.
+  void run_until(Time deadline);
+
+  /// Runs until the event queue drains (or `max_events` fires, as a runaway
+  /// guard; returns false if the guard tripped).
+  bool run(std::uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+/// Restartable timer built on Scheduler; the workhorse behind every
+/// keep-alive, dead, hold, MRAI, and retransmission timer in the protocols.
+class Timer {
+ public:
+  Timer(Scheduler& sched, Scheduler::Callback on_fire)
+      : sched_(sched), on_fire_(std::move(on_fire)) {}
+  ~Timer() { stop(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) as a one-shot firing after `d`.
+  void start(Duration d) {
+    stop();
+    periodic_ = false;
+    interval_ = d;
+    arm();
+  }
+
+  /// Arms as a periodic timer with period `d`; fires repeatedly until stop().
+  void start_periodic(Duration d) {
+    stop();
+    periodic_ = true;
+    interval_ = d;
+    arm();
+  }
+
+  /// Re-arms with the last interval (e.g. dead timer reset on keep-alive).
+  void restart() {
+    stop();
+    arm();
+  }
+
+  void stop() {
+    if (id_.valid()) {
+      sched_.cancel(id_);
+      id_ = {};
+    }
+  }
+
+  [[nodiscard]] bool running() const { return id_.valid(); }
+  [[nodiscard]] Duration interval() const { return interval_; }
+
+ private:
+  void arm() {
+    id_ = sched_.schedule_after(interval_, [this] {
+      id_ = {};
+      if (periodic_) arm();
+      on_fire_();
+    });
+  }
+
+  Scheduler& sched_;
+  Scheduler::Callback on_fire_;
+  EventId id_{};
+  Duration interval_{};
+  bool periodic_ = false;
+};
+
+}  // namespace mrmtp::sim

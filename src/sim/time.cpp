@@ -1,0 +1,30 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrmtp::sim {
+
+std::string Duration::str() const {
+  char buf[48];
+  std::int64_t a = ns_ < 0 ? -ns_ : ns_;
+  if (a < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  } else if (a < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", to_micros());
+  } else if (a < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", to_millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6gs", to_seconds());
+  }
+  return buf;
+}
+
+std::string Time::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds", static_cast<long long>(ns_ / 1000000000),
+                static_cast<long long>((ns_ % 1000000000) / 1000));
+  return buf;
+}
+
+}  // namespace mrmtp::sim

@@ -1,0 +1,70 @@
+// Simulation time: a strong 64-bit nanosecond count since simulation start.
+//
+// The paper records timings "to microsecond accuracy" on NTP-synced VMs; the
+// simulator keeps nanosecond resolution so serialization delays of single
+// frames at 10 Gb/s are representable exactly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mrmtp::sim {
+
+/// A span of simulated time. Negative durations are permitted in arithmetic
+/// but never scheduled.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1000000000); }
+  static constexpr Duration seconds_f(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+
+  /// Human-readable rendering with an auto-selected unit ("3.2ms", "150us").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock.
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time from_ns(std::int64_t n) { return Time(n); }
+  static constexpr Time zero() { return Time(0); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.ns()); }
+  constexpr Time operator-(Duration d) const { return Time(ns_ - d.ns()); }
+  constexpr Duration operator-(Time o) const { return Duration::nanos(ns_ - o.ns_); }
+
+  /// Rendering as seconds with microsecond precision ("12.345678s").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Time(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace mrmtp::sim

@@ -1,0 +1,181 @@
+// Folded-Clos topology blueprint.
+//
+// A ClosBlueprint is pure data: device descriptors, link descriptors (in
+// wiring order), addressing, ASN and VID plans. Protocol-specific factories
+// (mtp::build_network, bgp::build_network) instantiate nodes from it, so the
+// same topology runs MR-MTP or BGP/ECMP(/BFD) — the paper's experimental
+// setup of identical slices per protocol.
+//
+// Wiring order is semantic, not cosmetic: a node's port numbers are assigned
+// in link-creation order, and MR-MTP derives VIDs by appending the arrival
+// port number (paper Fig. 2: ToR 11's port 1 -> S1_1 gets 11.1; S1_1's port 1
+// -> S2_1 gets 11.1.1). Links are therefore created tier-down: pod-spine
+// uplinks first, then ToR uplinks, then host links, giving every device its
+// upstream ports at the lowest numbers exactly as in the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/addr.hpp"
+#include "util/json.hpp"
+
+namespace mrmtp::topo {
+
+struct ClosParams {
+  std::uint32_t pods = 2;
+  std::uint32_t tors_per_pod = 2;
+  std::uint32_t spines_per_pod = 2;
+  std::uint32_t top_spines = 4;
+  std::uint32_t hosts_per_tor = 1;
+
+  // --- optional fourth tier (paper §III.B "the scheme can easily scale to
+  // any number of spine tiers"; §IX future work). When clusters > 1 the
+  // 3-tier structure above repeats per cluster, and `super_spines` tier-4
+  // devices mesh the clusters; super spine q wires to top spine t of every
+  // cluster when (q-1) % top_spines == t-1. ---
+  std::uint32_t clusters = 1;
+  std::uint32_t super_spines = 0;
+
+  /// Uplinks per pod spine; top_spines must be divisible by spines_per_pod.
+  [[nodiscard]] std::uint32_t uplinks_per_spine() const {
+    return top_spines / spines_per_pod;
+  }
+  /// Uplinks per top spine (4-tier fabrics only).
+  [[nodiscard]] std::uint32_t uplinks_per_top() const {
+    return top_spines == 0 ? 0 : super_spines / top_spines;
+  }
+  [[nodiscard]] bool four_tier() const { return super_spines > 0; }
+
+  /// The paper's 2-PoD topology (Figs 2/3): 4 ToRs, 4 pod spines, 4 tops.
+  static ClosParams paper_2pod() { return ClosParams{2, 2, 2, 4, 1}; }
+  /// The paper's 4-PoD topology: 8 ToRs, 8 pod spines, 4 tops.
+  static ClosParams paper_4pod() { return ClosParams{4, 2, 2, 4, 1}; }
+  /// A 4-tier fabric: `clusters` copies of the 4-PoD design joined by
+  /// `supers` super spines.
+  static ClosParams four_tier_clusters(std::uint32_t clusters,
+                                       std::uint32_t supers) {
+    ClosParams p = paper_4pod();
+    p.clusters = clusters;
+    p.super_spines = supers;
+    return p;
+  }
+
+  [[nodiscard]] std::uint32_t router_count() const {
+    return clusters * (pods * (tors_per_pod + spines_per_pod) + top_spines) +
+           super_spines;
+  }
+};
+
+enum class Role : std::uint8_t { kHost, kLeaf, kPodSpine, kTopSpine, kSuperSpine };
+
+struct DeviceSpec {
+  std::string name;    // "L-1-1", "S-1-2", "T-3" ("C2-L-1-1" in 4-tier, "U-1")
+  Role role;
+  std::uint32_t tier;     // 1 = leaf, 2 = pod spine, 3 = top, 4 = super
+  std::uint32_t cluster;  // 1-based; 0 for super spines
+  std::uint32_t pod;      // 1-based; 0 for top/super spines
+  std::uint32_t index;    // 1-based within (cluster, pod, role)
+  std::uint32_t asn;   // BGP AS number (RFC 7938-style plan)
+  /// Leaves only: the server subnet whose third octet is the MR-MTP VID.
+  std::optional<ip::Ipv4Prefix> server_subnet;
+  std::uint16_t vid = 0;  // leaves only
+};
+
+struct LinkSpec {
+  std::uint32_t upper;  // device index (higher tier end)
+  std::uint32_t lower;  // device index (lower tier end)
+  /// /31 point-to-point addresses for the BGP deployment.
+  ip::Ipv4Addr upper_addr;
+  ip::Ipv4Addr lower_addr;
+};
+
+struct HostSpec {
+  std::string name;       // "H-1-1" (pod-tor; single server per rack in paper)
+  std::uint32_t leaf;     // device index of the ToR
+  ip::Ipv4Addr addr;      // e.g. 192.168.11.1
+  ip::Ipv4Addr gateway;   // the ToR's address in the rack subnet
+};
+
+/// TC1..TC4: the paper's four interface-failure points (Fig. 3).
+enum class TestCase : std::uint8_t { kTC1, kTC2, kTC3, kTC4 };
+
+[[nodiscard]] std::string_view to_string(TestCase tc);
+inline constexpr TestCase kAllTestCases[] = {TestCase::kTC1, TestCase::kTC2,
+                                             TestCase::kTC3, TestCase::kTC4};
+
+/// The interface to fail: bring down `port` on `device` (one-sided).
+struct FailurePoint {
+  std::string device;
+  std::uint32_t port;
+  std::string peer;  // informational: the device on the other end
+};
+
+class ClosBlueprint {
+ public:
+  explicit ClosBlueprint(ClosParams params);
+
+  [[nodiscard]] const ClosParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<DeviceSpec>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<LinkSpec>& links() const { return links_; }
+  [[nodiscard]] const std::vector<HostSpec>& hosts() const { return hosts_; }
+
+  [[nodiscard]] const DeviceSpec& device(std::uint32_t index) const {
+    return devices_[index];
+  }
+  [[nodiscard]] std::uint32_t device_index(std::string_view name) const;
+
+  /// Leaf device index for (pod, tor), both 1-based; 4-tier overloads take
+  /// the cluster first.
+  [[nodiscard]] std::uint32_t leaf(std::uint32_t pod, std::uint32_t tor) const;
+  [[nodiscard]] std::uint32_t pod_spine(std::uint32_t pod, std::uint32_t s) const;
+  [[nodiscard]] std::uint32_t top_spine(std::uint32_t t) const;
+  [[nodiscard]] std::uint32_t leaf_in(std::uint32_t cluster, std::uint32_t pod,
+                                      std::uint32_t tor) const;
+  [[nodiscard]] std::uint32_t pod_spine_in(std::uint32_t cluster,
+                                           std::uint32_t pod,
+                                           std::uint32_t s) const;
+  [[nodiscard]] std::uint32_t top_spine_in(std::uint32_t cluster,
+                                           std::uint32_t t) const;
+  [[nodiscard]] std::uint32_t super_spine(std::uint32_t q) const;
+
+  /// The ToR VID for (pod, tor): sequential from 11 as in the paper.
+  [[nodiscard]] std::uint16_t tor_vid(std::uint32_t pod, std::uint32_t tor) const;
+  [[nodiscard]] std::uint16_t tor_vid_in(std::uint32_t cluster, std::uint32_t pod,
+                                         std::uint32_t tor) const;
+
+  /// Maps a test case to the interface to fail. All four are anchored on the
+  /// first traffic path (L-1-1 / S-1-1 / T-1), matching Fig. 3:
+  ///   TC1: ToR-side interface of link L-1-1 <-> S-1-1
+  ///   TC2: spine-side interface of the same link
+  ///   TC3: pod-spine-side interface of link S-1-1 <-> T-1
+  ///   TC4: top-side interface of the same link
+  [[nodiscard]] FailurePoint failure_point(TestCase tc) const;
+
+  /// Port number of `device`'s end of blueprint link `link_index`, derived
+  /// from wiring order (identical to the instantiated Network's numbering).
+  [[nodiscard]] std::uint32_t port_on(std::uint32_t device,
+                                      std::uint32_t link_index) const;
+
+  /// Port number of the leaf-side interface that faces the servers (used by
+  /// the MR-MTP config's leavesNetworkPortDict).
+  [[nodiscard]] std::uint32_t leaf_host_port(std::uint32_t leaf_index) const;
+
+  /// The MR-MTP JSON configuration of paper Listing 2.
+  [[nodiscard]] util::Json mtp_config() const;
+
+ private:
+  void build();
+
+  ClosParams params_;
+  std::vector<DeviceSpec> devices_;
+  std::vector<LinkSpec> links_;
+  std::vector<HostSpec> hosts_;
+  /// port_order_[d] = list of link indices in creation order for device d
+  /// (host links excluded; they follow after).
+  std::vector<std::vector<std::uint32_t>> port_order_;
+};
+
+}  // namespace mrmtp::topo

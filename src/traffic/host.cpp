@@ -1,0 +1,105 @@
+#include "traffic/host.hpp"
+
+namespace mrmtp::traffic {
+
+std::vector<std::uint8_t> ProbePacket::serialize(std::size_t pad_to) const {
+  util::BufWriter w(std::max(pad_to, kMinSize));
+  w.u32(kMagic);
+  w.u64(seq);
+  w.u64(static_cast<std::uint64_t>(sent_ns));
+  if (w.size() < pad_to) w.zeros(pad_to - w.size());
+  return w.take();
+}
+
+std::optional<ProbePacket> ProbePacket::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kMinSize) return std::nullopt;
+  util::BufReader r(data);
+  if (r.u32() != kMagic) return std::nullopt;
+  ProbePacket p;
+  p.seq = r.u64();
+  p.sent_ns = static_cast<std::int64_t>(r.u64());
+  return p;
+}
+
+Host::Host(net::SimContext& ctx, std::string name, ip::Ipv4Addr addr,
+           std::uint8_t prefix_len, ip::Ipv4Addr gateway)
+    : transport::L3Node(ctx, std::move(name), /*tier=*/0),
+      addr_(addr),
+      prefix_len_(prefix_len),
+      gateway_(gateway) {}
+
+void Host::start() {
+  configure_port(1, addr_, prefix_len_);
+  routes().set(ip::Ipv4Prefix(ip::Ipv4Addr(0), 0), ip::RouteProto::kStatic,
+               {ip::NextHop{gateway_, 1}}, 0);
+}
+
+void Host::start_flow(const FlowConfig& flow) {
+  flow_ = flow;
+  flow_active_ = true;
+  sent_ = 0;
+  if (!send_timer_) {
+    send_timer_ = std::make_unique<sim::Timer>(ctx_.sched, [this] { send_next(); });
+  }
+  send_next();
+}
+
+void Host::stop_flow() {
+  flow_active_ = false;
+  if (send_timer_) send_timer_->stop();
+}
+
+void Host::send_next() {
+  if (!flow_active_) return;
+  if (flow_.count != 0 && sent_ >= flow_.count) {
+    flow_active_ = false;
+    return;
+  }
+  ProbePacket p;
+  p.seq = sent_++;
+  p.sent_ns = ctx_.now().ns();
+  send_udp(addr_, flow_.dst, flow_.src_port, flow_.dst_port,
+           p.serialize(flow_.payload_size), net::TrafficClass::kIpData);
+  send_timer_->start(flow_.gap);
+}
+
+void Host::listen(std::uint16_t port_number) {
+  bind_udp(port_number, [this](ip::Ipv4Addr src, ip::Ipv4Addr dst,
+                               const transport::UdpHeader& hdr,
+                               std::span<const std::uint8_t> payload) {
+    (void)src;
+    (void)dst;
+    (void)hdr;
+    auto probe = ProbePacket::parse(payload);
+    if (!probe.has_value()) return;
+
+    sim::Time now = ctx_.now();
+    if (any_arrival_) {
+      sim::Duration gap = now - last_arrival_;
+      if (gap > sink_.max_gap) sink_.max_gap = gap;
+    }
+    any_arrival_ = true;
+    last_arrival_ = now;
+
+    ++sink_.received;
+    if (seen_.contains(probe->seq)) {
+      ++sink_.duplicates;
+      return;
+    }
+    seen_.insert(probe->seq);
+    ++sink_.unique_received;
+    if (sink_.unique_received > 1 && probe->seq < sink_.max_seq_seen) {
+      ++sink_.out_of_order;
+    }
+    sink_.max_seq_seen = std::max(sink_.max_seq_seen, probe->seq);
+  });
+}
+
+void Host::reset_sink() {
+  sink_ = SinkStats{};
+  seen_.clear();
+  any_arrival_ = false;
+}
+
+}  // namespace mrmtp::traffic

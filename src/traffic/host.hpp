@@ -1,0 +1,95 @@
+// Server hosts and the sequenced traffic generator / receiver analyzer —
+// the simulator's version of the paper's custom Basic-Traffic-Generator
+// (reference [28]): back-to-back UDP datagrams carrying sequence numbers and
+// timestamps; the receiver counts lost, duplicated, and out-of-sequence
+// packets across an injected failure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "transport/l3_node.hpp"
+
+namespace mrmtp::traffic {
+
+/// Generator packet: magic, 64-bit sequence, send timestamp, padding.
+struct ProbePacket {
+  static constexpr std::uint32_t kMagic = 0x4d545047;  // "MTPG"
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint64_t seq = 0;
+  std::int64_t sent_ns = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(std::size_t pad_to) const;
+  static std::optional<ProbePacket> parse(std::span<const std::uint8_t> data);
+};
+
+struct FlowConfig {
+  ip::Ipv4Addr dst;
+  std::uint16_t src_port = 7000;
+  std::uint16_t dst_port = 7001;
+  /// Inter-packet gap (back-to-back at line rate when zero-ish).
+  sim::Duration gap = sim::Duration::millis(3);
+  /// Total packets to send (0 = until stop_flow()).
+  std::uint64_t count = 0;
+  /// UDP payload size in bytes (>= ProbePacket::kMinSize).
+  std::size_t payload_size = 64;
+};
+
+/// Receiver-side tally, per paper §VI.D.
+struct SinkStats {
+  std::uint64_t received = 0;         // all deliveries, including dups
+  std::uint64_t unique_received = 0;  // distinct sequence numbers
+  std::uint64_t duplicates = 0;
+  std::uint64_t out_of_order = 0;     // first-seen seq below the max seen
+  std::uint64_t max_seq_seen = 0;
+  sim::Duration max_gap{};            // longest inter-arrival gap (outage)
+
+  /// Lost = sent minus unique deliveries (the caller knows `sent`).
+  [[nodiscard]] std::uint64_t lost(std::uint64_t sent) const {
+    return sent > unique_received ? sent - unique_received : 0;
+  }
+};
+
+class Host : public transport::L3Node {
+ public:
+  /// A server with a single NIC on port 1 in `subnet`, defaulting to the
+  /// ToR at `gateway`.
+  Host(net::SimContext& ctx, std::string name, ip::Ipv4Addr addr,
+       std::uint8_t prefix_len, ip::Ipv4Addr gateway);
+
+  void start() override;
+
+  [[nodiscard]] ip::Ipv4Addr addr() const { return addr_; }
+
+  // --- generator ---
+  /// Starts emitting probe packets per `flow` at the current sim time.
+  void start_flow(const FlowConfig& flow);
+  void stop_flow();
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+
+  // --- analyzer ---
+  /// Begins analyzing probes arriving on `port` (default flow dst port).
+  void listen(std::uint16_t port = 7001);
+  [[nodiscard]] const SinkStats& sink_stats() const { return sink_; }
+  void reset_sink();
+
+ private:
+  void send_next();
+
+  ip::Ipv4Addr addr_;
+  std::uint8_t prefix_len_;
+  ip::Ipv4Addr gateway_;
+
+  FlowConfig flow_;
+  bool flow_active_ = false;
+  std::uint64_t sent_ = 0;
+  std::unique_ptr<sim::Timer> send_timer_;
+
+  SinkStats sink_;
+  std::unordered_set<std::uint64_t> seen_;
+  sim::Time last_arrival_{};
+  bool any_arrival_ = false;
+};
+
+}  // namespace mrmtp::traffic

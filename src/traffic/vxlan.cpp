@@ -1,0 +1,92 @@
+#include "traffic/vxlan.hpp"
+
+namespace mrmtp::traffic {
+
+void VtepHost::add_vm(std::uint32_t vni, ip::Ipv4Addr overlay_addr,
+                      VmReceiver on_receive) {
+  vms_[{vni, overlay_addr}] = Vm{std::move(on_receive), 0};
+}
+
+void VtepHost::add_remote(std::uint32_t vni, ip::Ipv4Addr overlay_addr,
+                          ip::Ipv4Addr server) {
+  remote_[{vni, overlay_addr}] = server;
+}
+
+void VtepHost::start() {
+  Host::start();
+  bind_udp(kVxlanPort, [this](ip::Ipv4Addr src, ip::Ipv4Addr dst,
+                              const transport::UdpHeader& hdr,
+                              std::span<const std::uint8_t> payload) {
+    (void)src;
+    (void)dst;
+    (void)hdr;
+    std::span<const std::uint8_t> inner_bytes;
+    VxlanHeader vxlan;
+    try {
+      vxlan = VxlanHeader::parse(payload, inner_bytes);
+    } catch (const util::CodecError&) {
+      return;
+    }
+    std::span<const std::uint8_t> inner_payload;
+    ip::Ipv4Header inner;
+    try {
+      inner = ip::Ipv4Header::parse(inner_bytes, inner_payload);
+    } catch (const util::CodecError&) {
+      return;
+    }
+    ++vtep_stats_.decapsulated;
+    deliver_to_vm(vxlan.vni, inner, inner_payload);
+  });
+}
+
+void VtepHost::vm_send(std::uint32_t vni, ip::Ipv4Addr src_overlay,
+                       ip::Ipv4Addr dst_overlay,
+                       std::vector<std::uint8_t> payload) {
+  ip::Ipv4Header inner;
+  inner.src = src_overlay;
+  inner.dst = dst_overlay;
+  inner.protocol = ip::IpProto::kUdp;
+  inner.identification = next_id_++;
+  auto inner_packet = inner.serialize(payload);
+
+  // Same-server VM? Switch locally without touching the fabric.
+  if (vms_.contains({vni, dst_overlay})) {
+    ++vtep_stats_.delivered_local;
+    deliver_to_vm(vni, inner, payload);
+    return;
+  }
+
+  auto it = remote_.find({vni, dst_overlay});
+  if (it == remote_.end()) {
+    ++vtep_stats_.dropped_no_mapping;
+    return;
+  }
+
+  VxlanHeader vxlan{vni};
+  ++vtep_stats_.encapsulated;
+  // Outer UDP src port derived from an inner flow hash in real VTEPs; a
+  // stable per-destination value keeps ECMP flow affinity here.
+  auto src_port = static_cast<std::uint16_t>(
+      49152 + (dst_overlay.value() & 0x3fff));
+  send_udp(addr(), it->second, src_port, kVxlanPort,
+           vxlan.serialize(inner_packet), net::TrafficClass::kIpData);
+}
+
+void VtepHost::deliver_to_vm(std::uint32_t vni, const ip::Ipv4Header& inner,
+                             std::span<const std::uint8_t> payload) {
+  auto it = vms_.find({vni, inner.dst});
+  if (it == vms_.end()) {
+    ++vtep_stats_.dropped_unknown_vm;
+    return;
+  }
+  ++it->second.received;
+  if (it->second.on_receive) it->second.on_receive(inner, payload);
+}
+
+std::uint64_t VtepHost::vm_received(std::uint32_t vni,
+                                    ip::Ipv4Addr overlay_addr) const {
+  auto it = vms_.find({vni, overlay_addr});
+  return it == vms_.end() ? 0 : it->second.received;
+}
+
+}  // namespace mrmtp::traffic

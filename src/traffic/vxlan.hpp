@@ -1,0 +1,107 @@
+// VXLAN overlay (RFC 7348) — the deployment model the paper assumes:
+// "for VMs running in different servers to collaboratively execute a job,
+// we assume that VXLAN is used for inter-rack VM communication. The VM
+// traffic is encapsulated in an outer IP header, which carries the
+// server's IP address" (§III.A). The fabric (MR-MTP or BGP) only ever sees
+// server-to-server UDP, which is exactly why the ToR VID can be derived
+// from the *server* subnet.
+//
+// VtepHost is a server running VMs behind a VXLAN tunnel endpoint: each VM
+// has an overlay IP in some VNI (tenant); the VTEP's forwarding table maps
+// (vni, overlay IP) -> remote server underlay address, as an SDN controller
+// or EVPN would program it.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "traffic/host.hpp"
+
+namespace mrmtp::traffic {
+
+constexpr std::uint16_t kVxlanPort = 4789;
+
+/// RFC 7348 section 5 header: flags, reserved, 24-bit VNI, reserved.
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint32_t vni = 0;  // 24 bits
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::span<const std::uint8_t> inner) const {
+    util::BufWriter w(kSize + inner.size());
+    w.u8(0x08);  // flags: I (valid VNI)
+    w.u8(0);
+    w.u16(0);
+    w.u32(vni << 8);
+    w.bytes(inner);
+    return w.take();
+  }
+
+  static VxlanHeader parse(std::span<const std::uint8_t> data,
+                           std::span<const std::uint8_t>& out_inner) {
+    util::BufReader r(data);
+    VxlanHeader h;
+    std::uint8_t flags = r.u8();
+    if ((flags & 0x08) == 0) throw util::CodecError("VXLAN: VNI flag not set");
+    r.u8();
+    r.u16();
+    h.vni = r.u32() >> 8;
+    out_inner = r.rest();
+    return h;
+  }
+};
+
+/// A server hosting VMs behind a VXLAN tunnel endpoint.
+class VtepHost : public Host {
+ public:
+  using Host::Host;
+
+  /// Adds a local VM with `overlay_addr` in tenant `vni`. `on_receive`
+  /// (optional) observes inner IP packets delivered to this VM.
+  using VmReceiver = std::function<void(const ip::Ipv4Header& inner,
+                                        std::span<const std::uint8_t> payload)>;
+  void add_vm(std::uint32_t vni, ip::Ipv4Addr overlay_addr,
+              VmReceiver on_receive = {});
+
+  /// Programs a remote mapping: (vni, overlay) lives behind `server` —
+  /// the control-plane state a controller/EVPN would install.
+  void add_remote(std::uint32_t vni, ip::Ipv4Addr overlay_addr,
+                  ip::Ipv4Addr server);
+
+  void start() override;
+
+  /// Sends an inner IP packet from a local VM to `dst_overlay`. Local VMs
+  /// in the same VNI are delivered directly; remote ones are VXLAN-
+  /// encapsulated toward their server over the fabric.
+  void vm_send(std::uint32_t vni, ip::Ipv4Addr src_overlay,
+               ip::Ipv4Addr dst_overlay, std::vector<std::uint8_t> payload);
+
+  struct VtepStats {
+    std::uint64_t encapsulated = 0;
+    std::uint64_t decapsulated = 0;
+    std::uint64_t delivered_local = 0;   // VM-to-VM on the same server
+    std::uint64_t dropped_no_mapping = 0;
+    std::uint64_t dropped_unknown_vm = 0;
+  };
+  [[nodiscard]] const VtepStats& vtep_stats() const { return vtep_stats_; }
+  [[nodiscard]] std::uint64_t vm_received(std::uint32_t vni,
+                                          ip::Ipv4Addr overlay_addr) const;
+
+ private:
+  struct Vm {
+    VmReceiver on_receive;
+    std::uint64_t received = 0;
+  };
+  using OverlayKey = std::pair<std::uint32_t, ip::Ipv4Addr>;
+
+  void deliver_to_vm(std::uint32_t vni, const ip::Ipv4Header& inner,
+                     std::span<const std::uint8_t> payload);
+
+  std::map<OverlayKey, Vm> vms_;
+  std::map<OverlayKey, ip::Ipv4Addr> remote_;
+  VtepStats vtep_stats_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace mrmtp::traffic

@@ -1,0 +1,136 @@
+#include "transport/l3_node.hpp"
+
+namespace mrmtp::transport {
+
+void L3Node::configure_port(std::uint32_t port_number, ip::Ipv4Addr addr,
+                            std::uint8_t prefix_len) {
+  port_addrs_[port_number] = addr;
+  routes_.add_connected(ip::Ipv4Prefix(addr, prefix_len), port_number, addr);
+}
+
+std::optional<ip::Ipv4Addr> L3Node::port_addr(std::uint32_t port_number) const {
+  auto it = port_addrs_.find(port_number);
+  if (it == port_addrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool L3Node::is_local_addr(ip::Ipv4Addr addr) const {
+  for (const auto& [port, a] : port_addrs_) {
+    if (a == addr) return true;
+  }
+  return false;
+}
+
+void L3Node::send_udp(ip::Ipv4Addr src, ip::Ipv4Addr dst,
+                      std::uint16_t src_port, std::uint16_t dst_port,
+                      std::vector<std::uint8_t> payload, net::TrafficClass tc) {
+  UdpHeader h{src_port, dst_port};
+  send_ip(src, dst, ip::IpProto::kUdp, h.serialize(payload), tc);
+}
+
+void L3Node::send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
+                     std::vector<std::uint8_t> payload,
+                     net::TrafficClass traffic_class) {
+  ip::Ipv4Header header;
+  header.src = src;
+  header.dst = dst;
+  header.protocol = proto;
+  header.identification = next_ip_id_++;
+  route_packet(header, payload, traffic_class, /*from_self=*/true);
+}
+
+void L3Node::handle_frame(net::Port& in, net::Frame frame) {
+  if (frame.ethertype != net::EtherType::kIpv4) return;  // not ours
+  (void)in;
+  std::span<const std::uint8_t> payload;
+  ip::Ipv4Header header;
+  try {
+    header = ip::Ipv4Header::parse(frame.payload, payload);
+  } catch (const util::CodecError&) {
+    return;  // malformed; counted nowhere, as a NIC would discard it
+  }
+  route_packet(header, payload, frame.traffic_class, /*from_self=*/false);
+}
+
+void L3Node::route_packet(const ip::Ipv4Header& header,
+                          std::span<const std::uint8_t> payload,
+                          net::TrafficClass tc, bool from_self) {
+  if (is_local_addr(header.dst)) {
+    ++fwd_stats_.delivered_local;
+    switch (header.protocol) {
+      case ip::IpProto::kTcp:
+        tcp_.handle_packet(header.src, header.dst, payload);
+        return;
+      case ip::IpProto::kUdp: {
+        std::span<const std::uint8_t> udp_payload;
+        UdpHeader uh = UdpHeader::parse(payload, udp_payload);
+        auto it = udp_handlers_.find(uh.dst_port);
+        if (it != udp_handlers_.end()) {
+          it->second(header.src, header.dst, uh, udp_payload);
+        }
+        return;
+      }
+    }
+    deliver_local(header, payload, tc);
+    return;
+  }
+
+  ip::Ipv4Header out = header;
+  if (!from_self) {
+    if (out.ttl <= 1) {
+      ++fwd_stats_.dropped_ttl;
+      return;
+    }
+    --out.ttl;
+  }
+
+  const ip::NextHop* nh = routes_.select(out.dst, flow_hash(out, payload));
+  if (nh == nullptr) {
+    ++fwd_stats_.dropped_no_route;
+    return;
+  }
+  if (!from_self) ++fwd_stats_.forwarded;
+  emit_frame(nh->port, out, payload, tc);
+}
+
+void L3Node::deliver_local(const ip::Ipv4Header& header,
+                           std::span<const std::uint8_t> payload,
+                           net::TrafficClass tc) {
+  (void)header;
+  (void)payload;
+  (void)tc;
+}
+
+std::uint64_t L3Node::flow_hash(const ip::Ipv4Header& header,
+                                std::span<const std::uint8_t> payload) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 4; ++i) mix(header.src.octet(i));
+  for (int i = 0; i < 4; ++i) mix(header.dst.octet(i));
+  mix(static_cast<std::uint8_t>(header.protocol));
+  for (std::size_t i = 0; i < 4 && i < payload.size(); ++i) mix(payload[i]);
+  return h;
+}
+
+void L3Node::emit_frame(std::uint32_t port_number,
+                        const ip::Ipv4Header& header,
+                        std::span<const std::uint8_t> payload,
+                        net::TrafficClass tc) {
+  net::Port& out = port(port_number);
+  if (!out.admin_up() || !out.connected()) {
+    ++fwd_stats_.dropped_iface_down;
+    return;
+  }
+  net::Frame frame;
+  frame.dst = net::MacAddr::broadcast();  // p2p links; no ARP (paper §VII.F)
+  frame.src = out.mac();
+  frame.ethertype = net::EtherType::kIpv4;
+  frame.payload = header.serialize(payload);
+  frame.traffic_class = tc;
+  transmit(out, std::move(frame));
+}
+
+}  // namespace mrmtp::transport

@@ -1,0 +1,99 @@
+// L3Node: an IP host/router data plane on top of net::Node.
+//
+// Provides interface addressing, a kernel-style RouteTable with ECMP
+// selection by flow hash, TTL handling, and local delivery demux to TCP/UDP.
+// BGP routers and traffic-generating servers both derive from this; MR-MTP
+// routers do not (the paper's point is that MTP replaces the IP routing
+// machinery entirely).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "ip/packet.hpp"
+#include "ip/route_table.hpp"
+#include "net/network.hpp"
+#include "transport/tcp_lite.hpp"
+#include "transport/udp.hpp"
+
+namespace mrmtp::transport {
+
+class L3Node : public net::Node, public IpSender {
+ public:
+  L3Node(net::SimContext& ctx, std::string name, std::uint32_t tier)
+      : net::Node(ctx, std::move(name), tier), tcp_(*this) {}
+
+  /// Assigns `addr`/`prefix_len` to a port and installs the connected route.
+  void configure_port(std::uint32_t port, ip::Ipv4Addr addr,
+                      std::uint8_t prefix_len);
+
+  [[nodiscard]] std::optional<ip::Ipv4Addr> port_addr(std::uint32_t port) const;
+  [[nodiscard]] bool is_local_addr(ip::Ipv4Addr addr) const;
+
+  [[nodiscard]] ip::RouteTable& routes() { return routes_; }
+  [[nodiscard]] const ip::RouteTable& routes() const { return routes_; }
+  [[nodiscard]] TcpStack& tcp() { return tcp_; }
+
+  /// UDP receive hook: (src, dst, udp header, payload).
+  using UdpHandler =
+      std::function<void(ip::Ipv4Addr, ip::Ipv4Addr, const UdpHeader&,
+                         std::span<const std::uint8_t>)>;
+  void bind_udp(std::uint16_t port, UdpHandler handler) {
+    udp_handlers_[port] = std::move(handler);
+  }
+
+  /// Sends a UDP datagram (routed like any other packet).
+  void send_udp(ip::Ipv4Addr src, ip::Ipv4Addr dst, std::uint16_t src_port,
+                std::uint16_t dst_port, std::vector<std::uint8_t> payload,
+                net::TrafficClass tc);
+
+  // --- IpSender ---
+  void send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
+               std::vector<std::uint8_t> payload,
+               net::TrafficClass traffic_class) override;
+  net::SimContext& sim() override { return ctx_; }
+  [[nodiscard]] std::string endpoint_name() const override { return name(); }
+
+  // --- net::Node ---
+  void handle_frame(net::Port& in, net::Frame frame) override;
+
+  struct ForwardingStats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered_local = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t dropped_iface_down = 0;
+  };
+  [[nodiscard]] const ForwardingStats& forwarding_stats() const { return fwd_stats_; }
+
+ protected:
+  /// Routes an IP packet: local delivery or ECMP forwarding.
+  void route_packet(const ip::Ipv4Header& header,
+                    std::span<const std::uint8_t> payload,
+                    net::TrafficClass tc, bool from_self);
+
+  /// Local delivery for protocols beyond TCP/UDP demux; default drops.
+  virtual void deliver_local(const ip::Ipv4Header& header,
+                             std::span<const std::uint8_t> payload,
+                             net::TrafficClass tc);
+
+  /// 5-tuple flow hash used for ECMP selection (FNV-1a over src, dst,
+  /// proto, and the first 4 payload bytes, i.e. the ports).
+  [[nodiscard]] static std::uint64_t flow_hash(
+      const ip::Ipv4Header& header, std::span<const std::uint8_t> payload);
+
+  ForwardingStats fwd_stats_;
+
+ private:
+  void emit_frame(std::uint32_t port, const ip::Ipv4Header& header,
+                  std::span<const std::uint8_t> payload, net::TrafficClass tc);
+
+  ip::RouteTable routes_;
+  std::unordered_map<std::uint32_t, ip::Ipv4Addr> port_addrs_;
+  std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
+  TcpStack tcp_;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+}  // namespace mrmtp::transport

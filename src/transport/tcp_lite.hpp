@@ -1,0 +1,214 @@
+// TCP-lite: a reliable, in-order byte stream for BGP sessions.
+//
+// Implements the parts of TCP that matter for the paper's measurements:
+//   * three-way handshake, cumulative acknowledgements, go-back-N
+//     retransmission with exponential backoff, fast retransmit on three
+//     duplicate ACKs, delayed pure ACKs;
+//   * a 32-byte header (20 base + 12 bytes of timestamp option), which makes
+//     a BGP KEEPALIVE 14 + 20 + 32 + 19 = 85 bytes at layer 2 — the exact
+//     size the paper reports from its captures (Section VII.F);
+//   * pure ACKs are traffic-classified separately, since the paper calls out
+//     "Included in BGP communications is TCP acknowledgements" as overhead.
+//
+// Segments are carried over an IpSender abstraction provided by the router
+// node, so the transport is testable without any topology.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ip/addr.hpp"
+#include "ip/packet.hpp"
+#include "net/frame.hpp"
+#include "net/node.hpp"
+#include "util/byte_io.hpp"
+
+namespace mrmtp::transport {
+
+/// Services a transport endpoint needs from its host node.
+class IpSender {
+ public:
+  virtual ~IpSender() = default;
+
+  /// Emits an IP packet into the fabric (routed by the host's data plane).
+  virtual void send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
+                       std::vector<std::uint8_t> payload,
+                       net::TrafficClass traffic_class) = 0;
+
+  virtual net::SimContext& sim() = 0;
+  [[nodiscard]] virtual std::string endpoint_name() const = 0;
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+struct TcpSegment {
+  static constexpr std::size_t kHeaderSize = 32;  // 20 base + 12 TS option
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static TcpSegment parse(std::span<const std::uint8_t> data);
+};
+
+/// Retransmission and segmentation knobs for TCP-lite connections.
+struct TcpTuning {
+  sim::Duration rto = sim::Duration::millis(200);
+  int max_retransmits = 8;
+  std::size_t mss = 1448;
+  /// Delayed-ACK timer; a pure ACK is sent when it fires with no piggyback
+  /// opportunity.
+  sim::Duration delayed_ack = sim::Duration::millis(10);
+};
+
+/// One TCP-lite connection. Created by TcpStack.
+class TcpConnection {
+ public:
+  enum class State {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+  };
+
+  struct Callbacks {
+    std::function<void()> on_established;
+    std::function<void(std::span<const std::uint8_t>)> on_data;
+    /// Connection reset or failed (retransmission exhausted / RST received).
+    std::function<void()> on_closed;
+  };
+
+  TcpConnection(IpSender& ip, ip::Ipv4Addr local, std::uint16_t local_port,
+                ip::Ipv4Addr remote, std::uint16_t remote_port,
+                Callbacks callbacks, TcpTuning tuning = {});
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Active open (sends SYN).
+  void connect();
+  /// Passive open (awaits SYN).
+  void listen();
+
+  /// Queues application bytes; `traffic_class` labels the frames that carry
+  /// them (BGP UPDATE vs KEEPALIVE accounting).
+  void send(std::vector<std::uint8_t> data, net::TrafficClass traffic_class);
+
+  /// Aborts with RST.
+  void reset();
+
+  void handle_segment(const TcpSegment& seg);
+
+  /// Replaces the callback set (used by passive acceptors).
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool established() const { return state_ == State::kEstablished; }
+  [[nodiscard]] ip::Ipv4Addr local_addr() const { return local_; }
+  [[nodiscard]] ip::Ipv4Addr remote_addr() const { return remote_; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] std::uint16_t remote_port() const { return remote_port_; }
+
+ private:
+  struct SendChunk {
+    std::vector<std::uint8_t> data;
+    net::TrafficClass traffic_class;
+    std::size_t consumed = 0;  // bytes already packed into flight segments
+  };
+
+  void emit(TcpFlags flags, std::uint32_t seq,
+            std::vector<std::uint8_t> payload, net::TrafficClass tc);
+  void try_send_data();
+  void retransmit();
+  /// Resends one MSS from snd_una_ (go-back-N head).
+  void resend_head();
+  void arm_rto();
+  void schedule_ack();
+  void fail_connection();
+
+  IpSender& ip_;
+  ip::Ipv4Addr local_;
+  std::uint16_t local_port_;
+  ip::Ipv4Addr remote_;
+  std::uint16_t remote_port_;
+  Callbacks callbacks_;
+  TcpTuning tuning_;
+
+  State state_ = State::kClosed;
+
+  std::uint32_t snd_una_ = 0;  // oldest unacked seq
+  std::uint32_t snd_nxt_ = 0;  // next seq to send
+  std::uint32_t rcv_nxt_ = 0;  // next expected remote seq
+
+  /// Unacknowledged + unsent application data, in seq order from snd_una_.
+  std::deque<SendChunk> send_queue_;
+
+  sim::Timer rto_timer_;
+  sim::Timer ack_timer_;
+  int retransmit_count_ = 0;
+  int dup_acks_ = 0;  // fast retransmit after 3 duplicate ACKs
+  /// NewReno-style recovery: after a fast retransmit, partial ACKs below
+  /// this point each trigger another head retransmission.
+  std::uint32_t recover_point_ = 0;
+  bool in_recovery_ = false;
+  bool ack_pending_ = false;
+};
+
+/// Demultiplexes TCP segments to connections; owns them.
+class TcpStack {
+ public:
+  explicit TcpStack(IpSender& ip) : ip_(ip) {}
+
+  /// Registers a passive listener. `on_accept` receives each freshly
+  /// created connection (in kListen state) to install callbacks via
+  /// set_callbacks() and stash the pointer.
+  using Acceptor = std::function<void(TcpConnection&)>;
+  void listen(std::uint16_t port, Acceptor on_accept);
+
+  /// Creates and actively opens a connection.
+  TcpConnection& connect(ip::Ipv4Addr local, std::uint16_t local_port,
+                         ip::Ipv4Addr remote, std::uint16_t remote_port,
+                         TcpConnection::Callbacks callbacks,
+                         TcpTuning tuning = {});
+
+  /// Entry point from the host's IP demux.
+  void handle_packet(ip::Ipv4Addr src, ip::Ipv4Addr dst,
+                     std::span<const std::uint8_t> payload);
+
+  /// Destroys a connection (its callbacks must not run afterwards).
+  void destroy(TcpConnection& conn);
+
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct Listener {
+    std::uint16_t port;
+    Acceptor acceptor;
+  };
+
+  TcpConnection* find(ip::Ipv4Addr local, std::uint16_t local_port,
+                      ip::Ipv4Addr remote, std::uint16_t remote_port);
+
+  IpSender& ip_;
+  std::vector<Listener> listeners_;
+  std::vector<std::unique_ptr<TcpConnection>> conns_;
+};
+
+}  // namespace mrmtp::transport

@@ -1,0 +1,46 @@
+// UDP header codec (RFC 768). BFD control packets ride on UDP port 3784;
+// the traffic generator uses UDP-style sequenced datagrams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace mrmtp::transport {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::span<const std::uint8_t> payload) const {
+    util::BufWriter w(kSize + payload.size());
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+    w.u16(0);  // checksum optional in IPv4; the simulator link is lossless
+    w.bytes(payload);
+    return w.take();
+  }
+
+  static UdpHeader parse(std::span<const std::uint8_t> data,
+                         std::span<const std::uint8_t>& out_payload) {
+    util::BufReader r(data);
+    UdpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    std::uint16_t length = r.u16();
+    r.u16();  // checksum
+    if (length < kSize || length > data.size()) {
+      throw util::CodecError("UDP: bad length");
+    }
+    out_payload = data.subspan(kSize, length - kSize);
+    return h;
+  }
+};
+
+}  // namespace mrmtp::transport

@@ -1,0 +1,53 @@
+#include "util/byte_io.hpp"
+
+#include <array>
+
+namespace mrmtp::util {
+
+namespace {
+constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                       '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+}  // namespace
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 4 + 64);
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    // Offset column.
+    std::uint32_t off = static_cast<std::uint32_t>(row);
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(off >> shift) & 0xf]);
+    }
+    out += "  ";
+    std::size_t end = std::min(row + 16, data.size());
+    for (std::size_t i = row; i < row + 16; ++i) {
+      if (i < end) {
+        out.push_back(kHex[data[i] >> 4]);
+        out.push_back(kHex[data[i] & 0xf]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == row + 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = row; i < end; ++i) {
+      char c = static_cast<char>(data[i]);
+      out.push_back((c >= 0x20 && c < 0x7f) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hex_string(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace mrmtp::util

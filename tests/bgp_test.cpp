@@ -1,0 +1,191 @@
+// Unit tests: BGP message codecs (RFC 4271 wire format, exact sizes), the
+// stream reassembler, and config-text generation (paper Listing 1).
+#include <gtest/gtest.h>
+
+#include "bgp/message.hpp"
+#include "bgp/router.hpp"
+
+namespace mrmtp::bgp {
+namespace {
+
+TEST(BgpCodecTest, KeepaliveIs19Bytes) {
+  auto bytes = encode(KeepaliveMessage{});
+  EXPECT_EQ(bytes.size(), kHeaderSize);
+  // Marker of all ones.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(bytes[static_cast<size_t>(i)], 0xff);
+  EXPECT_EQ(bytes[18], 4);  // type
+}
+
+TEST(BgpCodecTest, OpenRoundTrip) {
+  OpenMessage open{64512, 3, 0x0a0b0c0d};
+  auto bytes = encode(open);
+  EXPECT_EQ(bytes.size(), 29u);
+
+  MessageReader reader;
+  reader.append(bytes);
+  auto msg = reader.next();
+  ASSERT_TRUE(msg.has_value());
+  const auto* parsed = std::get_if<OpenMessage>(&*msg);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->asn, 64512u);
+  EXPECT_EQ(parsed->hold_time_s, 3);
+  EXPECT_EQ(parsed->bgp_id, 0x0a0b0c0du);
+}
+
+TEST(BgpCodecTest, UpdateWithNlriRoundTrip) {
+  UpdateMessage u;
+  u.as_path = {64513, 64600};
+  u.next_hop = ip::Ipv4Addr::parse("172.16.0.1");
+  u.nlri = {ip::Ipv4Prefix::parse("192.168.11.0/24"),
+            ip::Ipv4Prefix::parse("192.168.12.0/24")};
+  auto bytes = encode(u);
+
+  MessageReader reader;
+  reader.append(bytes);
+  auto msg = reader.next();
+  ASSERT_TRUE(msg.has_value());
+  const auto* parsed = std::get_if<UpdateMessage>(&*msg);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->as_path, (std::vector<std::uint32_t>{64513, 64600}));
+  EXPECT_EQ(parsed->next_hop, u.next_hop);
+  ASSERT_EQ(parsed->nlri.size(), 2u);
+  EXPECT_EQ(parsed->nlri[0].str(), "192.168.11.0/24");
+  EXPECT_TRUE(parsed->withdrawn.empty());
+}
+
+TEST(BgpCodecTest, WithdrawOnlyUpdate) {
+  UpdateMessage u;
+  u.withdrawn = {ip::Ipv4Prefix::parse("192.168.11.0/24")};
+  auto bytes = encode(u);
+  // 19 header + 2 withdrawn-len + 4 prefix + 2 attr-len = 27 bytes.
+  EXPECT_EQ(bytes.size(), 27u);
+
+  MessageReader reader;
+  reader.append(bytes);
+  auto parsed = std::get<UpdateMessage>(*reader.next());
+  ASSERT_EQ(parsed.withdrawn.size(), 1u);
+  EXPECT_EQ(parsed.withdrawn[0].str(), "192.168.11.0/24");
+  EXPECT_FALSE(parsed.has_nlri());
+}
+
+TEST(BgpCodecTest, PrefixEncodingUsesMinimalOctets) {
+  UpdateMessage u;
+  u.withdrawn = {ip::Ipv4Prefix::parse("10.0.0.0/8"),
+                 ip::Ipv4Prefix::parse("10.1.0.0/16"),
+                 ip::Ipv4Prefix::parse("0.0.0.0/0")};
+  auto bytes = encode(u);
+  // 19 + 2 + (1+1) + (1+2) + (1+0) + 2 = 29.
+  EXPECT_EQ(bytes.size(), 29u);
+  MessageReader reader;
+  reader.append(bytes);
+  auto parsed = std::get<UpdateMessage>(*reader.next());
+  EXPECT_EQ(parsed.withdrawn[0].str(), "10.0.0.0/8");
+  EXPECT_EQ(parsed.withdrawn[1].str(), "10.1.0.0/16");
+  EXPECT_EQ(parsed.withdrawn[2].str(), "0.0.0.0/0");
+}
+
+TEST(BgpCodecTest, NotificationRoundTrip) {
+  auto bytes = encode(NotificationMessage{6, 2});
+  EXPECT_EQ(bytes.size(), 21u);
+  MessageReader reader;
+  reader.append(bytes);
+  auto parsed = std::get<NotificationMessage>(*reader.next());
+  EXPECT_EQ(parsed.code, 6);
+  EXPECT_EQ(parsed.subcode, 2);
+}
+
+TEST(MessageReaderTest, ReassemblesSplitStream) {
+  auto k = encode(KeepaliveMessage{});
+  auto o = encode(OpenMessage{64512, 3, 1});
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), k.begin(), k.end());
+  stream.insert(stream.end(), o.begin(), o.end());
+
+  MessageReader reader;
+  // Feed in 5-byte pieces, as TCP segmentation might.
+  for (std::size_t i = 0; i < stream.size(); i += 5) {
+    std::size_t n = std::min<std::size_t>(5, stream.size() - i);
+    reader.append(std::span(stream).subspan(i, n));
+  }
+  auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(*first));
+  auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<OpenMessage>(*second));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(MessageReaderTest, IncompleteMessageReturnsNullopt) {
+  auto k = encode(KeepaliveMessage{});
+  MessageReader reader;
+  reader.append(std::span(k).subspan(0, 10));
+  EXPECT_FALSE(reader.next().has_value());
+  reader.append(std::span(k).subspan(10));
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(MessageReaderTest, BadMarkerThrows) {
+  auto k = encode(KeepaliveMessage{});
+  k[3] = 0x00;
+  MessageReader reader;
+  reader.append(k);
+  EXPECT_THROW(reader.next(), util::CodecError);
+}
+
+TEST(MessageReaderTest, BadLengthThrows) {
+  std::vector<std::uint8_t> bogus(19, 0xff);
+  bogus[16] = 0;
+  bogus[17] = 5;  // length 5 < header size
+  MessageReader reader;
+  reader.append(bogus);
+  EXPECT_THROW(reader.next(), util::CodecError);
+}
+
+TEST(BgpConfigTest, ConfigTextMatchesListing1Shape) {
+  net::SimContext ctx(1);
+  BgpConfig cfg;
+  cfg.asn = 64512;
+  cfg.enable_bfd = true;
+  cfg.timers.keepalive = sim::Duration::seconds(1);
+  cfg.timers.hold = sim::Duration::seconds(3);
+  cfg.neighbors = {
+      {ip::Ipv4Addr::parse("172.16.0.1"), ip::Ipv4Addr::parse("172.16.0.2"),
+       64513},
+      {ip::Ipv4Addr::parse("172.16.1.1"), ip::Ipv4Addr::parse("172.16.1.2"),
+       64514},
+  };
+  BgpRouter router(ctx, "T-1", 3, cfg);
+  std::string text = router.config_text();
+  EXPECT_NE(text.find("frr defaults datacenter"), std::string::npos);
+  EXPECT_NE(text.find("hostname T-1"), std::string::npos);
+  EXPECT_NE(text.find("router bgp 64512"), std::string::npos);
+  EXPECT_NE(text.find("timers bgp 1 3"), std::string::npos);
+  EXPECT_NE(text.find("neighbor 172.16.0.2 remote-as 64513"),
+            std::string::npos);
+  EXPECT_NE(text.find("neighbor 172.16.0.2 bfd"), std::string::npos);
+  EXPECT_NE(text.find("maximum-paths"), std::string::npos);
+}
+
+TEST(BgpConfigTest, ConfigGrowsWithNeighborCount) {
+  net::SimContext ctx(1);
+  auto make = [&ctx](int neighbors) {
+    BgpConfig cfg;
+    cfg.asn = 64512;
+    for (int i = 0; i < neighbors; ++i) {
+      cfg.neighbors.push_back(
+          {ip::Ipv4Addr(static_cast<std::uint32_t>(2 * i)),
+           ip::Ipv4Addr(static_cast<std::uint32_t>(2 * i + 1)),
+           64600u + static_cast<std::uint32_t>(i)});
+    }
+    return cfg;
+  };
+  BgpRouter small(ctx, "small", 2, make(2));
+  BgpRouter big(ctx, "big", 2, make(8));
+  // The paper's configuration-burden point: per-router config scales with
+  // interface count for BGP.
+  EXPECT_GT(big.config_text().size(), small.config_text().size());
+}
+
+}  // namespace
+}  // namespace mrmtp::bgp

@@ -1,0 +1,202 @@
+// 4-tier folded-Clos (paper §III.B: "the scheme can easily scale to any
+// number of spine tiers"; §IX future work): clusters of the 4-PoD design
+// meshed by super spines, under both MR-MTP and BGP.
+#include <gtest/gtest.h>
+
+#include "harness/deploy.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp {
+namespace {
+
+using harness::Deployment;
+using harness::Proto;
+
+class FourTierTest : public ::testing::Test {
+ protected:
+  void deploy(Proto proto, std::uint32_t clusters = 2,
+              std::uint32_t supers = 8, std::uint64_t seed = 9) {
+    params_ = topo::ClosParams::four_tier_clusters(clusters, supers);
+    // The deployment must die before the SimContext its timers point at
+    // (matters when a test deploys more than once).
+    dep_.reset();
+    blueprint_.reset();
+    ctx_ = std::make_unique<net::SimContext>(seed);
+    blueprint_ = std::make_unique<topo::ClosBlueprint>(params_);
+    dep_ = std::make_unique<Deployment>(*ctx_, *blueprint_, proto,
+                                        harness::DeployOptions{});
+    dep_->start();
+  }
+
+  void run_for(sim::Duration d) { ctx_->sched.run_until(ctx_->now() + d); }
+
+  topo::ClosParams params_;
+  std::unique_ptr<net::SimContext> ctx_;
+  std::unique_ptr<topo::ClosBlueprint> blueprint_;
+  std::unique_ptr<Deployment> dep_;
+};
+
+TEST_F(FourTierTest, BlueprintStructure) {
+  deploy(Proto::kMtp);
+  const auto& bp = *blueprint_;
+  // 2 clusters x (8 leaves + 8 pod spines + 4 tops) + 8 supers = 48.
+  EXPECT_EQ(bp.devices().size(), 48u);
+  EXPECT_EQ(params_.router_count(), 48u);
+  EXPECT_EQ(bp.device(bp.super_spine(1)).name, "U-1");
+  EXPECT_EQ(bp.device(bp.super_spine(1)).tier, 4u);
+  EXPECT_EQ(bp.device(bp.leaf_in(2, 1, 1)).name, "C2-L-1-1");
+  EXPECT_EQ(bp.device(bp.top_spine_in(2, 3)).name, "C2-T-3");
+
+  // VIDs continue across clusters: cluster 2 starts after cluster 1's 8.
+  EXPECT_EQ(bp.tor_vid_in(1, 1, 1), 11);
+  EXPECT_EQ(bp.tor_vid_in(2, 1, 1), 19);
+
+  // Every top spine has uplinks_per_top super uplinks at ports 1..U.
+  EXPECT_EQ(params_.uplinks_per_top(), 2u);
+  // Each super connects once per cluster.
+  int degree = 0;
+  for (const auto& l : bp.links()) {
+    if (l.upper == bp.super_spine(1)) ++degree;
+  }
+  EXPECT_EQ(degree, 2);
+}
+
+TEST_F(FourTierTest, RejectsInvalidShapes) {
+  auto bad = topo::ClosParams::paper_4pod();
+  bad.clusters = 2;  // clusters without supers
+  EXPECT_THROW(topo::ClosBlueprint{bad}, std::invalid_argument);
+  bad.super_spines = 6;  // not a multiple of top_spines (4)
+  EXPECT_THROW(topo::ClosBlueprint{bad}, std::invalid_argument);
+}
+
+TEST_F(FourTierTest, MtpTreesReachDepthFour) {
+  deploy(Proto::kMtp);
+  run_for(sim::Duration::seconds(4));
+  ASSERT_TRUE(dep_->converged());
+
+  // A super spine holds one VID per ToR tree across BOTH clusters, each of
+  // depth 4 (root.pod-spine-port.top-port.super-port).
+  auto& super = dep_->mtp(blueprint_->super_spine(1));
+  EXPECT_EQ(super.vid_table().size(), 16u);
+  for (const auto& entry : super.vid_table().entries()) {
+    EXPECT_EQ(entry.vid.depth(), 4u) << entry.vid.str();
+  }
+
+  // Cluster tops only hold their own cluster's trees.
+  auto& top = dep_->mtp(blueprint_->top_spine_in(1, 1));
+  EXPECT_EQ(top.vid_table().size(), 8u);
+  for (const auto& entry : top.vid_table().entries()) {
+    EXPECT_LT(entry.vid.root(), 19) << entry.vid.str();
+  }
+}
+
+TEST_F(FourTierTest, MtpCrossClusterDelivery) {
+  deploy(Proto::kMtp);
+  run_for(sim::Duration::seconds(4));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);                      // cluster 1, VID 11
+  auto last = static_cast<std::uint32_t>(dep_->host_count() - 1);
+  auto& receiver = dep_->host(last);                 // cluster 2, VID 26
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 200;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 200u);
+
+  // Cross-cluster traffic transited the super tier.
+  std::uint64_t super_forwarded = 0;
+  for (std::uint32_t q = 1; q <= params_.super_spines; ++q) {
+    super_forwarded +=
+        dep_->mtp(blueprint_->super_spine(q)).mtp_stats().data_forwarded;
+  }
+  EXPECT_GT(super_forwarded, 0u);
+}
+
+TEST_F(FourTierTest, MtpIntraClusterTrafficAvoidsSupers) {
+  deploy(Proto::kMtp);
+  run_for(sim::Duration::seconds(4));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);    // cluster 1, pod 1
+  auto& receiver = dep_->host(7);  // cluster 1, pod 4
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 100;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 100u);
+
+  for (std::uint32_t q = 1; q <= params_.super_spines; ++q) {
+    EXPECT_EQ(dep_->mtp(blueprint_->super_spine(q)).mtp_stats().data_forwarded,
+              0u)
+        << "U-" << q;
+  }
+}
+
+TEST_F(FourTierTest, MtpRecoversFromClusterUplinkFailure) {
+  deploy(Proto::kMtp);
+  run_for(sim::Duration::seconds(4));
+  ASSERT_TRUE(dep_->converged());
+
+  // Fail a top-spine uplink (tier 3 <-> tier 4): C1-T-1's first super link.
+  auto& top = dep_->network().find("C1-T-1");
+  top.set_interface_down(1);
+  run_for(sim::Duration::seconds(2));
+
+  // Cross-cluster traffic still flows over the remaining super paths.
+  auto& sender = dep_->host(0);
+  auto last = static_cast<std::uint32_t>(dep_->host_count() - 1);
+  auto& receiver = dep_->host(last);
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 300;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 300u);
+}
+
+TEST_F(FourTierTest, BgpFourTierConvergesAndDelivers) {
+  deploy(Proto::kBgpBfd);
+  run_for(sim::Duration::seconds(8));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);
+  auto last = static_cast<std::uint32_t>(dep_->host_count() - 1);
+  auto& receiver = dep_->host(last);
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 200;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 200u);
+
+  // AS-path sanity: a cluster-1 ToR reaches a cluster-2 subnet through the
+  // backbone (4 AS hops: pod spine, cluster top, supers' AS, remote chain).
+  auto& tor = dep_->bgp(blueprint_->leaf_in(1, 1, 1));
+  const ip::Route* r = tor.routes().exact(
+      *blueprint_->device(blueprint_->leaf_in(2, 1, 1)).server_subnet);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GE(r->nexthops.size(), 2u);  // ECMP across both pod spines
+}
+
+TEST_F(FourTierTest, ThreeClusterFabric) {
+  deploy(Proto::kMtp, /*clusters=*/3, /*supers=*/4, /*seed=*/21);
+  run_for(sim::Duration::seconds(5));
+  EXPECT_TRUE(dep_->converged());
+
+  auto& super = dep_->mtp(blueprint_->super_spine(1));
+  EXPECT_EQ(super.vid_table().size(), 24u);  // 3 clusters x 8 trees
+}
+
+}  // namespace
+}  // namespace mrmtp

@@ -1,0 +1,190 @@
+// End-to-end BGP/ECMP(/BFD) integration on the paper's topologies: session
+// establishment, full-table convergence, ECMP data delivery, and failure
+// handling with hold-timer vs BFD vs fast-fallover detection.
+#include <gtest/gtest.h>
+
+#include "harness/deploy.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp {
+namespace {
+
+using harness::Deployment;
+using harness::DeployOptions;
+using harness::Proto;
+
+class BgpIntegrationTest : public ::testing::Test {
+ protected:
+  void deploy(topo::ClosParams params, Proto proto = Proto::kBgp,
+              std::uint64_t seed = 11) {
+    // The deployment must die before the SimContext its timers point at
+    // (matters when a test deploys more than once).
+    dep_.reset();
+    blueprint_.reset();
+    ctx_ = std::make_unique<net::SimContext>(seed);
+    blueprint_ = std::make_unique<topo::ClosBlueprint>(params);
+    dep_ = std::make_unique<Deployment>(*ctx_, *blueprint_, proto,
+                                        DeployOptions{});
+    dep_->start();
+  }
+
+  void run_for(sim::Duration d) { ctx_->sched.run_until(ctx_->now() + d); }
+
+  std::unique_ptr<net::SimContext> ctx_;
+  std::unique_ptr<topo::ClosBlueprint> blueprint_;
+  std::unique_ptr<Deployment> dep_;
+};
+
+TEST_F(BgpIntegrationTest, TwoPodConverges) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(5));
+  EXPECT_TRUE(dep_->converged());
+}
+
+TEST_F(BgpIntegrationTest, EcmpGroupsInstalledAtTor) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(5));
+  ASSERT_TRUE(dep_->converged());
+
+  // A ToR reaches a remote pod's subnet via both pod spines (Listing 3).
+  auto& tor = dep_->bgp(blueprint_->leaf(1, 1));
+  const ip::Route* r = tor.routes().exact(
+      ip::Ipv4Prefix(ip::Ipv4Addr(192, 168, 14, 0), 24));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->proto, ip::RouteProto::kBgp);
+  EXPECT_EQ(r->nexthops.size(), 2u);
+
+  // Intra-pod subnet also multipath via both spines.
+  const ip::Route* local = tor.routes().exact(
+      ip::Ipv4Prefix(ip::Ipv4Addr(192, 168, 12, 0), 24));
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->nexthops.size(), 2u);
+}
+
+TEST_F(BgpIntegrationTest, AsPathLengthsMatchClosTiers) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(5));
+
+  // A top spine reaches every ToR subnet in exactly 2 AS hops (pod spine +
+  // ToR); no valley routes survive the RFC 7938 ASN plan.
+  auto& top = dep_->bgp(blueprint_->top_spine(1));
+  for (const auto& spec : blueprint_->devices()) {
+    if (spec.role != topo::Role::kLeaf) continue;
+    const ip::Route* r = top.routes().exact(*spec.server_subnet);
+    ASSERT_NE(r, nullptr) << spec.name;
+  }
+}
+
+TEST_F(BgpIntegrationTest, EndToEndDelivery) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(5));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);
+  auto& receiver = dep_->host(3);
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 100;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 100u);
+  EXPECT_EQ(receiver.sink_stats().duplicates, 0u);
+}
+
+TEST_F(BgpIntegrationTest, FourPodConvergesAndDelivers) {
+  deploy(topo::ClosParams::paper_4pod());
+  run_for(sim::Duration::seconds(6));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);
+  auto& receiver = dep_->host(7);
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 100;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 100u);
+}
+
+TEST_F(BgpIntegrationTest, WithdrawPropagatesAfterHoldTimer) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(5));
+  ASSERT_TRUE(dep_->converged());
+
+  // TC1: ToR-side interface fails; S-1-1 only notices at hold expiry, after
+  // which the ToR's subnet is withdrawn from the fabric.
+  topo::FailureInjector injector(dep_->network(), *blueprint_);
+  sim::Time t_fail = ctx_->now() + sim::Duration::millis(100);
+  injector.schedule_failure(topo::TestCase::kTC1, t_fail);
+
+  auto subnet11 = ip::Ipv4Prefix(ip::Ipv4Addr(192, 168, 11, 0), 24);
+  auto& remote_tor = dep_->bgp(blueprint_->leaf(2, 2));
+
+  // Before hold expiry the stale ECMP route persists.
+  run_for(sim::Duration::seconds(2));
+  const ip::Route* stale = remote_tor.routes().exact(subnet11);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->nexthops.size(), 2u);
+
+  // After hold (3 s) + dissemination, S-2-1 has lost *all* paths to 11/24
+  // (both of its top spines reached it only through S-1-1), so the remote
+  // ToR is down to the single S-2-2 next hop — the wide BGP blast radius
+  // the paper measures in Fig. 5.
+  run_for(sim::Duration::seconds(3));
+  const ip::Route* after = remote_tor.routes().exact(subnet11);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->nexthops.size(), 1u);
+
+  // The pod-1 peer ToR lost the S-1-1 path: single next hop remains.
+  auto& tor12 = dep_->bgp(blueprint_->leaf(1, 2));
+  const ip::Route* pod_route = tor12.routes().exact(subnet11);
+  ASSERT_NE(pod_route, nullptr);
+  EXPECT_EQ(pod_route->nexthops.size(), 1u);
+}
+
+TEST_F(BgpIntegrationTest, BfdDetectsFasterThanHoldTimer) {
+  deploy(topo::ClosParams::paper_2pod(), Proto::kBgpBfd);
+  run_for(sim::Duration::seconds(5));
+  ASSERT_TRUE(dep_->converged());
+
+  // TC1 again: with BFD (100 ms x3) S-1-1 drops the session in ~300 ms.
+  topo::FailureInjector injector(dep_->network(), *blueprint_);
+  injector.schedule_failure(topo::TestCase::kTC1,
+                            ctx_->now() + sim::Duration::millis(100));
+  run_for(sim::Duration::millis(800));
+
+  // The session to the failed ToR is no longer established.
+  auto& s11 = dep_->bgp(blueprint_->pod_spine(1, 1));
+  EXPECT_EQ(s11.established_sessions(), s11.config().neighbors.size() - 1);
+}
+
+TEST_F(BgpIntegrationTest, TrafficRecoversAfterFailure) {
+  for (topo::TestCase tc : topo::kAllTestCases) {
+    SCOPED_TRACE(std::string(topo::to_string(tc)));
+    deploy(topo::ClosParams::paper_2pod());
+    run_for(sim::Duration::seconds(5));
+    ASSERT_TRUE(dep_->converged());
+
+    topo::FailureInjector injector(dep_->network(), *blueprint_);
+    injector.schedule_failure(tc, ctx_->now() + sim::Duration::millis(100));
+    run_for(sim::Duration::seconds(5));  // past hold timer + dissemination
+
+    auto& a = dep_->host(0);
+    auto& b = dep_->host(3);
+    b.listen();
+    traffic::FlowConfig flow;
+    flow.dst = b.addr();
+    flow.count = 200;
+    flow.gap = sim::Duration::millis(1);
+    a.start_flow(flow);
+    run_for(sim::Duration::seconds(1));
+    EXPECT_EQ(b.sink_stats().unique_received, 200u);
+  }
+}
+
+}  // namespace
+}  // namespace mrmtp

@@ -1,0 +1,180 @@
+// End-to-end MR-MTP integration: tree establishment, data delivery, failure
+// recovery on the paper's 2-PoD and 4-PoD topologies.
+#include <gtest/gtest.h>
+
+#include "harness/deploy.hpp"
+#include "harness/experiment.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp {
+namespace {
+
+using harness::Deployment;
+using harness::DeployOptions;
+using harness::Proto;
+
+class MtpIntegrationTest : public ::testing::Test {
+ protected:
+  void deploy(topo::ClosParams params, std::uint64_t seed = 7) {
+    // The deployment must die before the SimContext its timers point at
+    // (matters when a test deploys more than once).
+    dep_.reset();
+    blueprint_.reset();
+    ctx_ = std::make_unique<net::SimContext>(seed);
+    blueprint_ = std::make_unique<topo::ClosBlueprint>(params);
+    dep_ = std::make_unique<Deployment>(*ctx_, *blueprint_, Proto::kMtp,
+                                        DeployOptions{});
+    dep_->start();
+  }
+
+  void run_for(sim::Duration d) { ctx_->sched.run_until(ctx_->now() + d); }
+
+  std::unique_ptr<net::SimContext> ctx_;
+  std::unique_ptr<topo::ClosBlueprint> blueprint_;
+  std::unique_ptr<Deployment> dep_;
+};
+
+TEST_F(MtpIntegrationTest, TwoPodTreeEstablishment) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(2));
+  EXPECT_TRUE(dep_->converged());
+
+  // Every top spine holds exactly one VID per ToR tree (paper Fig. 2).
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    auto& top = dep_->mtp(blueprint_->top_spine(t));
+    EXPECT_EQ(top.vid_table().size(), 4u) << "T-" << t;
+    for (std::uint16_t vid : dep_->all_vids()) {
+      EXPECT_EQ(top.vid_table().entries_for_root(vid).size(), 1u);
+    }
+  }
+  // Pod spines hold one VID per local ToR.
+  for (std::uint32_t pod = 1; pod <= 2; ++pod) {
+    for (std::uint32_t s = 1; s <= 2; ++s) {
+      auto& spine = dep_->mtp(blueprint_->pod_spine(pod, s));
+      EXPECT_EQ(spine.vid_table().size(), 2u);
+    }
+  }
+}
+
+TEST_F(MtpIntegrationTest, VidsEncodePaperPaths) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(2));
+
+  // Paper Fig. 2: S1_1 acquires 11.1 and 12.1; S2_1 acquires 11.1.1.
+  auto& s11 = dep_->mtp(blueprint_->pod_spine(1, 1));
+  EXPECT_TRUE(s11.vid_table().contains(mtp::Vid::parse("11.1")));
+  EXPECT_TRUE(s11.vid_table().contains(mtp::Vid::parse("12.1")));
+
+  auto& t1 = dep_->mtp(blueprint_->top_spine(1));
+  EXPECT_TRUE(t1.vid_table().contains(mtp::Vid::parse("11.1.1")));
+  // T-3 connects to S-1-1's port 2 -> 11.1.2.
+  auto& t3 = dep_->mtp(blueprint_->top_spine(3));
+  EXPECT_TRUE(t3.vid_table().contains(mtp::Vid::parse("11.1.2")));
+}
+
+TEST_F(MtpIntegrationTest, EndToEndDelivery) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(2));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);    // H-1-1, subnet 192.168.11.0/24
+  auto& receiver = dep_->host(3);  // H-2-2, subnet 192.168.14.0/24
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 100;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+
+  EXPECT_EQ(sender.packets_sent(), 100u);
+  EXPECT_EQ(receiver.sink_stats().unique_received, 100u);
+  EXPECT_EQ(receiver.sink_stats().duplicates, 0u);
+}
+
+TEST_F(MtpIntegrationTest, IntraPodDeliveryUsesPodSpineShortcut) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(2));
+
+  auto& sender = dep_->host(0);    // ToR 11
+  auto& receiver = dep_->host(1);  // ToR 12, same pod
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 50;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 50u);
+
+  // No top spine should have forwarded this pod-local traffic.
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    EXPECT_EQ(dep_->mtp(blueprint_->top_spine(t)).mtp_stats().data_forwarded,
+              0u);
+  }
+}
+
+TEST_F(MtpIntegrationTest, FourPodConvergesAndDelivers) {
+  deploy(topo::ClosParams::paper_4pod());
+  run_for(sim::Duration::seconds(3));
+  ASSERT_TRUE(dep_->converged());
+
+  auto& sender = dep_->host(0);
+  auto& receiver = dep_->host(7);
+  receiver.listen();
+  traffic::FlowConfig flow;
+  flow.dst = receiver.addr();
+  flow.count = 100;
+  flow.gap = sim::Duration::millis(1);
+  sender.start_flow(flow);
+  run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(receiver.sink_stats().unique_received, 100u);
+}
+
+TEST_F(MtpIntegrationTest, RecoversFromEachTestCaseFailure) {
+  for (topo::TestCase tc : topo::kAllTestCases) {
+    SCOPED_TRACE(std::string(topo::to_string(tc)));
+    deploy(topo::ClosParams::paper_2pod());
+    run_for(sim::Duration::seconds(2));
+    ASSERT_TRUE(dep_->converged());
+
+    topo::FailureInjector injector(dep_->network(), *blueprint_);
+    injector.schedule_failure(tc, ctx_->now() + sim::Duration::millis(100));
+    run_for(sim::Duration::seconds(2));
+
+    // Traffic still flows both directions after reconvergence.
+    auto& a = dep_->host(0);
+    auto& b = dep_->host(3);
+    b.listen();
+    traffic::FlowConfig flow;
+    flow.dst = b.addr();
+    flow.count = 200;
+    flow.gap = sim::Duration::millis(1);
+    a.start_flow(flow);
+    run_for(sim::Duration::seconds(1));
+    EXPECT_EQ(b.sink_stats().unique_received, 200u);
+  }
+}
+
+TEST_F(MtpIntegrationTest, InterfaceRecoveryRebuildsTree) {
+  deploy(topo::ClosParams::paper_2pod());
+  run_for(sim::Duration::seconds(2));
+  ASSERT_TRUE(dep_->converged());
+
+  topo::FailureInjector injector(dep_->network(), *blueprint_);
+  injector.schedule_failure(topo::TestCase::kTC1,
+                            ctx_->now() + sim::Duration::millis(100));
+  run_for(sim::Duration::seconds(1));
+  EXPECT_FALSE(dep_->converged());  // branch 11.1 pruned
+
+  injector.schedule_recovery(ctx_->now() + sim::Duration::millis(100));
+  run_for(sim::Duration::seconds(2));
+  EXPECT_TRUE(dep_->converged());
+
+  // The re-established branch carries the same derived VIDs.
+  auto& t1 = dep_->mtp(blueprint_->top_spine(1));
+  EXPECT_TRUE(t1.vid_table().contains(mtp::Vid::parse("11.1.1")));
+}
+
+}  // namespace
+}  // namespace mrmtp

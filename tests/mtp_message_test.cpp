@@ -1,0 +1,136 @@
+// Unit tests: MR-MTP message codecs — every type round-trips; the HELLO is
+// the paper's single byte 0x06; update messages stay tiny.
+#include <gtest/gtest.h>
+
+#include "mtp/message.hpp"
+
+#include "net/frame.hpp"
+
+namespace mrmtp::mtp {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg) {
+  auto bytes = encode(MtpMessage{msg});
+  MtpMessage decoded = decode(bytes);
+  return std::get<T>(decoded);
+}
+
+TEST(MtpCodecTest, HelloIsExactlyOneByte0x06) {
+  auto bytes = encode(MtpMessage{HelloMsg{}});
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x06);  // the paper's Fig. 10 capture: "Data: 06"
+  EXPECT_TRUE(std::holds_alternative<HelloMsg>(decode(bytes)));
+}
+
+TEST(MtpCodecTest, EtherTypeIsThePapersUnused0x8850) {
+  EXPECT_EQ(kMtpEtherType, 0x8850);
+  EXPECT_EQ(static_cast<std::uint16_t>(net::EtherType::kMtp), 0x8850);
+}
+
+TEST(MtpCodecTest, AdvertiseRoundTrip) {
+  AdvertiseMsg m;
+  m.tier = 2;
+  m.vids = {Vid::parse("11.1"), Vid::parse("12.1")};
+  auto out = round_trip(m);
+  EXPECT_EQ(out.tier, 2);
+  ASSERT_EQ(out.vids.size(), 2u);
+  EXPECT_EQ(out.vids[1].str(), "12.1");
+}
+
+TEST(MtpCodecTest, JoinRequestRoundTrip) {
+  JoinRequestMsg m;
+  m.vids = {Vid::parse("11"), Vid::parse("12")};
+  auto out = round_trip(m);
+  ASSERT_EQ(out.vids.size(), 2u);
+  EXPECT_EQ(out.vids[0].str(), "11");
+}
+
+TEST(MtpCodecTest, JoinOfferCarriesMsgId) {
+  JoinOfferMsg m;
+  m.msg_id = 777;
+  m.vids = {Vid::parse("11.1.1")};
+  auto out = round_trip(m);
+  EXPECT_EQ(out.msg_id, 777);
+  EXPECT_EQ(out.vids[0].str(), "11.1.1");
+}
+
+TEST(MtpCodecTest, CtrlAckRoundTrip) {
+  EXPECT_EQ(round_trip(CtrlAckMsg{42}).msg_id, 42);
+}
+
+TEST(MtpCodecTest, WithdrawRoundTrip) {
+  VidWithdrawMsg m;
+  m.msg_id = 5;
+  m.vids = {Vid::parse("11.1.1"), Vid::parse("12.1.1")};
+  auto out = round_trip(m);
+  EXPECT_EQ(out.msg_id, 5);
+  ASSERT_EQ(out.vids.size(), 2u);
+}
+
+TEST(MtpCodecTest, DestUnreachAndClearRoundTrip) {
+  DestUnreachMsg u;
+  u.msg_id = 9;
+  u.roots = {11, 12};
+  auto out = round_trip(u);
+  EXPECT_EQ(out.roots, (std::vector<std::uint16_t>{11, 12}));
+
+  DestClearMsg c;
+  c.msg_id = 10;
+  c.roots = {11};
+  EXPECT_EQ(round_trip(c).roots, (std::vector<std::uint16_t>{11}));
+}
+
+TEST(MtpCodecTest, UpdateMessagesStayTiny) {
+  // The whole point of Fig. 6: an MTP update is an order of magnitude
+  // smaller than a BGP UPDATE frame.
+  VidWithdrawMsg w;
+  w.msg_id = 1;
+  w.vids = {Vid::parse("11.1.1")};
+  EXPECT_LE(encode(MtpMessage{w}).size() + 14, 60u);  // fits minimum frame
+
+  DestUnreachMsg u;
+  u.msg_id = 2;
+  u.roots = {11, 12};
+  EXPECT_EQ(encode(MtpMessage{u}).size(), 1u + 2 + 1 + 4);
+}
+
+TEST(MtpCodecTest, DataEncapsulatesIpPacketUnchanged) {
+  DataMsg m;
+  m.src_root = 11;
+  m.dst_root = 14;
+  m.ttl = 16;
+  m.ip_packet = {0x45, 0, 0, 20, 1, 2, 3, 4};
+  auto out = round_trip(m);
+  EXPECT_EQ(out.src_root, 11);
+  EXPECT_EQ(out.dst_root, 14);
+  EXPECT_EQ(out.ttl, 16);
+  EXPECT_EQ(out.ip_packet, m.ip_packet);
+  // Encapsulation overhead is the 5-byte MTP header + 1 type byte.
+  EXPECT_EQ(encode(MtpMessage{m}).size(), m.ip_packet.size() + 6);
+}
+
+TEST(MtpCodecTest, DecodeRejectsGarbage) {
+  std::vector<std::uint8_t> empty;
+  EXPECT_THROW(decode(empty), util::CodecError);
+  std::vector<std::uint8_t> unknown{0xee};
+  EXPECT_THROW(decode(unknown), util::CodecError);
+  std::vector<std::uint8_t> truncated{
+      static_cast<std::uint8_t>(MsgType::kJoinOffer), 0x00};
+  EXPECT_THROW(decode(truncated), util::CodecError);
+}
+
+TEST(MtpCodecTest, TypeOfCoversAllAlternatives) {
+  EXPECT_EQ(type_of(MtpMessage{HelloMsg{}}), MsgType::kHello);
+  EXPECT_EQ(type_of(MtpMessage{AdvertiseMsg{}}), MsgType::kAdvertise);
+  EXPECT_EQ(type_of(MtpMessage{JoinRequestMsg{}}), MsgType::kJoinRequest);
+  EXPECT_EQ(type_of(MtpMessage{JoinOfferMsg{}}), MsgType::kJoinOffer);
+  EXPECT_EQ(type_of(MtpMessage{CtrlAckMsg{}}), MsgType::kCtrlAck);
+  EXPECT_EQ(type_of(MtpMessage{VidWithdrawMsg{}}), MsgType::kVidWithdraw);
+  EXPECT_EQ(type_of(MtpMessage{DestUnreachMsg{}}), MsgType::kDestUnreach);
+  EXPECT_EQ(type_of(MtpMessage{DestClearMsg{}}), MsgType::kDestClear);
+  EXPECT_EQ(type_of(MtpMessage{DataMsg{}}), MsgType::kData);
+}
+
+}  // namespace
+}  // namespace mrmtp::mtp

@@ -1,0 +1,110 @@
+// Pcap capture tests: file format correctness (validated by re-parsing the
+// produced bytes) and capture of a live MR-MTP link showing the paper's
+// Fig.-10 keep-alive frames.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/deploy.hpp"
+#include "net/pcap.hpp"
+
+namespace mrmtp::net {
+namespace {
+
+std::uint32_t rd32(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+TEST(PcapWriterTest, GlobalHeaderFormat) {
+  PcapWriter w;
+  auto bytes = w.to_pcap();
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(rd32(bytes, 0), 0xa1b2c3d4u);  // magic
+  EXPECT_EQ(bytes[4], 2);                  // major
+  EXPECT_EQ(bytes[6], 4);                  // minor
+  EXPECT_EQ(rd32(bytes, 16), 65535u);      // snaplen
+  EXPECT_EQ(rd32(bytes, 20), 1u);          // LINKTYPE_ETHERNET
+}
+
+TEST(PcapWriterTest, RecordsCarryTimestampAndFrame) {
+  PcapWriter w;
+  Frame f;
+  f.dst = MacAddr::broadcast();
+  f.ethertype = EtherType::kMtp;
+  f.payload = {0x06};
+  w.capture(sim::Time::from_ns(1'500'000'000) /* 1.5 s */, f);
+
+  auto bytes = w.to_pcap();
+  ASSERT_EQ(bytes.size(), 24u + 16 + 15);
+  EXPECT_EQ(rd32(bytes, 24), 1u);       // ts seconds
+  EXPECT_EQ(rd32(bytes, 28), 500000u);  // ts microseconds
+  EXPECT_EQ(rd32(bytes, 32), 15u);      // captured length
+  EXPECT_EQ(rd32(bytes, 36), 15u);      // original length
+  // First captured byte: broadcast destination MAC.
+  EXPECT_EQ(bytes[40], 0xff);
+  // Last byte is the 0x06 keep-alive.
+  EXPECT_EQ(bytes.back(), 0x06);
+}
+
+TEST(PcapWriterTest, WritesFile) {
+  PcapWriter w;
+  Frame f;
+  f.payload = {1, 2, 3};
+  w.capture(sim::Time::zero(), f);
+  std::string path = ::testing::TempDir() + "/mrmtp_test.pcap";
+  ASSERT_TRUE(w.write_file(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(static_cast<std::size_t>(size), w.to_pcap().size());
+}
+
+TEST(PcapTapTest, CapturesLiveMtpLink) {
+  net::SimContext ctx(3);
+  topo::ClosBlueprint bp(topo::ClosParams::paper_2pod());
+  harness::Deployment dep(ctx, bp, harness::Proto::kMtp, {});
+
+  // Tap the L-1-1 <-> S-1-1 link like tshark on that interface pair.
+  PcapWriter writer;
+  // Link 8 is the first ToR uplink (after the 8 spine uplinks); find it
+  // structurally instead of by index:
+  for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+    const auto& l = bp.links()[li];
+    if (bp.device(l.upper).name == "S-1-1" &&
+        bp.device(l.lower).name == "L-1-1") {
+      attach_tap(*dep.network().links()[li], writer);
+    }
+  }
+
+  dep.start();
+  ctx.sched.run_until(sim::Time::from_ns(sim::Duration::seconds(3).ns()));
+  ASSERT_GT(writer.size(), 20u);
+
+  // The idle link carries 1-byte 0x06 keep-alives in both directions —
+  // the paper's Fig. 10 capture.
+  std::size_t hellos = 0;
+  for (const auto& rec : writer.records()) {
+    if (rec.traffic_class == TrafficClass::kMtpHello) {
+      ++hellos;
+      ASSERT_EQ(rec.bytes.size(), 15u);
+      EXPECT_EQ(rec.bytes[12], 0x88);  // EtherType 0x8850
+      EXPECT_EQ(rec.bytes[13], 0x50);
+      EXPECT_EQ(rec.bytes[14], 0x06);  // the keep-alive byte
+    }
+  }
+  EXPECT_GT(hellos, 20u);  // ~40/s once the fabric idles
+
+  // Timestamps are monotone non-decreasing.
+  for (std::size_t i = 1; i < writer.records().size(); ++i) {
+    EXPECT_GE(writer.records()[i].at.ns(), writer.records()[i - 1].at.ns());
+  }
+}
+
+}  // namespace
+}  // namespace mrmtp::net

@@ -1,0 +1,183 @@
+// Unit tests: the folded-Clos blueprint — naming, wiring order (which fixes
+// port numbers and therefore VIDs), addressing, ASN plan, TC failure points,
+// and the Listing-2 MTP configuration.
+#include <gtest/gtest.h>
+
+#include "topo/clos.hpp"
+
+namespace mrmtp::topo {
+namespace {
+
+TEST(ClosParamsTest, PaperTopologies) {
+  auto p2 = ClosParams::paper_2pod();
+  EXPECT_EQ(p2.router_count(), 12u);  // 4 leaves + 4 pod spines + 4 tops
+  auto p4 = ClosParams::paper_4pod();
+  EXPECT_EQ(p4.router_count(), 20u);  // 8 + 8 + 4
+  EXPECT_EQ(p2.uplinks_per_spine(), 2u);
+}
+
+TEST(ClosBlueprintTest, RejectsBadParameters) {
+  EXPECT_THROW(ClosBlueprint(ClosParams{0, 2, 2, 4, 1}), std::invalid_argument);
+  EXPECT_THROW(ClosBlueprint(ClosParams{2, 2, 3, 4, 1}), std::invalid_argument);
+}
+
+TEST(ClosBlueprintTest, DeviceNamingMatchesListing2) {
+  ClosBlueprint bp(ClosParams::paper_4pod());
+  EXPECT_EQ(bp.device(bp.leaf(1, 1)).name, "L-1-1");
+  EXPECT_EQ(bp.device(bp.leaf(4, 2)).name, "L-4-2");
+  EXPECT_EQ(bp.device(bp.pod_spine(3, 2)).name, "S-3-2");
+  EXPECT_EQ(bp.device(bp.top_spine(4)).name, "T-4");
+  EXPECT_EQ(bp.device_index("S-2-1"), bp.pod_spine(2, 1));
+  EXPECT_THROW((void)bp.device_index("X-9"), std::out_of_range);
+}
+
+TEST(ClosBlueprintTest, VidsAreSequentialFromEleven) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+  EXPECT_EQ(bp.tor_vid(1, 1), 11);
+  EXPECT_EQ(bp.tor_vid(1, 2), 12);
+  EXPECT_EQ(bp.tor_vid(2, 1), 13);
+  EXPECT_EQ(bp.tor_vid(2, 2), 14);
+  EXPECT_EQ(bp.device(bp.leaf(1, 1)).server_subnet->str(), "192.168.11.0/24");
+}
+
+TEST(ClosBlueprintTest, LinkCountsAndDegrees) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+  // Pod-spine uplinks: 2 pods * 2 spines * 2 uplinks = 8.
+  // ToR uplinks: 2 pods * 2 tors * 2 spines = 8.
+  EXPECT_EQ(bp.links().size(), 16u);
+  EXPECT_EQ(bp.hosts().size(), 4u);
+
+  // Every top spine has exactly one link per pod.
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    int degree = 0;
+    for (const auto& l : bp.links()) {
+      if (l.upper == bp.top_spine(t)) ++degree;
+    }
+    EXPECT_EQ(degree, 2) << "T-" << t;
+  }
+}
+
+TEST(ClosBlueprintTest, WiringMatchesPaperFig2) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+  // S-1-1 (paper S1_1) uplinks to T-1 and T-3 (paper S2_1 / S2_3) on its
+  // ports 1 and 2 — that ordering produces VIDs 11.1.1 and 11.1.2.
+  std::uint32_t s11 = bp.pod_spine(1, 1);
+  std::vector<std::pair<std::string, std::uint32_t>> uplinks;
+  for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+    const auto& l = bp.links()[li];
+    if (l.lower == s11) {
+      uplinks.emplace_back(bp.device(l.upper).name, bp.port_on(s11, li));
+    }
+  }
+  ASSERT_EQ(uplinks.size(), 2u);
+  EXPECT_EQ(uplinks[0], (std::pair<std::string, std::uint32_t>{"T-1", 1}));
+  EXPECT_EQ(uplinks[1], (std::pair<std::string, std::uint32_t>{"T-3", 2}));
+
+  // L-1-1's ports 1 and 2 go to S-1-1 and S-1-2 (VIDs 11.1, 11.2).
+  std::uint32_t l11 = bp.leaf(1, 1);
+  for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+    const auto& l = bp.links()[li];
+    if (l.lower == l11) {
+      std::uint32_t port = bp.port_on(l11, li);
+      EXPECT_EQ(bp.device(l.upper).name, "S-1-" + std::to_string(port));
+    }
+  }
+}
+
+TEST(ClosBlueprintTest, AsnPlanFollowsRfc7938Listing1) {
+  ClosBlueprint bp(ClosParams::paper_4pod());
+  // All tops share 64512; pod spines get 64513..64516; ToRs unique.
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    EXPECT_EQ(bp.device(bp.top_spine(t)).asn, 64512u);
+  }
+  for (std::uint32_t pod = 1; pod <= 4; ++pod) {
+    EXPECT_EQ(bp.device(bp.pod_spine(pod, 1)).asn, 64512u + pod);
+    EXPECT_EQ(bp.device(bp.pod_spine(pod, 2)).asn, 64512u + pod);
+  }
+  std::set<std::uint32_t> tor_asns;
+  for (const auto& d : bp.devices()) {
+    if (d.role == Role::kLeaf) tor_asns.insert(d.asn);
+  }
+  EXPECT_EQ(tor_asns.size(), 8u);
+}
+
+TEST(ClosBlueprintTest, P2PAddressesAreUniqueSlash31Pairs) {
+  ClosBlueprint bp(ClosParams::paper_4pod());
+  std::set<std::uint32_t> seen;
+  for (const auto& l : bp.links()) {
+    EXPECT_EQ(l.lower_addr.value(), l.upper_addr.value() + 1);
+    EXPECT_EQ(l.upper_addr.value() % 2, 0u);  // even side of the /31
+    EXPECT_TRUE(seen.insert(l.upper_addr.value()).second);
+    EXPECT_TRUE(seen.insert(l.lower_addr.value()).second);
+  }
+}
+
+TEST(ClosBlueprintTest, FailurePointsMatchPaperFig3) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+
+  FailurePoint tc1 = bp.failure_point(TestCase::kTC1);
+  EXPECT_EQ(tc1.device, "L-1-1");
+  EXPECT_EQ(tc1.port, 1u);  // first uplink = toward S-1-1
+  EXPECT_EQ(tc1.peer, "S-1-1");
+
+  FailurePoint tc2 = bp.failure_point(TestCase::kTC2);
+  EXPECT_EQ(tc2.device, "S-1-1");
+  EXPECT_EQ(tc2.peer, "L-1-1");
+  // S-1-1's downlinks follow its 2 uplinks: L-1-1 is port 3.
+  EXPECT_EQ(tc2.port, 3u);
+
+  FailurePoint tc3 = bp.failure_point(TestCase::kTC3);
+  EXPECT_EQ(tc3.device, "S-1-1");
+  EXPECT_EQ(tc3.port, 1u);  // first uplink = toward T-1
+  EXPECT_EQ(tc3.peer, "T-1");
+
+  FailurePoint tc4 = bp.failure_point(TestCase::kTC4);
+  EXPECT_EQ(tc4.device, "T-1");
+  EXPECT_EQ(tc4.port, 1u);  // pod-1 downlink
+  EXPECT_EQ(tc4.peer, "S-1-1");
+}
+
+TEST(ClosBlueprintTest, LeafHostPortFollowsUplinks) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+  // 2 uplinks, so the rack port is eth3 — as in the paper's Listing 2.
+  EXPECT_EQ(bp.leaf_host_port(bp.leaf(1, 1)), 3u);
+}
+
+TEST(ClosBlueprintTest, HostAddressing) {
+  ClosBlueprint bp(ClosParams::paper_2pod());
+  const auto& h = bp.hosts()[0];
+  EXPECT_EQ(h.name, "H-1-1");
+  EXPECT_EQ(h.addr.str(), "192.168.11.1");
+  EXPECT_EQ(h.gateway.str(), "192.168.11.254");
+  EXPECT_EQ(bp.hosts()[3].addr.str(), "192.168.14.1");
+}
+
+TEST(ClosBlueprintTest, MtpConfigMatchesListing2Shape) {
+  ClosBlueprint bp(ClosParams::paper_4pod());
+  util::Json cfg = bp.mtp_config();
+  const util::Json* topo = cfg.find("topology");
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->find("tiers")->as_int(), 3);
+  EXPECT_EQ(topo->find("leaves")->as_array().size(), 8u);
+  EXPECT_EQ(topo->find("topSpines")->as_array().size(), 4u);
+  EXPECT_EQ(topo->find("pods")->as_array().size(), 4u);
+  EXPECT_EQ(
+      topo->find("leavesNetworkPortDict")->find("L-1-1")->as_string(), "eth3");
+
+  // The config is valid JSON end-to-end.
+  std::string text = cfg.dump();
+  EXPECT_NO_THROW(util::Json::parse(text));
+}
+
+TEST(ClosBlueprintTest, ScalesToSixteenPods) {
+  ClosParams params{16, 4, 4, 16, 1};
+  ClosBlueprint bp(params);
+  EXPECT_EQ(bp.devices().size(), 16u * 8 + 16);
+  EXPECT_EQ(bp.links().size(),
+            16u * 4 * 4 /* spine uplinks */ + 16u * 4 * 4 /* tor uplinks */);
+  // VIDs stay within a byte for 64 racks starting at 11.
+  EXPECT_EQ(bp.tor_vid(16, 4), 11 + 63);
+}
+
+}  // namespace
+}  // namespace mrmtp::topo

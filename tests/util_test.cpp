@@ -1,0 +1,188 @@
+// Unit tests: byte I/O cursors, JSON, string helpers.
+#include <gtest/gtest.h>
+
+#include "util/byte_io.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace mrmtp::util {
+namespace {
+
+TEST(BufWriterTest, WritesNetworkOrder) {
+  BufWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  ASSERT_EQ(w.size(), 7u);
+  const auto& b = w.data();
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x56);
+  EXPECT_EQ(b[3], 0x78);
+  EXPECT_EQ(b[4], 0x9a);
+  EXPECT_EQ(b[5], 0xbc);
+  EXPECT_EQ(b[6], 0xde);
+}
+
+TEST(BufWriterTest, PatchU16OverwritesInPlace) {
+  BufWriter w;
+  w.u16(0);
+  w.u32(0xdeadbeef);
+  w.patch_u16(0, 0xcafe);
+  EXPECT_EQ(w.data()[0], 0xca);
+  EXPECT_EQ(w.data()[1], 0xfe);
+}
+
+TEST(BufWriterTest, PatchOutOfRangeThrows) {
+  BufWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), CodecError);
+}
+
+TEST(BufReaderTest, RoundTripsAllWidths) {
+  BufWriter w;
+  w.u8(7);
+  w.u16(1024);
+  w.u32(123456789);
+  w.u64(0x0123456789abcdefull);
+  auto buf = w.take();
+
+  BufReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 1024);
+  EXPECT_EQ(r.u32(), 123456789u);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BufReaderTest, OverrunThrows) {
+  // Opaque size so the optimizer cannot "prove" the (guarded) overrun.
+  volatile std::size_t n = 2;
+  std::vector<std::uint8_t> buf(n, 1);
+  BufReader r(buf);
+  r.u16();
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(BufReaderTest, SkipAndRest) {
+  std::vector<std::uint8_t> buf{1, 2, 3, 4, 5};
+  BufReader r(buf);
+  r.skip(2);
+  auto rest = r.rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(HexTest, DumpFormatsRows) {
+  std::vector<std::uint8_t> data(20, 0x41);  // 'A'
+  std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("0000"), std::string::npos);
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAA"), std::string::npos);
+}
+
+TEST(HexTest, HexString) {
+  std::vector<std::uint8_t> data{0xff, 0x00, 0x8a};
+  EXPECT_EQ(hex_string(data), "ff008a");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingle) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts{"11", "1", "2"};
+  EXPECT_EQ(join(parts, "."), "11.1.2");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+}
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json j;
+  j["zebra"] = Json(1);
+  j["alpha"] = Json(2);
+  std::string out = j.dump(false);
+  EXPECT_LT(out.find("zebra"), out.find("alpha"));
+}
+
+TEST(JsonTest, NestedDocumentRoundTrip) {
+  const char* text = R"({
+    "topology": {
+      "tiers": 3,
+      "leaves": ["L-1-1", "L-1-2"],
+      "leavesNetworkPortDict": {"L-1-1": "eth3"},
+      "enabled": true
+    }
+  })";
+  Json j = Json::parse(text);
+  const Json* topo = j.find("topology");
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->find("tiers")->as_int(), 3);
+  EXPECT_EQ(topo->find("leaves")->as_array().size(), 2u);
+  EXPECT_EQ(topo->find("leavesNetworkPortDict")->find("L-1-1")->as_string(),
+            "eth3");
+
+  // dump -> parse -> dump is a fixed point.
+  std::string once = j.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(JsonTest, ParseErrorsCarryOffset) {
+  EXPECT_THROW(Json::parse("{"), CodecError);
+  EXPECT_THROW(Json::parse("[1,]"), CodecError);
+  EXPECT_THROW(Json::parse("42 garbage"), CodecError);
+  EXPECT_THROW(Json::parse("\"unterminated"), CodecError);
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").as_array().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").as_object().size(), 0u);
+  Json arr{JsonArray{}};
+  EXPECT_EQ(arr.dump(), "[]");
+}
+
+}  // namespace
+}  // namespace mrmtp::util

@@ -1,0 +1,175 @@
+// VXLAN overlay tests: codec round-trips, VM-to-VM delivery across the
+// MR-MTP and BGP fabrics, tenant (VNI) isolation, same-server switching,
+// and overlay traffic surviving a fabric failure — the paper's assumed
+// deployment model (§III.A).
+#include <gtest/gtest.h>
+
+#include "harness/deploy.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp::traffic {
+namespace {
+
+using harness::Deployment;
+using harness::DeployOptions;
+using harness::Proto;
+
+TEST(VxlanHeaderTest, RoundTrip) {
+  VxlanHeader h{0xabcdef};
+  std::vector<std::uint8_t> inner{1, 2, 3};
+  auto bytes = h.serialize(inner);
+  EXPECT_EQ(bytes.size(), VxlanHeader::kSize + 3);
+  std::span<const std::uint8_t> out;
+  VxlanHeader parsed = VxlanHeader::parse(bytes, out);
+  EXPECT_EQ(parsed.vni, 0xabcdefu);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(VxlanHeaderTest, RejectsMissingVniFlag) {
+  std::vector<std::uint8_t> bogus(8, 0);
+  std::span<const std::uint8_t> out;
+  EXPECT_THROW(VxlanHeader::parse(bogus, out), util::CodecError);
+}
+
+class VxlanFabricTest : public ::testing::Test {
+ protected:
+  void deploy(Proto proto, std::uint64_t seed = 17) {
+    // The deployment must die before the SimContext its timers point at
+    // (matters when a test deploys more than once).
+    dep_.reset();
+    blueprint_.reset();
+    ctx_ = std::make_unique<net::SimContext>(seed);
+    blueprint_ = std::make_unique<topo::ClosBlueprint>(
+        topo::ClosParams::paper_2pod());
+    DeployOptions options;
+    options.vtep_hosts = true;
+    dep_ = std::make_unique<Deployment>(*ctx_, *blueprint_, proto, options);
+
+    // Two tenants; tenant 100 spans servers 0 and 3, tenant 200 has a VM
+    // with the SAME overlay address on server 1 (isolation check).
+    auto& a = dep_->vtep(0);
+    auto& b = dep_->vtep(3);
+    auto& c = dep_->vtep(1);
+    a.add_vm(100, vm1_);
+    b.add_vm(100, vm2_);
+    c.add_vm(200, vm2_);  // same overlay IP, different tenant
+    a.add_remote(100, vm2_, b.addr());
+    b.add_remote(100, vm1_, a.addr());
+    c.add_remote(200, vm1_, a.addr());
+
+    dep_->start();
+    ctx_->sched.run_until(sim::Time::from_ns(sim::Duration::seconds(5).ns()));
+    ASSERT_TRUE(dep_->converged());
+  }
+
+  void run_for(sim::Duration d) { ctx_->sched.run_until(ctx_->now() + d); }
+
+  ip::Ipv4Addr vm1_ = ip::Ipv4Addr::parse("10.0.0.1");
+  ip::Ipv4Addr vm2_ = ip::Ipv4Addr::parse("10.0.0.2");
+  std::unique_ptr<net::SimContext> ctx_;
+  std::unique_ptr<topo::ClosBlueprint> blueprint_;
+  std::unique_ptr<Deployment> dep_;
+};
+
+TEST_F(VxlanFabricTest, OverlayDeliveryAcrossMtpFabric) {
+  deploy(Proto::kMtp);
+  auto& a = dep_->vtep(0);
+  auto& b = dep_->vtep(3);
+
+  for (int i = 0; i < 50; ++i) {
+    a.vm_send(100, vm1_, vm2_, {std::uint8_t(i)});
+  }
+  run_for(sim::Duration::millis(100));
+
+  EXPECT_EQ(b.vm_received(100, vm2_), 50u);
+  EXPECT_EQ(a.vtep_stats().encapsulated, 50u);
+  EXPECT_EQ(b.vtep_stats().decapsulated, 50u);
+  // The underlay only ever saw server-to-server traffic, so the ToR could
+  // derive the destination VID from the *outer* header (§III.A).
+}
+
+TEST_F(VxlanFabricTest, OverlayDeliveryAcrossBgpFabric) {
+  deploy(Proto::kBgp);
+  auto& a = dep_->vtep(0);
+  auto& b = dep_->vtep(3);
+  for (int i = 0; i < 50; ++i) a.vm_send(100, vm1_, vm2_, {1, 2});
+  run_for(sim::Duration::millis(100));
+  EXPECT_EQ(b.vm_received(100, vm2_), 50u);
+}
+
+TEST_F(VxlanFabricTest, TenantIsolationByVni) {
+  deploy(Proto::kMtp);
+  auto& a = dep_->vtep(0);
+  auto& b = dep_->vtep(3);
+  auto& c = dep_->vtep(1);
+
+  // Tenant 100's VM sends to 10.0.0.2 — only the tenant-100 instance on
+  // server b may receive it, never tenant 200's same-address VM on c.
+  a.vm_send(100, vm1_, vm2_, {42});
+  run_for(sim::Duration::millis(50));
+  EXPECT_EQ(b.vm_received(100, vm2_), 1u);
+  EXPECT_EQ(c.vm_received(200, vm2_), 0u);
+
+  // A tenant with no mapping for the destination cannot leak packets.
+  a.vm_send(200, vm1_, vm2_, {43});
+  run_for(sim::Duration::millis(50));
+  EXPECT_EQ(c.vm_received(200, vm2_), 0u);
+  EXPECT_GE(a.vtep_stats().dropped_no_mapping, 1u);
+}
+
+TEST_F(VxlanFabricTest, SameServerVmsSwitchLocally) {
+  deploy(Proto::kMtp);
+  auto& a = dep_->vtep(0);
+  a.add_vm(100, ip::Ipv4Addr::parse("10.0.0.9"));
+
+  std::uint64_t encap_before = a.vtep_stats().encapsulated;
+  a.vm_send(100, vm1_, ip::Ipv4Addr::parse("10.0.0.9"), {7});
+  run_for(sim::Duration::millis(10));
+  EXPECT_EQ(a.vm_received(100, ip::Ipv4Addr::parse("10.0.0.9")), 1u);
+  EXPECT_EQ(a.vtep_stats().encapsulated, encap_before);  // no fabric trip
+  EXPECT_EQ(a.vtep_stats().delivered_local, 1u);
+}
+
+TEST_F(VxlanFabricTest, InnerPayloadIntegrity) {
+  deploy(Proto::kMtp);
+  auto& a = dep_->vtep(0);
+  auto& b = dep_->vtep(3);
+
+  std::vector<std::uint8_t> got;
+  ip::Ipv4Addr got_src;
+  b.add_vm(100, ip::Ipv4Addr::parse("10.0.0.77"),
+           [&](const ip::Ipv4Header& inner,
+               std::span<const std::uint8_t> payload) {
+             got.assign(payload.begin(), payload.end());
+             got_src = inner.src;
+           });
+  a.add_remote(100, ip::Ipv4Addr::parse("10.0.0.77"), b.addr());
+
+  std::vector<std::uint8_t> blob(300);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  a.vm_send(100, vm1_, ip::Ipv4Addr::parse("10.0.0.77"), blob);
+  run_for(sim::Duration::millis(50));
+  EXPECT_EQ(got, blob);
+  EXPECT_EQ(got_src, vm1_);
+}
+
+TEST_F(VxlanFabricTest, OverlaySurvivesFabricFailure) {
+  deploy(Proto::kMtp);
+  auto& a = dep_->vtep(0);
+  auto& b = dep_->vtep(3);
+
+  topo::FailureInjector injector(dep_->network(), *blueprint_);
+  injector.schedule_failure(topo::TestCase::kTC1,
+                            ctx_->now() + sim::Duration::millis(10));
+  run_for(sim::Duration::millis(500));  // reconverge past the dead timer
+
+  for (int i = 0; i < 100; ++i) a.vm_send(100, vm1_, vm2_, {9});
+  run_for(sim::Duration::millis(200));
+  EXPECT_EQ(b.vm_received(100, vm2_), 100u);
+}
+
+}  // namespace
+}  // namespace mrmtp::traffic
