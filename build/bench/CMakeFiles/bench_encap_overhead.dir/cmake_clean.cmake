@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encap_overhead.dir/bench_encap_overhead.cpp.o"
+  "CMakeFiles/bench_encap_overhead.dir/bench_encap_overhead.cpp.o.d"
+  "bench_encap_overhead"
+  "bench_encap_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encap_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_loss_sender_near.dir/bench_fig7_loss_sender_near.cpp.o"
+  "CMakeFiles/bench_fig7_loss_sender_near.dir/bench_fig7_loss_sender_near.cpp.o.d"
+  "bench_fig7_loss_sender_near"
+  "bench_fig7_loss_sender_near.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_loss_sender_near.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_loss_sender_far.dir/bench_fig8_loss_sender_far.cpp.o"
+  "CMakeFiles/bench_fig8_loss_sender_far.dir/bench_fig8_loss_sender_far.cpp.o.d"
+  "bench_fig8_loss_sender_far"
+  "bench_fig8_loss_sender_far.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_loss_sender_far.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

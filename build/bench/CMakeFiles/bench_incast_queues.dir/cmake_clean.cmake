@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incast_queues.dir/bench_incast_queues.cpp.o"
+  "CMakeFiles/bench_incast_queues.dir/bench_incast_queues.cpp.o.d"
+  "bench_incast_queues"
+  "bench_incast_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incast_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing12_configuration.dir/bench_listing12_configuration.cpp.o"
+  "CMakeFiles/bench_listing12_configuration.dir/bench_listing12_configuration.cpp.o.d"
+  "bench_listing12_configuration"
+  "bench_listing12_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing12_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_sweep.dir/bench_scalability_sweep.cpp.o"
+  "CMakeFiles/bench_scalability_sweep.dir/bench_scalability_sweep.cpp.o.d"
+  "bench_scalability_sweep"
+  "bench_scalability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

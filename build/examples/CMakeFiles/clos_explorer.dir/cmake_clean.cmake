@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_explorer.dir/clos_explorer.cpp.o"
+  "CMakeFiles/clos_explorer.dir/clos_explorer.cpp.o.d"
+  "clos_explorer"
+  "clos_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

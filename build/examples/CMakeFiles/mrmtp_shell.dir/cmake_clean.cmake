@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_shell.dir/mrmtp_shell.cpp.o"
+  "CMakeFiles/mrmtp_shell.dir/mrmtp_shell.cpp.o.d"
+  "mrmtp_shell"
+  "mrmtp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vxlan_tenants.dir/vxlan_tenants.cpp.o"
+  "CMakeFiles/vxlan_tenants.dir/vxlan_tenants.cpp.o.d"
+  "vxlan_tenants"
+  "vxlan_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vxlan_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_smoke "sh" "-c" "printf 'start
+run 2000
+converged
+tc TC1
+run 1000
+traffic 0 3 100 500
+quit
+' | /root/repo/build/examples/mrmtp_shell | grep -q 'converged: yes'")
+set_tests_properties(shell_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_bfd.dir/bfd.cpp.o"
+  "CMakeFiles/mrmtp_bfd.dir/bfd.cpp.o.d"
+  "libmrmtp_bfd.a"
+  "libmrmtp_bfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_bfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

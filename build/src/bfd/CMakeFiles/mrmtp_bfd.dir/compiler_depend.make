@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrmtp_bfd.
+# This may be replaced when dependencies are built.

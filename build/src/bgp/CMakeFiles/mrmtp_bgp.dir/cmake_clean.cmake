@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_bgp.dir/message.cpp.o"
+  "CMakeFiles/mrmtp_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/mrmtp_bgp.dir/router.cpp.o"
+  "CMakeFiles/mrmtp_bgp.dir/router.cpp.o.d"
+  "libmrmtp_bgp.a"
+  "libmrmtp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

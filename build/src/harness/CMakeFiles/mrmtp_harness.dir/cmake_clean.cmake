@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_harness.dir/deploy.cpp.o"
+  "CMakeFiles/mrmtp_harness.dir/deploy.cpp.o.d"
+  "CMakeFiles/mrmtp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mrmtp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/mrmtp_harness.dir/report.cpp.o"
+  "CMakeFiles/mrmtp_harness.dir/report.cpp.o.d"
+  "CMakeFiles/mrmtp_harness.dir/stats.cpp.o"
+  "CMakeFiles/mrmtp_harness.dir/stats.cpp.o.d"
+  "libmrmtp_harness.a"
+  "libmrmtp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

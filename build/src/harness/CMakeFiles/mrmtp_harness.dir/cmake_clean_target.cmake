@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrmtp_harness.a"
+)

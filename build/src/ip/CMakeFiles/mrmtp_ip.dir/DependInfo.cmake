@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/addr.cpp" "src/ip/CMakeFiles/mrmtp_ip.dir/addr.cpp.o" "gcc" "src/ip/CMakeFiles/mrmtp_ip.dir/addr.cpp.o.d"
+  "/root/repo/src/ip/packet.cpp" "src/ip/CMakeFiles/mrmtp_ip.dir/packet.cpp.o" "gcc" "src/ip/CMakeFiles/mrmtp_ip.dir/packet.cpp.o.d"
+  "/root/repo/src/ip/route_table.cpp" "src/ip/CMakeFiles/mrmtp_ip.dir/route_table.cpp.o" "gcc" "src/ip/CMakeFiles/mrmtp_ip.dir/route_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrmtp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

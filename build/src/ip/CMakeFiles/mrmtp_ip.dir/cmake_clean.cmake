@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_ip.dir/addr.cpp.o"
+  "CMakeFiles/mrmtp_ip.dir/addr.cpp.o.d"
+  "CMakeFiles/mrmtp_ip.dir/packet.cpp.o"
+  "CMakeFiles/mrmtp_ip.dir/packet.cpp.o.d"
+  "CMakeFiles/mrmtp_ip.dir/route_table.cpp.o"
+  "CMakeFiles/mrmtp_ip.dir/route_table.cpp.o.d"
+  "libmrmtp_ip.a"
+  "libmrmtp_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtp/message.cpp" "src/mtp/CMakeFiles/mrmtp_mtp.dir/message.cpp.o" "gcc" "src/mtp/CMakeFiles/mrmtp_mtp.dir/message.cpp.o.d"
+  "/root/repo/src/mtp/router.cpp" "src/mtp/CMakeFiles/mrmtp_mtp.dir/router.cpp.o" "gcc" "src/mtp/CMakeFiles/mrmtp_mtp.dir/router.cpp.o.d"
+  "/root/repo/src/mtp/vid.cpp" "src/mtp/CMakeFiles/mrmtp_mtp.dir/vid.cpp.o" "gcc" "src/mtp/CMakeFiles/mrmtp_mtp.dir/vid.cpp.o.d"
+  "/root/repo/src/mtp/vid_table.cpp" "src/mtp/CMakeFiles/mrmtp_mtp.dir/vid_table.cpp.o" "gcc" "src/mtp/CMakeFiles/mrmtp_mtp.dir/vid_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/mrmtp_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrmtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrmtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrmtp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_mtp.dir/message.cpp.o"
+  "CMakeFiles/mrmtp_mtp.dir/message.cpp.o.d"
+  "CMakeFiles/mrmtp_mtp.dir/router.cpp.o"
+  "CMakeFiles/mrmtp_mtp.dir/router.cpp.o.d"
+  "CMakeFiles/mrmtp_mtp.dir/vid.cpp.o"
+  "CMakeFiles/mrmtp_mtp.dir/vid.cpp.o.d"
+  "CMakeFiles/mrmtp_mtp.dir/vid_table.cpp.o"
+  "CMakeFiles/mrmtp_mtp.dir/vid_table.cpp.o.d"
+  "libmrmtp_mtp.a"
+  "libmrmtp_mtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

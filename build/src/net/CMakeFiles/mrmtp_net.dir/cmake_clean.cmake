@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_net.dir/frame.cpp.o"
+  "CMakeFiles/mrmtp_net.dir/frame.cpp.o.d"
+  "CMakeFiles/mrmtp_net.dir/link.cpp.o"
+  "CMakeFiles/mrmtp_net.dir/link.cpp.o.d"
+  "CMakeFiles/mrmtp_net.dir/node.cpp.o"
+  "CMakeFiles/mrmtp_net.dir/node.cpp.o.d"
+  "CMakeFiles/mrmtp_net.dir/pcap.cpp.o"
+  "CMakeFiles/mrmtp_net.dir/pcap.cpp.o.d"
+  "libmrmtp_net.a"
+  "libmrmtp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_sim.dir/log.cpp.o"
+  "CMakeFiles/mrmtp_sim.dir/log.cpp.o.d"
+  "CMakeFiles/mrmtp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mrmtp_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mrmtp_sim.dir/time.cpp.o"
+  "CMakeFiles/mrmtp_sim.dir/time.cpp.o.d"
+  "libmrmtp_sim.a"
+  "libmrmtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_topo.dir/clos.cpp.o"
+  "CMakeFiles/mrmtp_topo.dir/clos.cpp.o.d"
+  "libmrmtp_topo.a"
+  "libmrmtp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_traffic.dir/host.cpp.o"
+  "CMakeFiles/mrmtp_traffic.dir/host.cpp.o.d"
+  "CMakeFiles/mrmtp_traffic.dir/vxlan.cpp.o"
+  "CMakeFiles/mrmtp_traffic.dir/vxlan.cpp.o.d"
+  "libmrmtp_traffic.a"
+  "libmrmtp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

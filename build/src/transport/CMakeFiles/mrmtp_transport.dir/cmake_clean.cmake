@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_transport.dir/l3_node.cpp.o"
+  "CMakeFiles/mrmtp_transport.dir/l3_node.cpp.o.d"
+  "CMakeFiles/mrmtp_transport.dir/tcp_lite.cpp.o"
+  "CMakeFiles/mrmtp_transport.dir/tcp_lite.cpp.o.d"
+  "libmrmtp_transport.a"
+  "libmrmtp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

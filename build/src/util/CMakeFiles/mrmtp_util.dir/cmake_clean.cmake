@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmtp_util.dir/byte_io.cpp.o"
+  "CMakeFiles/mrmtp_util.dir/byte_io.cpp.o.d"
+  "CMakeFiles/mrmtp_util.dir/json.cpp.o"
+  "CMakeFiles/mrmtp_util.dir/json.cpp.o.d"
+  "CMakeFiles/mrmtp_util.dir/strings.cpp.o"
+  "CMakeFiles/mrmtp_util.dir/strings.cpp.o.d"
+  "libmrmtp_util.a"
+  "libmrmtp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmtp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfd_test.dir/bfd_test.cpp.o"
+  "CMakeFiles/bfd_test.dir/bfd_test.cpp.o.d"
+  "bfd_test"
+  "bfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_failures_test.dir/extended_failures_test.cpp.o"
+  "CMakeFiles/extended_failures_test.dir/extended_failures_test.cpp.o.d"
+  "extended_failures_test"
+  "extended_failures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_failures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_tier_test.dir/four_tier_test.cpp.o"
+  "CMakeFiles/four_tier_test.dir/four_tier_test.cpp.o.d"
+  "four_tier_test"
+  "four_tier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_bgp_test.dir/integration_bgp_test.cpp.o"
+  "CMakeFiles/integration_bgp_test.dir/integration_bgp_test.cpp.o.d"
+  "integration_bgp_test"
+  "integration_bgp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

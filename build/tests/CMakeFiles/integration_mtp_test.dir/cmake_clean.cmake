@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mtp_test.dir/integration_mtp_test.cpp.o"
+  "CMakeFiles/integration_mtp_test.dir/integration_mtp_test.cpp.o.d"
+  "integration_mtp_test"
+  "integration_mtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_failure_semantics_test.dir/mtp_failure_semantics_test.cpp.o"
+  "CMakeFiles/mtp_failure_semantics_test.dir/mtp_failure_semantics_test.cpp.o.d"
+  "mtp_failure_semantics_test"
+  "mtp_failure_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_failure_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

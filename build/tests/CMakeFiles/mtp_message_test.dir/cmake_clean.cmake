@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_message_test.dir/mtp_message_test.cpp.o"
+  "CMakeFiles/mtp_message_test.dir/mtp_message_test.cpp.o.d"
+  "mtp_message_test"
+  "mtp_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

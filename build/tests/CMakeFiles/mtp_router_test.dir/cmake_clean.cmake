@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_router_test.dir/mtp_router_test.cpp.o"
+  "CMakeFiles/mtp_router_test.dir/mtp_router_test.cpp.o.d"
+  "mtp_router_test"
+  "mtp_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_vid_test.dir/mtp_vid_test.cpp.o"
+  "CMakeFiles/mtp_vid_test.dir/mtp_vid_test.cpp.o.d"
+  "mtp_vid_test"
+  "mtp_vid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_vid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport_test.cpp" "tests/CMakeFiles/transport_test.dir/transport_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mrmtp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mrmtp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfd/CMakeFiles/mrmtp_bfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtp/CMakeFiles/mrmtp_mtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mrmtp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mrmtp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mrmtp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mrmtp_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrmtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrmtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrmtp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

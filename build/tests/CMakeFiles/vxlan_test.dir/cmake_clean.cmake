@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vxlan_test.dir/vxlan_test.cpp.o"
+  "CMakeFiles/vxlan_test.dir/vxlan_test.cpp.o.d"
+  "vxlan_test"
+  "vxlan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vxlan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
