@@ -43,7 +43,7 @@ IncastResult run_incast(harness::Proto proto, sim::Duration queue_depth) {
   r.sent = 7 * 5000;
   r.delivered = victim.sink_stats().received;
   for (const auto& link : dep.network().links()) {
-    r.queue_drops += link->stats().dropped_queue_full;
+    r.queue_drops += link->stats().dropped_queue_full();
   }
   return r;
 }

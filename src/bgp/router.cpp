@@ -152,6 +152,9 @@ void BgpRouter::drop_session(Peer& peer, std::string_view reason) {
     tcp().destroy(*conn);
   }
 
+  if (was_established && on_session_down) {
+    on_session_down(ctx_.now(), peer.cfg.peer_addr, reason);
+  }
   if (was_established) {
     // Flush everything learned from this peer and reconverge.
     std::vector<ip::Ipv4Prefix> affected;

@@ -93,6 +93,11 @@ class BgpRouter : public transport::L3Node {
   /// Fired when an UPDATE is sent or received (convergence end detection —
   /// the paper records the time the update messages stop).
   std::function<void(sim::Time)> on_update_activity;
+  /// Fired when an Established session goes down (hold timer, BFD, interface
+  /// or transport event) — the detection instant of the gray-failure
+  /// latency metric.
+  std::function<void(sim::Time, ip::Ipv4Addr peer, std::string_view reason)>
+      on_session_down;
 
  private:
   struct PathInfo {

@@ -1,0 +1,319 @@
+#include "harness/auditor.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "net/link.hpp"
+
+namespace mrmtp::harness {
+
+namespace {
+constexpr int kMaxProbeDepth = 16;  // mirrors the MTP data TTL
+}  // namespace
+
+std::string_view to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kStaleVidEntry: return "stale-vid-entry";
+    case InvariantKind::kStaleNextHop: return "stale-next-hop";
+    case InvariantKind::kForwardingLoop: return "forwarding-loop";
+    case InvariantKind::kForwardingBlackhole: return "forwarding-blackhole";
+    case InvariantKind::kExclusionBlackhole: return "exclusion-blackhole";
+  }
+  return "?";
+}
+
+std::string Violation::str() const {
+  return "[" + at.str() + "] " + device + " " + std::string(to_string(kind)) +
+         ": " + detail;
+}
+
+FabricAuditor::FabricAuditor(Deployment& dep) : dep_(dep) {
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    router_index_[&dep_.router(d)] = d;
+  }
+  const auto& devices = dep_.blueprint().devices();
+  for (std::uint32_t d = 0; d < devices.size(); ++d) {
+    if (devices[d].vid != 0) leaf_of_root_[devices[d].vid] = d;
+  }
+}
+
+std::size_t FabricAuditor::sweep() {
+  seen_this_sweep_.clear();
+  std::vector<Violation> out;
+  if (dep_.proto() == Proto::kMtp) {
+    audit_mtp(out);
+  } else {
+    audit_bgp(out);
+  }
+  ++sweeps_;
+  last_ = out.size();
+  if (last_ > 0) ++dirty_sweeps_;
+  log_.insert(log_.end(), out.begin(), out.end());
+  return last_;
+}
+
+void FabricAuditor::start(sim::Duration period) {
+  if (!timer_) {
+    timer_ = std::make_unique<sim::Timer>(dep_.ctx().sched, [this] { sweep(); });
+  }
+  timer_->start_periodic(period);
+}
+
+void FabricAuditor::stop() {
+  if (timer_) timer_->stop();
+}
+
+void FabricAuditor::flag(std::vector<Violation>& out, std::uint32_t device,
+                         InvariantKind kind, std::string detail) {
+  const std::string& name = dep_.router(device).name();
+  std::string key = name + "|" + std::string(to_string(kind)) + "|" + detail;
+  if (!seen_this_sweep_.insert(std::move(key)).second) return;
+  out.push_back(Violation{dep_.ctx().now(), name, kind, std::move(detail)});
+}
+
+void FabricAuditor::flag_dead_end(std::vector<Violation>& out,
+                                  std::uint32_t device, std::uint32_t dst_leaf,
+                                  InvariantKind kind, std::string detail) {
+  // Routing cannot beat physics: a probe dying with no live path left is
+  // expected, not a violation.
+  if (!physically_reachable(device, dst_leaf)) return;
+  flag(out, device, kind, std::move(detail));
+}
+
+bool FabricAuditor::hop_usable(std::uint32_t device, std::uint32_t p) const {
+  const net::Node& node = dep_.router(device);
+  if (p == 0 || p > node.port_count()) return false;
+  const net::Port& port = node.port(p);
+  if (!port.connected() || !port.admin_up()) return false;
+  const net::Port* peer = port.peer();
+  if (peer == nullptr || !peer->admin_up()) return false;
+  const net::Link* link = port.link();
+  return link->deliverable(link->direction_from(port));
+}
+
+std::optional<std::uint32_t> FabricAuditor::peer_router(
+    std::uint32_t device, std::uint32_t p) const {
+  const net::Port& port = dep_.router(device).port(p);
+  const net::Port* peer = port.peer();
+  if (peer == nullptr) return std::nullopt;
+  auto it = router_index_.find(&peer->owner());
+  if (it == router_index_.end()) return std::nullopt;  // host
+  return it->second;
+}
+
+bool FabricAuditor::physically_reachable(std::uint32_t from,
+                                         std::uint32_t to) const {
+  if (from == to) return true;
+  std::set<std::uint32_t> visited{from};
+  std::deque<std::uint32_t> queue{from};
+  while (!queue.empty()) {
+    std::uint32_t d = queue.front();
+    queue.pop_front();
+    const net::Node& node = dep_.router(d);
+    for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
+      if (!hop_usable(d, p)) continue;
+      auto peer = peer_router(d, p);
+      if (!peer || !visited.insert(*peer).second) continue;
+      if (*peer == to) return true;
+      queue.push_back(*peer);
+    }
+  }
+  return false;
+}
+
+// --- MTP ---
+
+void FabricAuditor::audit_mtp(std::vector<Violation>& out) {
+  // Invariant 1: every VID-table entry points at a usable, accepted port.
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    mtp::MtpRouter& r = dep_.mtp(d);
+    const net::Node& node = dep_.router(d);
+    for (const mtp::VidEntry& e : r.vid_table().entries()) {
+      if (e.port == 0) continue;  // a ToR's own root VID
+      std::string_view why;
+      if (e.port > node.port_count() || !node.port(e.port).connected()) {
+        why = "unwired port";
+      } else if (!node.port(e.port).admin_up()) {
+        why = "admin-down port";
+      } else if (!r.neighbor_alive(e.port)) {
+        why = "dead neighbor";
+      } else {
+        continue;
+      }
+      flag(out, d, InvariantKind::kStaleVidEntry,
+           "vid " + e.vid.str() + " -> port " + std::to_string(e.port) + " (" +
+               std::string(why) + ")");
+    }
+  }
+
+  // Invariants 2+3: probes from every leaf toward every other ToR tree must
+  // neither loop nor die while a live path exists.
+  for (const auto& [root, dst_leaf] : leaf_of_root_) {
+    for (const auto& [src_root, src_leaf] : leaf_of_root_) {
+      if (src_leaf == dst_leaf) continue;
+      std::set<std::pair<std::uint32_t, bool>> on_path;
+      walk_mtp(src_leaf, root, dst_leaf, false, on_path, 0, out);
+    }
+  }
+}
+
+void FabricAuditor::walk_mtp(std::uint32_t device, std::uint16_t dst_root,
+                             std::uint32_t dst_leaf, bool came_down,
+                             std::set<std::pair<std::uint32_t, bool>>& on_path,
+                             int depth, std::vector<Violation>& out) {
+  mtp::MtpRouter& r = dep_.mtp(device);
+  if (r.is_leaf() && r.own_vid() == dst_root) return;  // delivered
+  if (depth >= kMaxProbeDepth) {
+    flag(out, device, InvariantKind::kForwardingLoop,
+         "probe toward root " + std::to_string(dst_root) +
+             " exhausted TTL (likely loop)");
+    return;
+  }
+  auto state = std::make_pair(device, came_down);
+  if (!on_path.insert(state).second) {
+    flag(out, device, InvariantKind::kForwardingLoop,
+         "probe toward root " + std::to_string(dst_root) +
+             " revisited this hop");
+    return;
+  }
+
+  // The data plane's decision: VID table down if it knows the tree, else
+  // hash-load-balance up — and never bounce back up after turning down.
+  std::set<std::uint32_t> ports;
+  bool going_down = false;
+  for (const mtp::VidEntry& e : r.vid_table().entries_for_root(dst_root)) {
+    if (e.port != 0) ports.insert(e.port);
+  }
+  if (!ports.empty()) {
+    going_down = true;
+  } else if (came_down) {
+    flag_dead_end(out, device, dst_leaf, InvariantKind::kForwardingBlackhole,
+                  "downward probe toward root " + std::to_string(dst_root) +
+                      " found no VID entry");
+    on_path.erase(state);
+    return;
+  } else {
+    auto ups = r.eligible_up_ports(dst_root);
+    ports.insert(ups.begin(), ups.end());
+    if (ports.empty()) {
+      // Live uplinks ruled out only by exclusions is its own invariant class.
+      bool live_uplink = false;
+      const net::Node& node = dep_.router(device);
+      for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
+        auto peer = peer_router(device, p);
+        if (!peer) continue;
+        if (dep_.blueprint().device(*peer).tier <=
+            dep_.blueprint().device(device).tier) {
+          continue;
+        }
+        if (node.port(p).admin_up() && r.neighbor_alive(p)) {
+          live_uplink = true;
+          break;
+        }
+      }
+      flag_dead_end(out, device, dst_leaf,
+                    live_uplink ? InvariantKind::kExclusionBlackhole
+                                : InvariantKind::kForwardingBlackhole,
+                    "no eligible uplink toward root " +
+                        std::to_string(dst_root) +
+                        (live_uplink ? " (live uplinks excluded)" : ""));
+      on_path.erase(state);
+      return;
+    }
+  }
+
+  for (std::uint32_t p : ports) {
+    if (!hop_usable(device, p)) {
+      flag_dead_end(out, device, dst_leaf,
+                    InvariantKind::kForwardingBlackhole,
+                    "probe toward root " + std::to_string(dst_root) +
+                        " died on the wire at port " + std::to_string(p));
+      continue;
+    }
+    auto peer = peer_router(device, p);
+    if (!peer) continue;
+    walk_mtp(*peer, dst_root, dst_leaf, going_down, on_path, depth + 1, out);
+  }
+  on_path.erase(state);
+}
+
+// --- BGP ---
+
+void FabricAuditor::audit_bgp(std::vector<Violation>& out) {
+  // Invariant 1: every installed BGP next-hop egresses a usable port.
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    bgp::BgpRouter& r = dep_.bgp(d);
+    const net::Node& node = dep_.router(d);
+    for (const ip::Route* route : r.routes().sorted_routes()) {
+      if (route->proto != ip::RouteProto::kBgp) continue;
+      for (const ip::NextHop& nh : route->nexthops) {
+        std::string_view why;
+        if (nh.port == 0 || nh.port > node.port_count() ||
+            !node.port(nh.port).connected()) {
+          why = "unwired port";
+        } else if (!node.port(nh.port).admin_up()) {
+          why = "admin-down port";
+        } else {
+          continue;
+        }
+        flag(out, d, InvariantKind::kStaleNextHop,
+             route->prefix.str() + " via port " + std::to_string(nh.port) +
+                 " (" + std::string(why) + ")");
+      }
+    }
+  }
+
+  // Invariants 2+3: probe every host address from every other leaf.
+  for (const topo::HostSpec& hs : dep_.blueprint().hosts()) {
+    for (const auto& [src_root, src_leaf] : leaf_of_root_) {
+      if (src_leaf == hs.leaf) continue;
+      std::set<std::uint32_t> on_path;
+      walk_bgp(src_leaf, hs.addr, hs.leaf, on_path, 0, out);
+    }
+  }
+}
+
+void FabricAuditor::walk_bgp(std::uint32_t device, ip::Ipv4Addr dst,
+                             std::uint32_t dst_leaf,
+                             std::set<std::uint32_t>& on_path, int depth,
+                             std::vector<Violation>& out) {
+  if (depth >= kMaxProbeDepth) {
+    flag(out, device, InvariantKind::kForwardingLoop,
+         "probe toward " + dst.str() + " exhausted TTL (likely loop)");
+    return;
+  }
+  if (!on_path.insert(device).second) {
+    flag(out, device, InvariantKind::kForwardingLoop,
+         "probe toward " + dst.str() + " revisited this hop");
+    return;
+  }
+  bgp::BgpRouter& r = dep_.bgp(device);
+  const ip::Route* route = r.routes().lookup(dst);
+  if (route == nullptr || route->nexthops.empty()) {
+    flag_dead_end(out, device, dst_leaf,
+                  InvariantKind::kForwardingBlackhole,
+                  "no route toward " + dst.str());
+    on_path.erase(device);
+    return;
+  }
+  if (route->proto == ip::RouteProto::kConnected) {
+    // The rack subnet's gateway: delivered (host links are out of scope).
+    on_path.erase(device);
+    return;
+  }
+  for (const ip::NextHop& nh : route->nexthops) {
+    if (!hop_usable(device, nh.port)) {
+      flag_dead_end(out, device, dst_leaf,
+                    InvariantKind::kForwardingBlackhole,
+                    "probe toward " + dst.str() + " died on the wire at port " +
+                        std::to_string(nh.port));
+      continue;
+    }
+    auto peer = peer_router(device, nh.port);
+    if (!peer) continue;
+    walk_bgp(*peer, dst, dst_leaf, on_path, depth + 1, out);
+  }
+  on_path.erase(device);
+}
+
+}  // namespace mrmtp::harness

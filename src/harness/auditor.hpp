@@ -1,0 +1,124 @@
+// FabricAuditor: an always-on invariant checker for deployed fabrics.
+//
+// Periodically sweeps every router and verifies that the forwarding state is
+// internally consistent and that packets could actually get where routing
+// claims they can — without injecting any traffic. Invariants:
+//
+//   * Every MTP VID-table entry points at a connected, admin-up port whose
+//     neighbor is currently accepted (no stale entries).
+//   * Every BGP best-path next-hop egresses a connected, admin-up port.
+//   * Virtual probes walked from every leaf toward every destination
+//     (following the exact VID-table / exclusion / ECMP decisions the data
+//     plane would make, branching over every load-balancer candidate) never
+//     loop and never die while the destination is still physically reachable
+//     from the stuck hop. A probe that dies because gray impairments or
+//     admin-downs genuinely severed every path is NOT a violation — routing
+//     cannot beat physics — but exclusion tables that blackhole a
+//     destination with a live path are.
+//
+// Violations are timestamped and accumulated; the chaos tests assert the log
+// stays empty across campaigns once each re-convergence window has passed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/deploy.hpp"
+
+namespace mrmtp::harness {
+
+enum class InvariantKind : std::uint8_t {
+  kStaleVidEntry,        // VID entry points at a down/dead/unwired port
+  kStaleNextHop,         // BGP next-hop egresses a down/unwired port
+  kForwardingLoop,       // probe revisited a (device, direction) state
+  kForwardingBlackhole,  // probe died though a live path still exists
+  kExclusionBlackhole,   // ...because exclusions ruled out live uplinks
+};
+
+[[nodiscard]] std::string_view to_string(InvariantKind kind);
+
+struct Violation {
+  sim::Time at;
+  std::string device;  // where the invariant broke (probe: the stuck hop)
+  InvariantKind kind;
+  std::string detail;
+
+  [[nodiscard]] std::string str() const;
+};
+
+class FabricAuditor {
+ public:
+  explicit FabricAuditor(Deployment& dep);
+
+  /// Runs one full sweep now; returns the number of violations found (also
+  /// appended to the persistent log).
+  std::size_t sweep();
+
+  /// Arms a periodic sweep every `period` until stop().
+  void start(sim::Duration period);
+  void stop();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return log_;
+  }
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+  [[nodiscard]] std::size_t last_sweep_violations() const { return last_; }
+  [[nodiscard]] std::uint64_t sweeps_with_violations() const {
+    return dirty_sweeps_;
+  }
+  void clear_log() { log_.clear(); }
+
+ private:
+  struct ProbeBranch {
+    std::uint32_t device;
+    bool came_down;  // MTP: arrived via a downward hop (no re-ascent)
+  };
+
+  void audit_mtp(std::vector<Violation>& out);
+  void audit_bgp(std::vector<Violation>& out);
+
+  void walk_mtp(std::uint32_t device, std::uint16_t dst_root,
+                std::uint32_t dst_leaf, bool came_down,
+                std::set<std::pair<std::uint32_t, bool>>& on_path, int depth,
+                std::vector<Violation>& out);
+  void walk_bgp(std::uint32_t device, ip::Ipv4Addr dst,
+                std::uint32_t dst_leaf, std::set<std::uint32_t>& on_path,
+                int depth, std::vector<Violation>& out);
+
+  /// Directed physical reachability between routers over admin-up ports and
+  /// per-direction-deliverable links (the "live path" oracle).
+  [[nodiscard]] bool physically_reachable(std::uint32_t from,
+                                          std::uint32_t to) const;
+
+  /// Router index on the far side of `device`'s port `p`, or nullopt for
+  /// hosts / unwired ports.
+  [[nodiscard]] std::optional<std::uint32_t> peer_router(std::uint32_t device,
+                                                         std::uint32_t p) const;
+  /// True if a frame leaving `device` via `p` reaches the peer port (both
+  /// ends admin-up, link deliverable in that direction).
+  [[nodiscard]] bool hop_usable(std::uint32_t device, std::uint32_t p) const;
+
+  void flag(std::vector<Violation>& out, std::uint32_t device,
+            InvariantKind kind, std::string detail);
+  void flag_dead_end(std::vector<Violation>& out, std::uint32_t device,
+                     std::uint32_t dst_leaf, InvariantKind kind,
+                     std::string detail);
+
+  Deployment& dep_;
+  /// node pointer -> router (device) index, built once at construction.
+  std::map<const net::Node*, std::uint32_t> router_index_;
+  /// ToR root VID -> leaf device index.
+  std::map<std::uint16_t, std::uint32_t> leaf_of_root_;
+  std::vector<Violation> log_;
+  /// Dedup within the current sweep (many probes hit the same bad hop).
+  std::set<std::string> seen_this_sweep_;
+  std::unique_ptr<sim::Timer> timer_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t dirty_sweeps_ = 0;
+  std::size_t last_ = 0;
+};
+
+}  // namespace mrmtp::harness

@@ -1,5 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <optional>
+
+#include "harness/auditor.hpp"
+#include "topo/chaos.hpp"
+
 namespace mrmtp::harness {
 
 namespace {
@@ -61,6 +66,15 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
   std::uint64_t update_events = 0;
   bool armed = false;  // true once the failure has fired
 
+  // Gray-failure detection: the first post-onset down declaration anywhere.
+  bool detected = false;
+  sim::Time detect_time = sim::Time::zero();
+  auto note_detection = [&](sim::Time at) {
+    if (!armed || detected) return;
+    detected = true;
+    detect_time = at;
+  };
+
   for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
     Track& track = tracks[d];
     if (spec.proto == Proto::kMtp) {
@@ -75,6 +89,10 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
         track.changed_any = true;
         if (from_update) track.changed_remote = true;
       };
+      router.on_neighbor_down = [&](sim::Time at, std::uint32_t,
+                                    bool local_detect) {
+        if (local_detect) note_detection(at);
+      };
     } else {
       auto& router = dep.bgp(d);
       router.on_update_activity = [&](sim::Time at) {
@@ -82,6 +100,8 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
         last_update = at;
         ++update_events;
       };
+      router.on_session_down = [&](sim::Time at, ip::Ipv4Addr,
+                                   std::string_view) { note_detection(at); };
       router.on_rib_change = [&track, &armed](sim::Time) {
         if (!armed) return;
         track.changed_any = true;
@@ -123,8 +143,31 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
     before = update_bytes(dep);
     armed = true;
   });
+  const topo::FailurePoint fp = blueprint.failure_point(spec.tc);
   topo::FailureInjector injector(dep.network(), blueprint);
-  injector.schedule_failure(spec.tc, t_fail);
+  topo::ChaosEngine chaos(dep.network(), blueprint, spec.seed);
+  using GrayKind = ExperimentSpec::GraySpec::Kind;
+  switch (spec.gray.kind) {
+    case GrayKind::kNone:
+      injector.schedule_failure(spec.tc, t_fail);
+      break;
+    case GrayKind::kUnidirBlackhole:
+      chaos.blackhole_one_way(fp, spec.gray.toward_device, t_fail);
+      break;
+    case GrayKind::kUnidirLoss:
+      chaos.loss_one_way(fp, spec.gray.toward_device, spec.gray.loss, t_fail);
+      break;
+    case GrayKind::kFlapStorm:
+      chaos.flap_storm(fp, t_fail, spec.gray.flaps, spec.gray.flap_period);
+      break;
+  }
+
+  std::optional<FabricAuditor> auditor;
+  if (spec.audit) {
+    auditor.emplace(dep);
+    ctx.sched.schedule_at(t_traffic,
+                          [&] { auditor->start(spec.audit_period); });
+  }
 
   if (sender != nullptr) {
     ctx.sched.schedule_at(t_end, [sender] { sender->stop_flow(); });
@@ -135,10 +178,20 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
   if (update_events > 0) result.convergence = last_update - t_fail;
   result.update_events = update_events;
 
+  result.failure_detected = detected;
+  if (detected) result.detection_latency = detect_time - t_fail;
+
+  if (auditor) {
+    auditor->stop();
+    result.final_sweep_violations = auditor->sweep();
+    result.audit_sweeps = auditor->sweeps();
+    result.audit_violations =
+        auditor->violations().size() - result.final_sweep_violations;
+  }
+
   // Identify the two routers adjacent to the failed link: the interface
   // owner and its peer. Their own-detection table changes are not part of
   // the received-update blast radius.
-  const auto& fp = *injector.point();
   std::uint32_t owner = blueprint.device_index(fp.device);
   std::uint32_t peer = blueprint.device_index(fp.peer);
 
@@ -184,12 +237,20 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.duplicates += static_cast<double>(r.duplicates);
     avg.out_of_order += static_cast<double>(r.out_of_order);
     avg.outage_ms += r.outage.to_millis();
+    avg.audit_violations += static_cast<double>(r.audit_violations);
+    avg.final_violations += static_cast<double>(r.final_sweep_violations);
     avg.convergence_dist.add(r.convergence.to_millis());
     avg.loss_dist.add(static_cast<double>(r.packets_lost));
     avg.ctrl_bytes_dist.add(static_cast<double>(r.ctrl_bytes_raw));
+    if (r.failure_detected) {
+      ++avg.detected_runs;
+      avg.detection_ms += r.detection_latency.to_millis();
+      avg.detection_dist.add(r.detection_latency.to_millis());
+    }
     ++avg.runs;
     if (r.initial_converged) ++avg.converged_runs;
   }
+  if (avg.detected_runs > 0) avg.detection_ms /= avg.detected_runs;
   if (avg.runs > 0) {
     double n = avg.runs;
     avg.convergence_ms /= n;
@@ -202,6 +263,8 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.duplicates /= n;
     avg.out_of_order /= n;
     avg.outage_ms /= n;
+    avg.audit_violations /= n;
+    avg.final_violations /= n;
   }
   return avg;
 }

@@ -34,6 +34,29 @@ struct ExperimentSpec {
   /// true: sender at the far end (last host -> H-1-1, paper Fig. 8).
   bool reverse_flow = false;
   bool with_traffic = true;
+
+  /// Gray-failure mode: instead of the clean one-sided interface-down, apply
+  /// a ChaosEngine impairment to the same TC link at the failure instant.
+  struct GraySpec {
+    enum class Kind : std::uint8_t {
+      kNone,             // classic interface-down via FailureInjector
+      kUnidirBlackhole,  // one direction drops every frame
+      kUnidirLoss,       // one direction drops `loss` of frames
+      kFlapStorm,        // rapid down/up cycling of the interface
+    };
+    Kind kind = Kind::kNone;
+    /// true: frames *arriving at* the TC device are dropped (it is starved
+    /// and must detect); false: frames it sends are dropped instead.
+    bool toward_device = true;
+    double loss = 0.5;  // kUnidirLoss
+    int flaps = 6;      // kFlapStorm
+    sim::Duration flap_period = sim::Duration::millis(120);
+  };
+  GraySpec gray;
+
+  /// Run a FabricAuditor sweep every `audit_period` from traffic start.
+  bool audit = false;
+  sim::Duration audit_period = sim::Duration::millis(250);
 };
 
 struct ExperimentResult {
@@ -58,6 +81,18 @@ struct ExperimentResult {
   std::uint64_t duplicates = 0;
   std::uint64_t out_of_order = 0;
   sim::Duration outage{};  // longest inter-arrival gap at the receiver
+
+  /// Gray-failure detection: onset -> first neighbor/session declared down
+  /// anywhere in the fabric (MTP counts local dead-timer/interface detection
+  /// only; BGP counts any Established session drop).
+  bool failure_detected = false;
+  sim::Duration detection_latency{};
+
+  /// FabricAuditor outcome (spec.audit): periodic sweeps during the run plus
+  /// one final sweep after the observation window (steady-state check).
+  std::uint64_t audit_sweeps = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t final_sweep_violations = 0;
 };
 
 [[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);
@@ -74,14 +109,20 @@ struct AveragedResult {
   double duplicates = 0;
   double out_of_order = 0;
   double outage_ms = 0;
+  /// Mean over *detected* runs only.
+  double detection_ms = 0;
+  double audit_violations = 0;
+  double final_violations = 0;
   int runs = 0;
   int converged_runs = 0;
+  int detected_runs = 0;
 
   /// Full spread across seeds for the headline metrics (mean == the
   /// corresponding field above).
   Distribution convergence_dist;
   Distribution loss_dist;
   Distribution ctrl_bytes_dist;
+  Distribution detection_dist;
 };
 
 [[nodiscard]] AveragedResult run_averaged(ExperimentSpec spec,

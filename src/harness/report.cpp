@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "net/network.hpp"
+
 namespace mrmtp::harness {
 
 std::string Table::str() const {
@@ -62,6 +64,30 @@ std::string fmt(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
+}
+
+Table link_direction_table(const net::Network& network, bool busy_only) {
+  Table table({"direction", "delivered", "link_down", "dst_down", "impaired",
+               "blackhole", "queue_full", "dup"});
+  auto row = [&](const net::Port& from, const net::Port& to,
+                 const net::Link::DirStats& s) {
+    table.add_row({from.str() + " -> " + to.str(), std::to_string(s.delivered),
+                   std::to_string(s.dropped_link_down),
+                   std::to_string(s.dropped_dst_down),
+                   std::to_string(s.dropped_impairment),
+                   std::to_string(s.dropped_blackhole),
+                   std::to_string(s.dropped_queue_full),
+                   std::to_string(s.duplicated)});
+  };
+  for (const auto& link : network.links()) {
+    const net::Link::Stats& s = link->stats();
+    if (busy_only && s.ab.dropped_total() == 0 && s.ba.dropped_total() == 0) {
+      continue;
+    }
+    row(link->a(), link->b(), s.ab);
+    row(link->b(), link->a(), s.ba);
+  }
+  return table;
 }
 
 }  // namespace mrmtp::harness

@@ -4,6 +4,10 @@
 #include <string>
 #include <vector>
 
+namespace mrmtp::net {
+class Network;
+}
+
 namespace mrmtp::harness {
 
 /// Accumulates rows and prints an aligned ASCII table plus (optionally) CSV,
@@ -31,5 +35,11 @@ class Table {
 
 /// printf-style float formatting helper ("%.1f" etc.).
 [[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+/// Per-direction link delivery/drop counters, one row per direction — the
+/// asymmetry of a gray failure shows as one dirty and one clean row. With
+/// `busy_only` (default) links with no drops in either direction are elided.
+[[nodiscard]] Table link_direction_table(const net::Network& network,
+                                         bool busy_only = true);
 
 }  // namespace mrmtp::harness

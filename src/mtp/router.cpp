@@ -209,6 +209,7 @@ void MtpRouter::neighbor_up(std::uint32_t p) {
   ++stats_.neighbors_accepted;
   s.dead_timer->start(config_.timers.dead);
   log(sim::LogLevel::kInfo, "neighbor on port " + std::to_string(p) + " UP");
+  if (on_neighbor_up) on_neighbor_up(ctx_.now(), p);
 
   // Stale failure state for this port is moot; the neighbor re-announces
   // any unreachability below.
@@ -250,7 +251,7 @@ void MtpRouter::neighbor_down(std::uint32_t p, bool local_detect) {
     ++stats_.table_changes_local;
     if (on_table_change) on_table_change(ctx_.now(), false);
   }
-  (void)local_detect;
+  if (on_neighbor_down) on_neighbor_down(ctx_.now(), p, local_detect);
   process_vid_loss(lost, /*from_update=*/false);
 
   // Losing an uplink can sever the default route entirely (wildcard) and
@@ -322,7 +323,22 @@ void MtpRouter::handle_advertise(std::uint32_t p, const AdvertiseMsg& msg) {
   s.neighbor_tier = msg.tier;
   if (first_contact) send_advertise(p);  // let the neighbor learn our tier
 
-  if (msg.tier >= config_.tier) return;  // we only join trees from below
+  if (msg.tier >= config_.tier) {
+    // An upstream's advertisement is a full statement of the trees it holds.
+    // Any child VID we once assigned on this port that it no longer lists
+    // was pruned on its side — e.g. a one-way gray episode starved the
+    // upstream into declaring us dead while we kept seeing its frames and
+    // never cleared our bookkeeping. Dropping the stale assignment makes
+    // fully_assigned() false again, so the keep-alive slot re-advertises
+    // and the join handshake restarts.
+    if (msg.tier > config_.tier && !s.assigned.empty()) {
+      std::set<Vid> held(msg.vids.begin(), msg.vids.end());
+      for (auto it = s.assigned.begin(); it != s.assigned.end();) {
+        it = held.contains(it->first) ? std::next(it) : s.assigned.erase(it);
+      }
+    }
+    return;  // we only join trees from below
+  }
 
   bool added = false;
   for (const Vid& base : msg.vids) {

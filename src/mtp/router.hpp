@@ -115,6 +115,25 @@ class MtpRouter : public net::Node {
   /// Fired on forwarding-state changes; `from_update` distinguishes remote
   /// (blast-radius) updates from local detection.
   std::function<void(sim::Time, bool from_update)> on_table_change;
+  /// Fired when a neighbor is declared down — the detection instant of the
+  /// gray-failure latency metric. `local_detect` is true for this router's
+  /// own dead timer / interface event (vs a received update).
+  std::function<void(sim::Time, std::uint32_t port, bool local_detect)>
+      on_neighbor_down;
+  /// Fired when a neighbor passes Slow-to-Accept and is (re-)accepted.
+  std::function<void(sim::Time, std::uint32_t port)> on_neighbor_up;
+
+  /// Uplinks currently eligible to carry traffic toward `dst_root` (alive,
+  /// admin-up, not excluded) — the load-balancer candidate set. Public so
+  /// the FabricAuditor can walk virtual probes through the same decision.
+  [[nodiscard]] std::vector<std::uint32_t> eligible_up_ports(
+      std::uint16_t dst_root) const;
+
+  /// Test-only hook (auditor unit tests): plants a VID-table entry without
+  /// the join handshake — e.g. a stale entry pointing at a dead port.
+  void debug_add_vid_entry(const Vid& vid, std::uint32_t port) {
+    vid_table_.add(vid, port);
+  }
 
  private:
   struct PortState {
@@ -176,8 +195,6 @@ class MtpRouter : public net::Node {
   void handle_rack_frame(net::Port& in, const net::Frame& frame);
   void forward_data(DataMsg msg, std::optional<std::uint32_t> in_port);
   void deliver_to_rack(const DataMsg& msg);
-  [[nodiscard]] std::vector<std::uint32_t> eligible_up_ports(
-      std::uint16_t dst_root) const;
   [[nodiscard]] static std::uint64_t data_flow_hash(const DataMsg& msg);
 
   // --- helpers ---

@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -15,23 +16,61 @@ Link::Link(SimContext& ctx, Port& a, Port& b, Params params)
   b.link_ = this;
 }
 
+void Link::set_loss(Dir dir, double p) {
+  Impairments& im = impair_[static_cast<int>(dir)];
+  im.loss = std::clamp(p, 0.0, 1.0);
+  im.ramp_over = sim::Duration{};  // immediate: no ramp in progress
+  im.ramp_from = im.loss;
+}
+
+void Link::set_blackhole(Dir dir, bool on) {
+  impair_[static_cast<int>(dir)].blackhole = on;
+}
+
+void Link::ramp_loss(Dir dir, double target, sim::Duration over) {
+  Impairments& im = impair_[static_cast<int>(dir)];
+  im.ramp_from = effective_loss(dir);
+  im.loss = std::clamp(target, 0.0, 1.0);
+  im.ramp_start = ctx_.now();
+  im.ramp_over = over;
+}
+
+void Link::clear_impairments() {
+  impair_[0] = Impairments{};
+  impair_[1] = Impairments{};
+}
+
+double Link::effective_loss(Dir dir) const {
+  const Impairments& im = impair_[static_cast<int>(dir)];
+  if (im.ramp_over <= sim::Duration{}) return im.loss;
+  sim::Duration elapsed = ctx_.now() - im.ramp_start;
+  if (elapsed >= im.ramp_over) return im.loss;
+  if (elapsed <= sim::Duration{}) return im.ramp_from;
+  double f = static_cast<double>(elapsed.ns()) /
+             static_cast<double>(im.ramp_over.ns());
+  return im.ramp_from + (im.loss - im.ramp_from) * f;
+}
+
 void Link::transmit(Port& from, Frame frame) {
   if (&from != a_ && &from != b_) {
     throw std::logic_error("Link::transmit from foreign port");
   }
+  Dir direction = direction_from(from);
+  DirStats& dstats = dir_stats(direction);
+
   if (!from.admin_up()) {
-    ++stats_.dropped_link_down;
+    ++dstats.dropped_link_down;
     return;
   }
   from.tx_stats().record(frame);
 
   Port& to = other(from);
-  int dir = (&from == a_) ? 0 : 1;
+  int dir = static_cast<int>(direction);
 
   // Tail drop: the output queue (expressed as serialization backlog) is
   // full when the transmitter is more than max_queue behind.
   if (busy_until_[dir] > ctx_.now() + params_.max_queue) {
-    ++stats_.dropped_queue_full;
+    ++dstats.dropped_queue_full;
     return;
   }
 
@@ -44,6 +83,14 @@ void Link::transmit(Port& from, Frame frame) {
   busy_until_[dir] = start + ser;
   sim::Time arrival = busy_until_[dir] + params_.delay;
 
+  // Gray failures kill the frame after the sender's transmitter did its
+  // normal work — the sending side observes nothing locally.
+  const Impairments& im = impair_[dir];
+  if (im.blackhole) {
+    ++dstats.dropped_blackhole;
+    return;
+  }
+
   if (params_.reorder_jitter > sim::Duration{}) {
     arrival = arrival + sim::Duration::nanos(static_cast<std::int64_t>(
                   ctx_.rng.below(static_cast<std::uint64_t>(
@@ -52,31 +99,36 @@ void Link::transmit(Port& from, Frame frame) {
 
   bool duplicate = params_.duplicate_probability > 0 &&
                    ctx_.rng.chance(params_.duplicate_probability);
-  if (params_.loss_probability > 0 && ctx_.rng.chance(params_.loss_probability)) {
-    ++stats_.dropped_impairment;
+  bool lost = params_.loss_probability > 0 &&
+              ctx_.rng.chance(params_.loss_probability);
+  if (!lost && (im.loss > 0 || im.ramp_over > sim::Duration{})) {
+    lost = ctx_.rng.chance(effective_loss(direction));
+  }
+  if (lost) {
+    ++dstats.dropped_impairment;
     if (!duplicate) return;
     duplicate = false;  // the "copy" survives as the only delivery
   }
 
-  ctx_.sched.schedule_at(arrival, [this, &to, frame]() mutable {
-    deliver(to, std::move(frame));
+  ctx_.sched.schedule_at(arrival, [this, &to, &dstats, frame]() mutable {
+    deliver(to, std::move(frame), dstats);
   });
   if (duplicate) {
-    ++stats_.duplicated;
+    ++dstats.duplicated;
     Frame copy = *&frame;
     ctx_.sched.schedule_at(arrival + sim::Duration::micros(1),
-                           [this, &to, copy]() mutable {
-                             deliver(to, std::move(copy));
+                           [this, &to, &dstats, copy]() mutable {
+                             deliver(to, std::move(copy), dstats);
                            });
   }
 }
 
-void Link::deliver(Port& to, Frame frame) {
+void Link::deliver(Port& to, Frame frame, DirStats& dstats) {
   if (!to.admin_up()) {
-    ++stats_.dropped_dst_down;
+    ++dstats.dropped_dst_down;
     return;
   }
-  ++stats_.delivered;
+  ++dstats.delivered;
   if (tap_) tap_(ctx_.now(), frame);
   to.rx_stats().record(frame);
   to.owner().handle_frame(to, std::move(frame));

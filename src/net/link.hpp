@@ -1,6 +1,15 @@
 // Full-duplex point-to-point link with propagation delay, serialization at a
-// configured bandwidth, and optional impairments (loss / duplication /
-// reorder jitter) for failure-injection tests.
+// configured bandwidth, and optional impairments for failure-injection tests.
+//
+// Impairments come in two layers:
+//   * Params carries the static, bidirectional ones set at wiring time
+//     (loss / duplication / reorder jitter).
+//   * Impairments are per-direction and runtime-mutable — the gray-failure
+//     model. A link can blackhole or drop a fraction of frames A->B while
+//     B->A stays perfectly healthy (unidirectional optics degradation), and
+//     loss can ramp up over time (a dying transceiver) via ramp_loss().
+// Stats are kept per direction so a one-way failure is visible as an
+// asymmetric drop count.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,9 @@ namespace mrmtp::net {
 
 class Link {
  public:
+  /// Transmission direction through the link.
+  enum class Dir : int { kAToB = 0, kBToA = 1 };
+
   struct Params {
     /// One-way propagation delay.
     sim::Duration delay = sim::Duration::micros(5);
@@ -31,13 +43,65 @@ class Link {
     sim::Duration max_queue = sim::Duration::millis(1);
   };
 
-  struct Stats {
+  /// Runtime-mutable per-direction gray-failure state. The sender still
+  /// serializes normally (its transmitter sees nothing wrong); frames die on
+  /// the wire, which is exactly what makes these failures "gray".
+  struct Impairments {
+    bool blackhole = false;
+    /// Directional loss probability; the target value while ramping.
+    double loss = 0.0;
+    /// Degradation ramp: effective loss moves linearly from `ramp_from` at
+    /// `ramp_start` to `loss` at `ramp_start + ramp_over` (then holds).
+    double ramp_from = 0.0;
+    sim::Time ramp_start{};
+    sim::Duration ramp_over{};
+  };
+
+  /// Per-direction delivery/drop counters.
+  struct DirStats {
     std::uint64_t delivered = 0;
     std::uint64_t dropped_link_down = 0;   // sender-side port down
     std::uint64_t dropped_dst_down = 0;    // receiver-side port down at arrival
-    std::uint64_t dropped_impairment = 0;  // random loss
+    std::uint64_t dropped_impairment = 0;  // random loss (static or gray)
+    std::uint64_t dropped_blackhole = 0;   // directional blackhole
     std::uint64_t dropped_queue_full = 0;  // output-queue tail drop
     std::uint64_t duplicated = 0;
+
+    [[nodiscard]] std::uint64_t dropped_total() const {
+      return dropped_link_down + dropped_dst_down + dropped_impairment +
+             dropped_blackhole + dropped_queue_full;
+    }
+  };
+
+  /// Both directions plus whole-link aggregates (the pre-gray-failure API).
+  struct Stats {
+    DirStats ab;  // a() -> b()
+    DirStats ba;  // b() -> a()
+
+    [[nodiscard]] const DirStats& dir(Dir d) const {
+      return d == Dir::kAToB ? ab : ba;
+    }
+    [[nodiscard]] std::uint64_t delivered() const {
+      return ab.delivered + ba.delivered;
+    }
+    [[nodiscard]] std::uint64_t dropped_link_down() const {
+      return ab.dropped_link_down + ba.dropped_link_down;
+    }
+    [[nodiscard]] std::uint64_t dropped_dst_down() const {
+      return ab.dropped_dst_down + ba.dropped_dst_down;
+    }
+    [[nodiscard]] std::uint64_t dropped_impairment() const {
+      return ab.dropped_impairment + ba.dropped_impairment;
+    }
+    [[nodiscard]] std::uint64_t dropped_blackhole() const {
+      return ab.dropped_blackhole + ba.dropped_blackhole;
+    }
+    [[nodiscard]] std::uint64_t dropped_queue_full() const {
+      return ab.dropped_queue_full + ba.dropped_queue_full;
+    }
+    [[nodiscard]] std::uint64_t duplicated() const {
+      return ab.duplicated + ba.duplicated;
+    }
   };
 
   Link(SimContext& ctx, Port& a, Port& b, Params params);
@@ -53,6 +117,37 @@ class Link {
   /// Queues `frame` for transmission from `from` toward the other side.
   void transmit(Port& from, Frame frame);
 
+  // --- gray-failure impairments (runtime-mutable, per direction) ---
+  void set_loss(Dir dir, double p);
+  void set_blackhole(Dir dir, bool on);
+  /// Linearly ramps the directional loss from its current effective value to
+  /// `target` over `over` (a transceiver degrading instead of dying).
+  void ramp_loss(Dir dir, double target, sim::Duration over);
+  /// Resets both directions to healthy.
+  void clear_impairments();
+
+  [[nodiscard]] bool blackholed(Dir dir) const {
+    return impair_[static_cast<int>(dir)].blackhole;
+  }
+  /// Directional loss at the current instant (ramp evaluated).
+  [[nodiscard]] double effective_loss(Dir dir) const;
+  /// True if frames sent in `dir` can currently arrive at all (no blackhole,
+  /// loss < 1). Port admin state is not considered here.
+  [[nodiscard]] bool deliverable(Dir dir) const {
+    return !blackholed(dir) && effective_loss(dir) < 1.0;
+  }
+  [[nodiscard]] const Impairments& impairments(Dir dir) const {
+    return impair_[static_cast<int>(dir)];
+  }
+
+  /// The direction a frame leaving `from` travels.
+  [[nodiscard]] Dir direction_from(const Port& from) const {
+    return &from == a_ ? Dir::kAToB : Dir::kBToA;
+  }
+  [[nodiscard]] static Dir reverse(Dir d) {
+    return d == Dir::kAToB ? Dir::kBToA : Dir::kAToB;
+  }
+
   [[nodiscard]] Port& a() const { return *a_; }
   [[nodiscard]] Port& b() const { return *b_; }
   [[nodiscard]] Port& other(const Port& p) const { return &p == a_ ? *b_ : *a_; }
@@ -61,13 +156,17 @@ class Link {
   Params& mutable_params() { return params_; }
 
  private:
-  void deliver(Port& to, Frame frame);
+  void deliver(Port& to, Frame frame, DirStats& dstats);
+  DirStats& dir_stats(Dir dir) {
+    return dir == Dir::kAToB ? stats_.ab : stats_.ba;
+  }
 
   SimContext& ctx_;
   Port* a_;
   Port* b_;
   Params params_;
   Stats stats_;
+  Impairments impair_[2];
   Tap tap_;
   /// Per-direction time the transmitter becomes free (0 = a->b, 1 = b->a).
   sim::Time busy_until_[2];

@@ -1,0 +1,192 @@
+#include "topo/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrmtp::topo {
+
+std::string_view to_string(GrayKind kind) {
+  switch (kind) {
+    case GrayKind::kUnidirBlackhole: return "unidir-blackhole";
+    case GrayKind::kUnidirLoss: return "unidir-loss";
+    case GrayKind::kDegradationRamp: return "degradation-ramp";
+    case GrayKind::kFlapStorm: return "flap-storm";
+    case GrayKind::kCorrelatedBlackhole: return "correlated-blackhole";
+  }
+  return "?";
+}
+
+ChaosEngine::ChaosEngine(net::Network& network, const ClosBlueprint& blueprint,
+                         std::uint64_t seed)
+    : network_(network), blueprint_(blueprint), rng_(seed) {}
+
+net::Link& ChaosEngine::link_of(const FailurePoint& fp) const {
+  net::Link* link = network_.find(fp.device).port(fp.port).link();
+  if (link == nullptr) {
+    throw std::logic_error("ChaosEngine: " + fp.device + ":" +
+                           std::to_string(fp.port) + " is unwired");
+  }
+  return *link;
+}
+
+net::Link::Dir ChaosEngine::dir_of(const FailurePoint& fp,
+                                   bool toward_device) const {
+  net::Link& link = link_of(fp);
+  net::Port& own = network_.find(fp.device).port(fp.port);
+  // direction_from(own) is the direction fp.device transmits in; frames
+  // toward the device travel the reverse one.
+  net::Link::Dir outbound = link.direction_from(own);
+  return toward_device ? net::Link::reverse(outbound) : outbound;
+}
+
+void ChaosEngine::record(sim::Time at, GrayKind kind, std::string description) {
+  log_.push_back(ChaosEventRecord{at, kind, std::move(description)});
+  std::sort(log_.begin(), log_.end(),
+            [](const ChaosEventRecord& a, const ChaosEventRecord& b) {
+              return a.at < b.at;
+            });
+}
+
+std::optional<sim::Time> ChaosEngine::first_onset() const {
+  if (log_.empty()) return std::nullopt;
+  return log_.front().at;
+}
+
+void ChaosEngine::blackhole_one_way(const FailurePoint& fp, bool toward_device,
+                                    sim::Time at) {
+  net::Link& link = link_of(fp);
+  net::Link::Dir dir = dir_of(fp, toward_device);
+  record(at, GrayKind::kUnidirBlackhole,
+         fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
+             (toward_device ? " blackhole toward " : " blackhole away from ") +
+             fp.device);
+  network_.ctx().sched.schedule_at(
+      at, [&link, dir] { link.set_blackhole(dir, true); });
+}
+
+void ChaosEngine::loss_one_way(const FailurePoint& fp, bool toward_device,
+                               double p, sim::Time at) {
+  net::Link& link = link_of(fp);
+  net::Link::Dir dir = dir_of(fp, toward_device);
+  record(at, GrayKind::kUnidirLoss,
+         fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
+             " one-way loss " + std::to_string(p) +
+             (toward_device ? " toward " : " away from ") + fp.device);
+  network_.ctx().sched.schedule_at(at,
+                                   [&link, dir, p] { link.set_loss(dir, p); });
+}
+
+void ChaosEngine::degradation_ramp(const FailurePoint& fp, bool toward_device,
+                                   double target, sim::Time at,
+                                   sim::Duration over) {
+  net::Link& link = link_of(fp);
+  net::Link::Dir dir = dir_of(fp, toward_device);
+  record(at, GrayKind::kDegradationRamp,
+         fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
+             " loss ramp to " + std::to_string(target) + " over " + over.str());
+  network_.ctx().sched.schedule_at(
+      at, [&link, dir, target, over] { link.ramp_loss(dir, target, over); });
+}
+
+void ChaosEngine::flap_storm(const FailurePoint& fp, sim::Time at, int flaps,
+                             sim::Duration period) {
+  record(at, GrayKind::kFlapStorm,
+         fp.device + ":" + std::to_string(fp.port) + " flap storm x" +
+             std::to_string(flaps) + " every " + period.str());
+  FailurePoint copy = fp;  // by value: records are independent of callers
+  for (int f = 0; f < flaps; ++f) {
+    sim::Time down_at = at + period * f;
+    sim::Time up_at = down_at + period / 2;
+    network_.ctx().sched.schedule_at(down_at, [this, copy] {
+      network_.find(copy.device).set_interface_down(copy.port);
+    });
+    network_.ctx().sched.schedule_at(up_at, [this, copy] {
+      network_.find(copy.device).set_interface_up(copy.port);
+    });
+  }
+}
+
+void ChaosEngine::correlated_blackhole(const std::string& device, int links,
+                                       sim::Time at) {
+  std::uint32_t d = blueprint_.device_index(device);
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t li = 0; li < blueprint_.links().size(); ++li) {
+    const auto& ls = blueprint_.links()[li];
+    if (ls.upper == d || ls.lower == d) indices.push_back(li);
+  }
+  // Seeded partial shuffle, then fail the first `links` of them together.
+  for (std::size_t i = 0; i + 1 < indices.size(); ++i) {
+    std::size_t j = i + rng_.below(indices.size() - i);
+    std::swap(indices[i], indices[j]);
+  }
+  int n = std::min<int>(links, static_cast<int>(indices.size()));
+  for (int i = 0; i < n; ++i) {
+    const auto& ls = blueprint_.links()[indices[static_cast<std::size_t>(i)]];
+    std::uint32_t peer = ls.upper == d ? ls.lower : ls.upper;
+    FailurePoint fp{device,
+                    blueprint_.port_on(d, indices[static_cast<std::size_t>(i)]),
+                    blueprint_.device(peer).name};
+    net::Link& link = link_of(fp);
+    net::Link::Dir dir = dir_of(fp, /*toward_device=*/true);
+    network_.ctx().sched.schedule_at(
+        at, [&link, dir] { link.set_blackhole(dir, true); });
+  }
+  record(at, GrayKind::kCorrelatedBlackhole,
+         device + " loses " + std::to_string(n) + " links together");
+}
+
+void ChaosEngine::heal(const FailurePoint& fp, sim::Time at) {
+  net::Link& link = link_of(fp);
+  network_.ctx().sched.schedule_at(at, [&link] { link.clear_impairments(); });
+}
+
+FailurePoint ChaosEngine::random_fabric_point() {
+  std::uint32_t li =
+      static_cast<std::uint32_t>(rng_.below(blueprint_.links().size()));
+  const auto& ls = blueprint_.links()[li];
+  return FailurePoint{blueprint_.device(ls.lower).name,
+                      blueprint_.port_on(ls.lower, li),
+                      blueprint_.device(ls.upper).name};
+}
+
+void ChaosEngine::run_campaign(const CampaignSpec& spec) {
+  const double total = spec.w_blackhole + spec.w_loss + spec.w_ramp +
+                       spec.w_flap + spec.w_correlated;
+  for (int e = 0; e < spec.events; ++e) {
+    sim::Time at = spec.start + spec.spacing * e;
+    FailurePoint fp = random_fabric_point();
+    bool toward = rng_.chance(0.5);
+    double pick = rng_.uniform() * total;
+
+    if ((pick -= spec.w_blackhole) < 0) {
+      blackhole_one_way(fp, toward, at);
+    } else if ((pick -= spec.w_loss) < 0) {
+      double p = spec.loss_min +
+                 rng_.uniform() * (spec.loss_max - spec.loss_min);
+      loss_one_way(fp, toward, p, at);
+    } else if ((pick -= spec.w_ramp) < 0) {
+      degradation_ramp(fp, toward, 1.0, at, spec.ramp_over);
+    } else if ((pick -= spec.w_flap) < 0) {
+      flap_storm(fp, at, spec.flaps, spec.flap_period);
+      continue;  // flaps are admin events; nothing to heal on the link
+    } else {
+      correlated_blackhole(fp.device, spec.correlated_links, at);
+      if (spec.heal_after > sim::Duration{}) {
+        // Heal every link of the device; cheaper than tracking the subset.
+        std::uint32_t d = blueprint_.device_index(fp.device);
+        for (std::uint32_t li = 0; li < blueprint_.links().size(); ++li) {
+          const auto& ls = blueprint_.links()[li];
+          if (ls.upper != d && ls.lower != d) continue;
+          std::uint32_t peer = ls.upper == d ? ls.lower : ls.upper;
+          heal(FailurePoint{fp.device, blueprint_.port_on(d, li),
+                            blueprint_.device(peer).name},
+               at + spec.heal_after);
+        }
+      }
+      continue;
+    }
+    if (spec.heal_after > sim::Duration{}) heal(fp, at + spec.heal_after);
+  }
+}
+
+}  // namespace mrmtp::topo

@@ -1,0 +1,126 @@
+// ChaosEngine: scheduled gray-failure campaigns on top of FailureInjector.
+//
+// The paper's evaluation only exercises clean failures (an interface goes
+// administratively down and both sides eventually notice). Production Clos
+// fabrics mostly die of gray failures instead: a link drops frames in one
+// direction while hellos keep flowing the other way, optics degrade slowly,
+// or an interface flaps faster than routing can damp it. The engine drives
+// the per-direction Link impairments and admin up/down flaps from one seeded
+// RNG so a whole campaign of such failures is reproducible, and keeps a
+// timestamped log of everything it injected for reports and tests.
+//
+// Lifetime: scheduled events capture `this`; the engine must outlive the
+// scheduler run it armed (the harness owns it for the experiment duration).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "topo/clos.hpp"
+#include "topo/failure.hpp"
+
+namespace mrmtp::topo {
+
+/// The gray-failure modes the engine can inject.
+enum class GrayKind : std::uint8_t {
+  kUnidirBlackhole,   // one direction drops everything, other stays healthy
+  kUnidirLoss,        // one direction drops a fraction of frames
+  kDegradationRamp,   // one-way loss ramps up over time (dying optics)
+  kFlapStorm,         // admin down/up toggles faster than damping
+  kCorrelatedBlackhole,  // several links of one device fail together
+};
+
+[[nodiscard]] std::string_view to_string(GrayKind kind);
+
+/// One injected event, for post-run reporting and assertions.
+struct ChaosEventRecord {
+  sim::Time at;
+  GrayKind kind;
+  std::string description;  // "S-1-1:3 -> L-1-1 blackhole", ...
+};
+
+class ChaosEngine {
+ public:
+  /// Randomized-campaign parameters; all failures are drawn from the
+  /// engine's seeded RNG so a campaign replays bit-identically.
+  struct CampaignSpec {
+    int events = 8;
+    sim::Time start{};
+    /// Gap between consecutive event onsets.
+    sim::Duration spacing = sim::Duration::millis(400);
+    /// Every impairment heals this long after onset (0 = permanent).
+    sim::Duration heal_after = sim::Duration::seconds(1);
+    /// Relative weights of the failure modes (need not sum to 1).
+    double w_blackhole = 0.4;
+    double w_loss = 0.3;
+    double w_ramp = 0.1;
+    double w_flap = 0.1;
+    double w_correlated = 0.1;
+    /// kUnidirLoss probability range.
+    double loss_min = 0.3;
+    double loss_max = 0.9;
+    /// kFlapStorm shape: `flaps` down/up cycles, one per period.
+    int flaps = 6;
+    sim::Duration flap_period = sim::Duration::millis(120);
+    /// kDegradationRamp: time to reach full loss.
+    sim::Duration ramp_over = sim::Duration::millis(500);
+    /// kCorrelatedBlackhole: links of one device failing together.
+    int correlated_links = 2;
+  };
+
+  ChaosEngine(net::Network& network, const ClosBlueprint& blueprint,
+              std::uint64_t seed);
+
+  // --- targeted injections (FailurePoint names the impaired interface) ---
+  /// Blackholes one direction of the link at `fp` starting at `at`.
+  /// `toward_device` drops frames arriving AT fp.device (so fp.device's
+  /// keep-alive starves and it is the side that should detect); false drops
+  /// frames it sends (the peer starves).
+  void blackhole_one_way(const FailurePoint& fp, bool toward_device,
+                         sim::Time at);
+  void loss_one_way(const FailurePoint& fp, bool toward_device, double p,
+                    sim::Time at);
+  void degradation_ramp(const FailurePoint& fp, bool toward_device,
+                        double target, sim::Time at, sim::Duration over);
+  /// `flaps` admin down/up cycles of fp's interface, one per `period`.
+  void flap_storm(const FailurePoint& fp, sim::Time at, int flaps,
+                  sim::Duration period);
+  /// Simultaneous one-way blackholes on up to `links` interfaces of
+  /// `device` (correlated failure: a bad linecard / fan tray).
+  void correlated_blackhole(const std::string& device, int links,
+                            sim::Time at);
+  /// Heals both directions of the link at `fp` at `at`.
+  void heal(const FailurePoint& fp, sim::Time at);
+
+  /// Schedules `spec.events` randomized gray failures over the fabric links
+  /// (host links are never touched), each healing after `heal_after`.
+  void run_campaign(const CampaignSpec& spec);
+
+  /// Everything injected so far (scheduled, in onset order).
+  [[nodiscard]] const std::vector<ChaosEventRecord>& log() const {
+    return log_;
+  }
+  /// Onset of the first scheduled event (the detection-latency start mark).
+  [[nodiscard]] std::optional<sim::Time> first_onset() const;
+
+  /// The link carrying fp.device's fp.port (throws if unwired).
+  [[nodiscard]] net::Link& link_of(const FailurePoint& fp) const;
+  /// The transmission direction frames travel toward (or away from)
+  /// fp.device on that link.
+  [[nodiscard]] net::Link::Dir dir_of(const FailurePoint& fp,
+                                      bool toward_device) const;
+
+ private:
+  void record(sim::Time at, GrayKind kind, std::string description);
+  /// A random fabric link as a FailurePoint anchored on its lower device.
+  [[nodiscard]] FailurePoint random_fabric_point();
+
+  net::Network& network_;
+  const ClosBlueprint& blueprint_;
+  sim::Rng rng_;
+  std::vector<ChaosEventRecord> log_;
+};
+
+}  // namespace mrmtp::topo

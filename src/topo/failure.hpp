@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 
 #include "net/network.hpp"
 #include "topo/clos.hpp"
@@ -15,19 +16,29 @@ class FailureInjector {
   FailureInjector(net::Network& network, const ClosBlueprint& blueprint)
       : network_(network), blueprint_(blueprint) {}
 
-  /// Schedules the TC's interface to go down at `at`.
+  /// Schedules the TC's interface to go down at `at`. The failure point is
+  /// captured by value: a later schedule_failure() cannot retarget callbacks
+  /// already queued.
   void schedule_failure(TestCase tc, sim::Time at) {
     point_ = blueprint_.failure_point(tc);
-    network_.ctx().sched.schedule_at(at, [this] {
+    FailurePoint fp = *point_;
+    network_.ctx().sched.schedule_at(at, [this, fp] {
       failed_at_ = network_.ctx().now();
-      network_.find(point_->device).set_interface_down(point_->port);
+      network_.find(fp.device).set_interface_down(fp.port);
     });
   }
 
   /// Schedules the failed interface to come back up at `at` (flap studies).
+  /// Requires a prior schedule_failure(); throws instead of dereferencing an
+  /// empty failure point.
   void schedule_recovery(sim::Time at) {
-    network_.ctx().sched.schedule_at(at, [this] {
-      network_.find(point_->device).set_interface_up(point_->port);
+    if (!point_.has_value()) {
+      throw std::logic_error(
+          "FailureInjector::schedule_recovery before schedule_failure");
+    }
+    FailurePoint fp = *point_;
+    network_.ctx().sched.schedule_at(at, [this, fp] {
+      network_.find(fp.device).set_interface_up(fp.port);
     });
   }
 

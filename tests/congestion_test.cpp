@@ -33,9 +33,9 @@ TEST(LinkQueueTest, TailDropWhenBacklogExceedsLimit) {
   for (int i = 0; i < 100; ++i) a.transmit(a.port(1), f);
   ctx.sched.run();
 
-  EXPECT_GT(link.stats().dropped_queue_full, 0u);
+  EXPECT_GT(link.stats().dropped_queue_full(), 0u);
   EXPECT_EQ(static_cast<std::uint64_t>(b.received) +
-                link.stats().dropped_queue_full,
+                link.stats().dropped_queue_full(),
             100u);
   // Roughly the backlog window worth of frames got through the queue.
   EXPECT_GT(b.received, 8);

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include "bgp/message.hpp"
+#include "harness/auditor.hpp"
 #include "harness/deploy.hpp"
 #include "mtp/message.hpp"
 #include "sim/random.hpp"
+#include "topo/chaos.hpp"
 
 namespace mrmtp {
 namespace {
@@ -129,6 +131,59 @@ TEST_P(FuzzSeeds, RoutersSurviveGarbageFramesWhileForwarding) {
 
   EXPECT_EQ(receiver.sink_stats().unique_received, 300u);
   EXPECT_TRUE(dep.converged());  // garbage must not perturb the trees
+}
+
+// Seeded chaos campaign: spray a converged 2-PoD MR-MTP fabric with random
+// unidirectional blackholes and partial loss, each healing before the next
+// hits, while the FabricAuditor sweeps. After every re-convergence window
+// (just before the next onset, and once the dust fully settles) the fabric
+// must be free of loops and blackhole violations.
+TEST_P(FuzzSeeds, ChaosCampaignKeepsForwardingInvariants) {
+  net::SimContext ctx(GetParam());
+  topo::ClosBlueprint bp(topo::ClosParams::paper_2pod());
+  harness::Deployment dep(ctx, bp, harness::Proto::kMtp, {});
+  dep.start();
+  ctx.sched.run_until(sim::Time::zero() + sim::Duration::seconds(3));
+  ASSERT_TRUE(dep.converged());
+
+  topo::ChaosEngine chaos(dep.network(), bp, GetParam() * 13);
+  topo::ChaosEngine::CampaignSpec spec;
+  spec.events = 4;
+  spec.start = ctx.now() + sim::Duration::millis(100);
+  spec.spacing = sim::Duration::millis(1500);
+  spec.heal_after = sim::Duration::millis(400);
+  spec.w_blackhole = 0.5;
+  spec.w_loss = 0.5;
+  spec.w_ramp = spec.w_flap = spec.w_correlated = 0.0;
+  chaos.run_campaign(spec);
+  ASSERT_EQ(chaos.log().size(), 4u);
+
+  harness::FabricAuditor auditor(dep);
+  auto assert_no_forwarding_violations = [&](int window) {
+    std::size_t before = auditor.violations().size();
+    auditor.sweep();
+    for (std::size_t i = before; i < auditor.violations().size(); ++i) {
+      const harness::Violation& v = auditor.violations()[i];
+      EXPECT_NE(v.kind, harness::InvariantKind::kForwardingLoop)
+          << "window " << window << ": " << v.str();
+      EXPECT_NE(v.kind, harness::InvariantKind::kForwardingBlackhole)
+          << "window " << window << ": " << v.str();
+      EXPECT_NE(v.kind, harness::InvariantKind::kExclusionBlackhole)
+          << "window " << window << ": " << v.str();
+    }
+  };
+
+  // Sweep just before each next onset: the previous impairment healed
+  // 400 ms ago and MR-MTP had ~1.1 s to re-accept and rejoin.
+  for (int e = 1; e < spec.events; ++e) {
+    ctx.sched.run_until(spec.start + spec.spacing * e -
+                        sim::Duration::millis(10));
+    assert_no_forwarding_violations(e);
+  }
+  ctx.sched.run_until(spec.start + spec.spacing * spec.events +
+                      sim::Duration::seconds(2));
+  assert_no_forwarding_violations(spec.events);
+  EXPECT_TRUE(dep.converged());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 4, 5));

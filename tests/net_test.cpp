@@ -98,7 +98,10 @@ TEST_F(LinkTest, FramesTowardDownedInterfaceAreDropped) {
   b_->transmit(b_->port(1), make_frame(50));
   ctx_.sched.run();
   EXPECT_TRUE(a_->arrivals.empty());
-  EXPECT_EQ(link_->stats().dropped_dst_down, 1u);
+  EXPECT_EQ(link_->stats().dropped_dst_down(), 1u);
+  // The drop is attributed to the direction that carried the frame.
+  EXPECT_EQ(link_->stats().ba.dropped_dst_down, 1u);
+  EXPECT_EQ(link_->stats().ab.dropped_dst_down, 0u);
 }
 
 TEST_F(LinkTest, FramesFromDownedInterfaceAreNotSent) {
@@ -107,7 +110,7 @@ TEST_F(LinkTest, FramesFromDownedInterfaceAreNotSent) {
   a_->transmit(a_->port(1), make_frame(50));
   ctx_.sched.run();
   EXPECT_TRUE(b_->arrivals.empty());
-  EXPECT_EQ(link_->stats().delivered, 0u);
+  EXPECT_EQ(link_->stats().delivered(), 0u);
 }
 
 TEST_F(LinkTest, InterfaceUpRestoresDelivery) {
@@ -143,7 +146,7 @@ TEST_F(LinkTest, DuplicationDeliversTwice) {
   a_->transmit(a_->port(1), make_frame(50));
   ctx_.sched.run();
   EXPECT_EQ(b_->arrivals.size(), 2u);
-  EXPECT_EQ(link_->stats().duplicated, 1u);
+  EXPECT_EQ(link_->stats().duplicated(), 1u);
 }
 
 TEST_F(LinkTest, ReorderJitterCanSwapFrames) {
