@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-stop pre-merge check: the tier-1 configure/build/ctest cycle plus the
+# fully instrumented ASan+UBSan preset. Run from anywhere; both build trees
+# live under the repo root (build/ and build-asan/).
+#
+#   scripts/check.sh            # tier-1 + sanitized suite
+#   scripts/check.sh --tier1    # tier-1 only (fast loop)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+tier1_only=false
+[[ "${1:-}" == "--tier1" ]] && tier1_only=true
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+if ! $tier1_only; then
+  echo
+  echo "== asan-ubsan: whole tree instrumented (build-asan/) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs"
+  ctest --preset asan-ubsan -j "$jobs"
+fi
+
+echo
+echo "All checks passed."

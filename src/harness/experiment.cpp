@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "harness/auditor.hpp"
@@ -127,6 +129,7 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
     ctx.sched.schedule_at(t_traffic, [&, sender, receiver] {
       traffic::FlowConfig flow;
       flow.dst = receiver->addr();
+      flow.src_port = spec.traffic_src_port;
       flow.gap = spec.traffic_gap;
       flow.payload_size = spec.payload_size;
       sender->start_flow(flow);
@@ -172,7 +175,12 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
   if (sender != nullptr) {
     ctx.sched.schedule_at(t_end, [sender] { sender->stop_flow(); });
   }
+  auto wall_start = std::chrono::steady_clock::now();
   ctx.sched.run_until(t_end + sim::Duration::millis(200));
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // --- collect ---
   if (update_events > 0) result.convergence = last_update - t_fail;
@@ -210,6 +218,19 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
   result.ctrl_bytes_raw = after.raw - before.raw;
   result.ctrl_bytes_padded = after.padded - before.padded;
 
+  result.events_fired = ctx.sched.events_fired();
+  result.heap_high_water = ctx.sched.heap_high_water();
+  result.sched_reschedules = ctx.sched.reschedules();
+  result.sched_compactions = ctx.sched.compactions();
+  if (spec.proto == Proto::kMtp) {
+    for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+      const auto& ms = dep.mtp(d).mtp_stats();
+      result.allocs_avoided += ms.allocs_avoided;
+      result.up_cache_hits += ms.up_cache_hits;
+      result.up_cache_misses += ms.up_cache_misses;
+    }
+  }
+
   if (sender != nullptr && receiver != nullptr) {
     result.packets_sent = sender->packets_sent();
     const auto& sink = receiver->sink_stats();
@@ -224,6 +245,8 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
 AveragedResult run_averaged(ExperimentSpec spec,
                             const std::vector<std::uint64_t>& seeds) {
   AveragedResult avg;
+  double cache_hits = 0;
+  double cache_misses = 0;
   for (std::uint64_t seed : seeds) {
     spec.seed = seed;
     ExperimentResult r = run_failure_experiment(spec);
@@ -239,6 +262,15 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.outage_ms += r.outage.to_millis();
     avg.audit_violations += static_cast<double>(r.audit_violations);
     avg.final_violations += static_cast<double>(r.final_sweep_violations);
+    if (r.wall_seconds > 0) {
+      avg.events_per_sec +=
+          static_cast<double>(r.events_fired) / r.wall_seconds;
+    }
+    avg.heap_high_water = std::max(
+        avg.heap_high_water, static_cast<double>(r.heap_high_water));
+    avg.allocs_avoided += static_cast<double>(r.allocs_avoided);
+    cache_hits += static_cast<double>(r.up_cache_hits);
+    cache_misses += static_cast<double>(r.up_cache_misses);
     avg.convergence_dist.add(r.convergence.to_millis());
     avg.loss_dist.add(static_cast<double>(r.packets_lost));
     avg.ctrl_bytes_dist.add(static_cast<double>(r.ctrl_bytes_raw));
@@ -265,6 +297,11 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.outage_ms /= n;
     avg.audit_violations /= n;
     avg.final_violations /= n;
+    avg.events_per_sec /= n;
+    avg.allocs_avoided /= n;
+  }
+  if (cache_hits + cache_misses > 0) {
+    avg.cache_hit_rate = cache_hits / (cache_hits + cache_misses);
   }
   return avg;
 }

@@ -30,6 +30,10 @@ struct ExperimentSpec {
   /// a 3 s BGP hold-timer outage cost ~1000 packets as in the paper).
   sim::Duration traffic_gap = sim::Duration::millis(3);
   std::size_t payload_size = 64;
+  /// Probe-flow source port. The rendezvous hash maps each flow to one
+  /// deterministic path, so which flow rides the failed link is a property
+  /// of the flow identity — vary this to steer the probe onto/off it.
+  std::uint16_t traffic_src_port = 7000;
   /// false: sender near the failure (H-1-1 -> last host, paper Fig. 7);
   /// true: sender at the far end (last host -> H-1-1, paper Fig. 8).
   bool reverse_flow = false;
@@ -93,6 +97,17 @@ struct ExperimentResult {
   std::uint64_t audit_sweeps = 0;
   std::uint64_t audit_violations = 0;
   std::uint64_t final_sweep_violations = 0;
+
+  /// Event-core / data-path health, the scalability gate's raw inputs.
+  std::uint64_t events_fired = 0;
+  double wall_seconds = 0;            // host time for the full run
+  std::uint64_t heap_high_water = 0;  // scheduler heap peak (entries)
+  std::uint64_t sched_reschedules = 0;
+  std::uint64_t sched_compactions = 0;
+  /// MTP data-path counters summed over routers (0 under BGP).
+  std::uint64_t allocs_avoided = 0;
+  std::uint64_t up_cache_hits = 0;
+  std::uint64_t up_cache_misses = 0;
 };
 
 [[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);
@@ -113,6 +128,13 @@ struct AveragedResult {
   double detection_ms = 0;
   double audit_violations = 0;
   double final_violations = 0;
+  /// Hot-path aggregates: mean events/sec (sim events per host second),
+  /// max heap high-water across seeds, mean allocations avoided, and the
+  /// pooled uplink-candidate-cache hit rate.
+  double events_per_sec = 0;
+  double heap_high_water = 0;
+  double allocs_avoided = 0;
+  double cache_hit_rate = 0;
   int runs = 0;
   int converged_runs = 0;
   int detected_runs = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "harness/deploy.hpp"
 #include "net/network.hpp"
 
 namespace mrmtp::harness {
@@ -87,6 +88,44 @@ Table link_direction_table(const net::Network& network, bool busy_only) {
     row(link->a(), link->b(), s.ab);
     row(link->b(), link->a(), s.ba);
   }
+  return table;
+}
+
+Table hot_path_table(Deployment& dep, bool busy_only) {
+  Table table({"node", "forwarded", "allocs_avoided", "cache_hits",
+               "cache_misses", "hit_rate"});
+  auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    std::uint64_t total = hits + misses;
+    return total == 0
+               ? std::string("-")
+               : fmt(static_cast<double>(hits) / static_cast<double>(total), 3);
+  };
+  if (dep.proto() == Proto::kMtp) {
+    std::uint64_t fwd = 0, avoided = 0, hits = 0, misses = 0;
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(dep.router_count()); ++d) {
+      const auto& s = dep.mtp(d).mtp_stats();
+      fwd += s.data_forwarded;
+      avoided += s.allocs_avoided;
+      hits += s.up_cache_hits;
+      misses += s.up_cache_misses;
+      if (busy_only && s.data_forwarded == 0) continue;
+      table.add_row({dep.router(d).name(), std::to_string(s.data_forwarded),
+                     std::to_string(s.allocs_avoided),
+                     std::to_string(s.up_cache_hits),
+                     std::to_string(s.up_cache_misses),
+                     rate(s.up_cache_hits, s.up_cache_misses)});
+    }
+    table.add_row({"TOTAL", std::to_string(fwd), std::to_string(avoided),
+                   std::to_string(hits), std::to_string(misses),
+                   rate(hits, misses)});
+  }
+  const sim::Scheduler& sched = dep.ctx().sched;
+  table.add_row({"[scheduler]",
+                 "events=" + std::to_string(sched.events_fired()),
+                 "heap_hw=" + std::to_string(sched.heap_high_water()),
+                 "resched=" + std::to_string(sched.reschedules()),
+                 "compact=" + std::to_string(sched.compactions()), ""});
   return table;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/hash.hpp"
+
 namespace mrmtp::ip {
 
 class Ipv4Addr {
@@ -83,6 +85,11 @@ struct std::hash<mrmtp::ip::Ipv4Addr> {
 template <>
 struct std::hash<mrmtp::ip::Ipv4Prefix> {
   std::size_t operator()(const mrmtp::ip::Ipv4Prefix& p) const noexcept {
-    return std::hash<std::uint32_t>{}(p.network().value() * 33u + p.length());
+    // network*33+length collides systematically on aligned subnets (every
+    // /24 in a /16 shares the low bits); run the packed key through a full
+    // 64-bit finalizer instead.
+    std::uint64_t key = (static_cast<std::uint64_t>(p.network().value()) << 8) |
+                        p.length();
+    return static_cast<std::size_t>(mrmtp::util::mix64(key));
   }
 };

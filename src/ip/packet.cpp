@@ -15,10 +15,14 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
 
 std::vector<std::uint8_t> Ipv4Header::serialize(
     std::span<const std::uint8_t> payload) const {
-  util::BufWriter w(kSize + payload.size());
-  w.u8(0x45);  // version 4, IHL 5
+  if (options.size() % 4 != 0 || options.size() > kMaxSize - kSize) {
+    throw util::CodecError("IPv4: options must be 0..40 bytes in 32-bit words");
+  }
+  const std::size_t hlen = header_length();
+  util::BufWriter w(hlen + payload.size());
+  w.u8(static_cast<std::uint8_t>(0x40 | (hlen / 4)));
   w.u8(tos);
-  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(static_cast<std::uint16_t>(hlen + payload.size()));
   w.u16(identification);
   w.u16(0x4000);  // DF, no fragmentation in this fabric
   w.u8(ttl);
@@ -26,8 +30,9 @@ std::vector<std::uint8_t> Ipv4Header::serialize(
   w.u16(0);  // checksum placeholder
   w.u32(src.value());
   w.u32(dst.value());
+  w.bytes(options);
   std::uint16_t csum = internet_checksum(
-      std::span<const std::uint8_t>(w.data().data(), kSize));
+      std::span<const std::uint8_t>(w.data().data(), hlen));
   auto out = w.take();
   out[10] = static_cast<std::uint8_t>(csum >> 8);
   out[11] = static_cast<std::uint8_t>(csum & 0xff);
@@ -41,7 +46,8 @@ Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
   std::uint8_t ver_ihl = r.u8();
   if ((ver_ihl >> 4) != 4) throw util::CodecError("IPv4: bad version");
   std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
-  if (ihl != kSize) throw util::CodecError("IPv4: options unsupported");
+  if (ihl < kSize) throw util::CodecError("IPv4: IHL below 5");
+  if (ihl > data.size()) throw util::CodecError("IPv4: header truncated");
 
   Ipv4Header h;
   h.tos = r.u8();
@@ -53,15 +59,23 @@ Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
   r.u16();  // checksum (verified over the whole header below)
   h.src = Ipv4Addr(r.u32());
   h.dst = Ipv4Addr(r.u32());
+  h.options.assign(data.begin() + kSize, data.begin() + ihl);
 
-  if (total_length < kSize || total_length > data.size()) {
+  if (total_length < ihl || total_length > data.size()) {
     throw util::CodecError("IPv4: bad total length");
   }
-  if (internet_checksum(data.subspan(0, kSize)) != 0) {
+  if (internet_checksum(data.subspan(0, ihl)) != 0) {
     throw util::CodecError("IPv4: header checksum mismatch");
   }
-  out_payload = data.subspan(kSize, total_length - kSize);
+  out_payload = data.subspan(ihl, total_length - ihl);
   return h;
+}
+
+std::size_t Ipv4Header::payload_offset(std::span<const std::uint8_t> packet) {
+  if (packet.empty()) throw util::CodecError("IPv4: empty packet");
+  std::size_t ihl = static_cast<std::size_t>(packet[0] & 0xf) * 4;
+  if (ihl < kSize) throw util::CodecError("IPv4: IHL below 5");
+  return ihl;
 }
 
 }  // namespace mrmtp::ip

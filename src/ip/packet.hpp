@@ -1,6 +1,8 @@
-// IPv4 header codec (RFC 791, no options) with a real internet checksum, so
-// serialized packets carry the exact 20 bytes the paper's wireshark captures
-// count.
+// IPv4 header codec (RFC 791) with a real internet checksum, so serialized
+// packets carry the exact bytes the paper's wireshark captures count.
+// Options are carried opaquely: parse accepts any IHL in [5, 15] and hands
+// back the payload *after* the options, so flow hashes derived from the
+// payload span always cover the transport ports and never option bytes.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +20,8 @@ enum class IpProto : std::uint8_t {
 };
 
 struct Ipv4Header {
-  static constexpr std::size_t kSize = 20;
+  static constexpr std::size_t kSize = 20;      // option-less header bytes
+  static constexpr std::size_t kMaxSize = 60;   // IHL 15
 
   std::uint8_t tos = 0;
   std::uint16_t identification = 0;
@@ -26,16 +29,33 @@ struct Ipv4Header {
   IpProto protocol = IpProto::kUdp;
   Ipv4Addr src;
   Ipv4Addr dst;
+  /// Raw option bytes; must be a multiple of 4 and at most 40 bytes when
+  /// serializing (serialize throws util::CodecError otherwise).
+  std::vector<std::uint8_t> options;
   // total_length is derived from the payload at serialization time.
 
-  /// Serializes header + payload.
+  /// Header bytes on the wire (20 + options) — the transport offset inside
+  /// a serialized packet. Flow-hashing code must use this rather than
+  /// assuming IHL=5.
+  [[nodiscard]] std::size_t header_length() const {
+    return kSize + options.size();
+  }
+
+  /// Serializes header (+options) + payload.
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       std::span<const std::uint8_t> payload) const;
 
-  /// Parses a header; `out_payload` receives the bytes after it. Throws
-  /// util::CodecError on truncation, bad version, or checksum mismatch.
+  /// Parses a header; `out_payload` receives the bytes after it (options
+  /// skipped). Throws util::CodecError on truncation, bad version, bad IHL,
+  /// or checksum mismatch.
   static Ipv4Header parse(std::span<const std::uint8_t> data,
                           std::span<const std::uint8_t>& out_payload);
+
+  /// Transport-payload offset of a serialized IPv4 packet (IHL x 4), without
+  /// a full parse — the hot-path helper for flow hashing over raw bytes.
+  /// Throws util::CodecError if the buffer is empty or the IHL is invalid.
+  [[nodiscard]] static std::size_t payload_offset(
+      std::span<const std::uint8_t> packet);
 };
 
 /// RFC 1071 internet checksum over `data`.

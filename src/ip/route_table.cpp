@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace mrmtp::ip {
 
 std::string_view to_string(RouteProto p) {
@@ -73,7 +75,15 @@ const Route* RouteTable::exact(Ipv4Prefix prefix) const {
 const NextHop* RouteTable::select(Ipv4Addr dst, std::uint64_t flow_hash) const {
   const Route* r = lookup(dst);
   if (r == nullptr || r->nexthops.empty()) return nullptr;
-  return &r->nexthops[flow_hash % r->nexthops.size()];
+  // Rendezvous hashing keyed by the next hop itself: when one member of the
+  // group vanishes, only the flows it was winning remap (~1/n of them);
+  // `flow_hash % n` would remap nearly all flows on any size change.
+  std::size_t pick = util::hrw_pick(
+      flow_hash, r->nexthops.size(), [&](std::size_t i) {
+        const NextHop& nh = r->nexthops[i];
+        return (static_cast<std::uint64_t>(nh.via.value()) << 32) | nh.port;
+      });
+  return &r->nexthops[pick];
 }
 
 std::vector<const Route*> RouteTable::sorted_routes() const {

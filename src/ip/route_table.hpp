@@ -54,7 +54,8 @@ class RouteTable {
   /// Exact-prefix fetch; nullptr if absent.
   [[nodiscard]] const Route* exact(Ipv4Prefix prefix) const;
 
-  /// ECMP selection: LPM then pick nexthops[flow_hash % n].
+  /// ECMP selection: LPM then rendezvous (HRW) hash over the next-hop group,
+  /// so a member loss remaps only the flows that member was carrying.
   [[nodiscard]] const NextHop* select(Ipv4Addr dst,
                                       std::uint64_t flow_hash) const;
 

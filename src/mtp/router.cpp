@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace mrmtp::mtp {
 
 namespace {
@@ -206,6 +208,7 @@ void MtpRouter::neighbor_up(std::uint32_t p) {
   if (s.alive) return;
   s.alive = true;
   s.streak = 0;
+  invalidate_up_cache();
   ++stats_.neighbors_accepted;
   s.dead_timer->start(config_.timers.dead);
   log(sim::LogLevel::kInfo, "neighbor on port " + std::to_string(p) + " UP");
@@ -232,6 +235,7 @@ void MtpRouter::neighbor_down(std::uint32_t p, bool local_detect) {
   if (!s.alive) return;
   s.alive = false;
   s.streak = 0;
+  invalidate_up_cache();
   ++stats_.neighbors_lost;
   s.dead_timer->stop();
   s.join_pending.clear();
@@ -290,6 +294,7 @@ bool MtpRouter::fully_assigned(std::uint32_t p) const {
 void MtpRouter::on_port_down(net::Port& p) {
   PortState& s = pstate(p.number());
   if (!s.mtp) return;
+  invalidate_up_cache();
   s.hello_timer->stop();
   neighbor_down(p.number(), /*local_detect=*/true);
 }
@@ -297,6 +302,7 @@ void MtpRouter::on_port_down(net::Port& p) {
 void MtpRouter::on_port_up(net::Port& p) {
   PortState& s = pstate(p.number());
   if (!s.mtp) return;
+  invalidate_up_cache();
   s.hello_timer->start_periodic(config_.timers.hello);
 }
 
@@ -320,6 +326,7 @@ void MtpRouter::send_advertise(std::uint32_t p) {
 void MtpRouter::handle_advertise(std::uint32_t p, const AdvertiseMsg& msg) {
   PortState& s = pstate(p);
   bool first_contact = !s.neighbor_tier.has_value();
+  if (first_contact || *s.neighbor_tier != msg.tier) invalidate_up_cache();
   s.neighbor_tier = msg.tier;
   if (first_contact) send_advertise(p);  // let the neighbor learn our tier
 
@@ -552,6 +559,7 @@ void MtpRouter::handle_dest_unreach(std::uint32_t p, const DestUnreachMsg& msg) 
     affected.insert(root);
   }
   if (changed) {
+    invalidate_up_cache();
     ++stats_.table_changes_remote;
     if (on_table_change) on_table_change(ctx_.now(), true);
   }
@@ -573,6 +581,7 @@ void MtpRouter::handle_dest_clear(std::uint32_t p, const DestClearMsg& msg) {
     affected.insert(root);
   }
   if (changed) {
+    invalidate_up_cache();
     ++stats_.table_changes_remote;
     if (on_table_change) on_table_change(ctx_.now(), true);
   }
@@ -625,13 +634,21 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
     --msg.ttl;
   }
 
-  // Downward: a VID rooted at the destination names the exact port.
-  auto candidates = vid_table_.entries_for_root(msg.dst_root);
+  // Downward: a VID rooted at the destination names the exact port. The
+  // per-root index is a reference (no per-packet vector), and rendezvous
+  // hashing keyed by the VID keeps every other flow in place when one
+  // candidate entry is withdrawn.
+  const auto& candidates = vid_table_.entries_for_root(msg.dst_root);
   if (!candidates.empty()) {
     std::uint64_t h = data_flow_hash(msg);
-    const VidEntry& pick = candidates[h % candidates.size()];
+    std::size_t pick = util::hrw_pick(h, candidates.size(), [&](std::size_t i) {
+      const VidEntry& e = candidates[i];
+      return static_cast<std::uint64_t>(std::hash<Vid>{}(e.vid)) ^ e.port;
+    });
+    std::uint32_t out = candidates[pick].port;
     ++stats_.data_forwarded;
-    send_msg(pick.port, msg);
+    ++stats_.allocs_avoided;
+    send_msg(out, msg);
     return;
   }
 
@@ -640,14 +657,16 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
     ++stats_.data_dropped_no_path;
     return;
   }
-  auto ups = eligible_up_ports(msg.dst_root);
+  const auto& ups = eligible_up_ports(msg.dst_root);
   if (ups.empty()) {
     ++stats_.data_dropped_no_path;
     return;
   }
   std::uint64_t h = data_flow_hash(msg);
+  std::uint32_t out = ups[util::hrw_pick(
+      h, ups.size(), [&](std::size_t i) { return std::uint64_t{ups[i]}; })];
   ++stats_.data_forwarded;
-  send_msg(ups[h % ups.size()], msg);
+  send_msg(out, msg);
 }
 
 void MtpRouter::deliver_to_rack(const DataMsg& msg) {
@@ -672,9 +691,16 @@ void MtpRouter::deliver_to_rack(const DataMsg& msg) {
   transmit(out, std::move(frame));
 }
 
-std::vector<std::uint32_t> MtpRouter::eligible_up_ports(
+const std::vector<std::uint32_t>& MtpRouter::eligible_up_ports(
     std::uint16_t dst_root) const {
-  std::vector<std::uint32_t> out;
+  auto it = up_cache_.find(dst_root);
+  if (it != up_cache_.end()) {
+    ++stats_.up_cache_hits;
+    ++stats_.allocs_avoided;
+    return it->second;
+  }
+  ++stats_.up_cache_misses;
+  std::vector<std::uint32_t>& out = up_cache_[dst_root];
   for (std::uint32_t p = 1; p <= port_count(); ++p) {
     const PortState& s = pstate(p);
     if (!s.mtp || !s.alive || !is_upstream(p)) continue;
@@ -696,9 +722,18 @@ std::uint64_t MtpRouter::data_flow_hash(const DataMsg& msg) {
   mix(static_cast<std::uint8_t>(msg.src_root));
   mix(static_cast<std::uint8_t>(msg.dst_root >> 8));
   mix(static_cast<std::uint8_t>(msg.dst_root));
-  // Inner IP addresses + first 4 transport bytes (the ports).
-  for (std::size_t i = 12; i < 24 && i < msg.ip_packet.size(); ++i) {
-    mix(msg.ip_packet[i]);
+  // Inner IP addresses (fixed offsets) + first 4 transport bytes (the
+  // ports), whose offset is IHL x 4 — a packet carrying IP options must not
+  // hash option bytes in place of the ports.
+  const auto& pkt = msg.ip_packet;
+  for (std::size_t i = 12; i < 20 && i < pkt.size(); ++i) mix(pkt[i]);
+  if (!pkt.empty()) {
+    std::size_t off = static_cast<std::size_t>(pkt[0] & 0xf) * 4;
+    if (off >= ip::Ipv4Header::kSize) {
+      for (std::size_t i = off; i < off + 4 && i < pkt.size(); ++i) {
+        mix(pkt[i]);
+      }
+    }
   }
   return h;
 }

@@ -106,6 +106,13 @@ class MtpRouter : public net::Node {
     /// Joins refused because another port already roots the same ToR VID
     /// (duplicate rack subnet misconfiguration).
     std::uint64_t duplicate_roots_rejected = 0;
+    // --- hot-path counters (harness::report hot-path table) ---
+    /// Forwards served without building a candidate vector: downward picks
+    /// through the VID table's per-root index plus uplink-cache hits.
+    std::uint64_t allocs_avoided = 0;
+    /// Uplink candidate-set cache hits / (re)builds.
+    std::uint64_t up_cache_hits = 0;
+    std::uint64_t up_cache_misses = 0;
   };
   [[nodiscard]] const MtpStats& mtp_stats() const { return stats_; }
 
@@ -126,7 +133,10 @@ class MtpRouter : public net::Node {
   /// Uplinks currently eligible to carry traffic toward `dst_root` (alive,
   /// admin-up, not excluded) — the load-balancer candidate set. Public so
   /// the FabricAuditor can walk virtual probes through the same decision.
-  [[nodiscard]] std::vector<std::uint32_t> eligible_up_ports(
+  /// Returns a reference into a per-root cache invalidated on liveness,
+  /// interface, tier, and exclusion changes; the data path calls this per
+  /// packet and must not allocate.
+  [[nodiscard]] const std::vector<std::uint32_t>& eligible_up_ports(
       std::uint16_t dst_root) const;
 
   /// Test-only hook (auditor unit tests): plants a VID-table entry without
@@ -207,6 +217,11 @@ class MtpRouter : public net::Node {
   }
   void note_update_stats(const net::Frame& frame);
 
+  /// Drops every cached uplink candidate set; called whenever anything that
+  /// feeds eligibility (liveness, admin state, neighbor tier, exclusions)
+  /// changes.
+  void invalidate_up_cache() { up_cache_.clear(); }
+
   MtpConfig config_;
   std::uint16_t own_vid_ = 0;
   VidTable vid_table_;
@@ -216,7 +231,11 @@ class MtpRouter : public net::Node {
   std::vector<PortState> ports_state_;
   std::unordered_map<std::uint16_t, Outstanding> outstanding_;
   std::uint16_t next_msg_id_ = 1;
-  MtpStats stats_;
+  /// Eligible-uplink sets keyed by destination root (lazy, see
+  /// eligible_up_ports); mutable because lookups are logically const.
+  mutable std::unordered_map<std::uint16_t, std::vector<std::uint32_t>>
+      up_cache_;
+  mutable MtpStats stats_;
 };
 
 }  // namespace mrmtp::mtp

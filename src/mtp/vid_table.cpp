@@ -4,9 +4,19 @@
 
 namespace mrmtp::mtp {
 
+namespace {
+void erase_from(std::vector<VidEntry>& v, const Vid& vid) {
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const VidEntry& e) { return e.vid == vid; }),
+          v.end());
+}
+}  // namespace
+
 bool VidTable::add(Vid vid, std::uint32_t port) {
   if (contains(vid)) return false;
-  entries_.push_back(VidEntry{std::move(vid), port});
+  VidEntry entry{std::move(vid), port};
+  by_root_[entry.vid.root()].push_back(entry);
+  entries_.push_back(std::move(entry));
   return true;
 }
 
@@ -14,6 +24,11 @@ bool VidTable::remove(const Vid& vid) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const VidEntry& e) { return e.vid == vid; });
   if (it == entries_.end()) return false;
+  auto root_it = by_root_.find(vid.root());
+  if (root_it != by_root_.end()) {
+    erase_from(root_it->second, vid);
+    if (root_it->second.empty()) by_root_.erase(root_it);
+  }
   entries_.erase(it);
   return true;
 }
@@ -29,6 +44,12 @@ std::vector<VidEntry> VidTable::remove_port(std::uint32_t port) {
                              return false;
                            });
   entries_.erase(it, entries_.end());
+  for (const VidEntry& e : removed) {
+    auto root_it = by_root_.find(e.vid.root());
+    if (root_it == by_root_.end()) continue;
+    erase_from(root_it->second, e.vid);
+    if (root_it->second.empty()) by_root_.erase(root_it);
+  }
   return removed;
 }
 
@@ -40,18 +61,14 @@ const VidEntry* VidTable::find(const Vid& vid) const {
 }
 
 bool VidTable::has_root(std::uint16_t root) const {
-  for (const auto& e : entries_) {
-    if (e.vid.root() == root) return true;
-  }
-  return false;
+  return by_root_.contains(root);
 }
 
-std::vector<VidEntry> VidTable::entries_for_root(std::uint16_t root) const {
-  std::vector<VidEntry> out;
-  for (const auto& e : entries_) {
-    if (e.vid.root() == root) out.push_back(e);
-  }
-  return out;
+const std::vector<VidEntry>& VidTable::entries_for_root(
+    std::uint16_t root) const {
+  static const std::vector<VidEntry> kEmpty;
+  auto it = by_root_.find(root);
+  return it == by_root_.end() ? kEmpty : it->second;
 }
 
 std::string VidTable::dump() const {

@@ -41,7 +41,10 @@ class VidTable {
   [[nodiscard]] bool has_root(std::uint16_t root) const;
 
   /// All entries rooted at `root` (the candidates for downward forwarding).
-  [[nodiscard]] std::vector<VidEntry> entries_for_root(std::uint16_t root) const;
+  /// Returns a reference into a per-root index maintained across mutations:
+  /// the data path calls this once per packet and must not allocate.
+  [[nodiscard]] const std::vector<VidEntry>& entries_for_root(
+      std::uint16_t root) const;
 
   [[nodiscard]] const std::vector<VidEntry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -53,10 +56,15 @@ class VidTable {
   /// table-size experiment.
   [[nodiscard]] std::size_t memory_bytes() const;
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    by_root_.clear();
+  }
 
  private:
   std::vector<VidEntry> entries_;
+  /// Per-root candidate sets, the downward-forwarding hot path's view.
+  std::map<std::uint16_t, std::vector<VidEntry>> by_root_;
 };
 
 class ExclusionTable {

@@ -1,8 +1,45 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mrmtp::sim {
+
+namespace {
+/// Below this heap size compaction is never worth the rebuild.
+constexpr std::size_t kCompactFloor = 64;
+/// Compact once stale entries outnumber live callbacks this many times over.
+constexpr std::size_t kCompactRatio = 4;
+}  // namespace
+
+void Scheduler::push_entry(Entry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_high_water_ = std::max(heap_high_water_, heap_.size());
+}
+
+void Scheduler::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
+}
+
+void Scheduler::compact() {
+  heap_.clear();
+  heap_.reserve(callbacks_.size());
+  for (const auto& [seq, pending] : callbacks_) {
+    heap_.push_back(Entry{pending.at, seq});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+  ++compactions_;
+}
+
+void Scheduler::maybe_compact() {
+  if (heap_.size() < kCompactFloor ||
+      heap_.size() <= kCompactRatio * callbacks_.size()) {
+    return;
+  }
+  compact();
+}
 
 EventId Scheduler::schedule_at(Time at, Callback fn) {
   if (at < now_) {
@@ -10,8 +47,8 @@ EventId Scheduler::schedule_at(Time at, Callback fn) {
                            at.str() + " now=" + now_.str() + ")");
   }
   std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq});
-  callbacks_.emplace(seq, std::move(fn));
+  push_entry(Entry{at, seq});
+  callbacks_.emplace(seq, Pending{at, std::move(fn)});
   return EventId{seq};
 }
 
@@ -21,19 +58,50 @@ EventId Scheduler::schedule_after(Duration delay, Callback fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.valid()) callbacks_.erase(id.seq);
+  if (!id.valid()) return;
+  if (callbacks_.erase(id.seq) > 0) maybe_compact();
+}
+
+bool Scheduler::reschedule(EventId id, Time at) {
+  if (!id.valid()) return false;
+  auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return false;
+  if (at < now_) at = now_;
+  ++reschedules_;
+  bool earlier = at < it->second.at;
+  it->second.at = at;
+  if (earlier) {
+    // Moving earlier: the existing heap entry would pop too late, so plant a
+    // new one at the new deadline (the old entry dies lazily). If that extra
+    // entry would breach the compaction bound, rebuild instead — the rebuild
+    // already plants every live deadline, this one included.
+    if (heap_.size() + 1 >= kCompactFloor &&
+        heap_.size() + 1 > kCompactRatio * callbacks_.size()) {
+      compact();
+    } else {
+      push_entry(Entry{at, id.seq});
+    }
+  }
+  // Moving later is free: the stale earlier entry re-pushes itself on pop.
+  return true;
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
+  while (!heap_.empty()) {
+    Entry e = heap_.front();
     auto it = callbacks_.find(e.seq);
     if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled; discard lazily
+      pop_entry();  // cancelled; discard lazily
       continue;
     }
-    queue_.pop();
-    Callback fn = std::move(it->second);
+    if (it->second.at != e.at) {
+      // Deadline was bumped later after this entry was pushed; chase it.
+      pop_entry();
+      push_entry(Entry{it->second.at, e.seq});
+      continue;
+    }
+    pop_entry();
+    Callback fn = std::move(it->second.fn);
     callbacks_.erase(it);
     now_ = e.at;
     ++fired_;
@@ -44,17 +112,22 @@ bool Scheduler::step() {
 }
 
 void Scheduler::run_until(Time deadline) {
-  while (!queue_.empty()) {
-    // Skip cancelled heads without advancing time.
-    Entry e = queue_.top();
+  while (!heap_.empty()) {
+    // Skip cancelled/superseded heads without advancing time.
+    Entry e = heap_.front();
     auto it = callbacks_.find(e.seq);
     if (it == callbacks_.end()) {
-      queue_.pop();
+      pop_entry();
+      continue;
+    }
+    if (it->second.at != e.at) {
+      pop_entry();
+      push_entry(Entry{it->second.at, e.seq});
       continue;
     }
     if (e.at > deadline) break;
-    queue_.pop();
-    Callback fn = std::move(it->second);
+    pop_entry();
+    Callback fn = std::move(it->second.fn);
     callbacks_.erase(it);
     now_ = e.at;
     ++fired_;

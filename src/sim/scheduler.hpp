@@ -2,13 +2,20 @@
 //
 // A binary heap orders events by (time, insertion sequence); ties at the same
 // instant fire in insertion order, which makes every run bit-reproducible.
-// Cancellation is O(1): callbacks live in a side map keyed by sequence number
-// and cancelled entries are skipped lazily when popped.
+// The callback map is authoritative for deadlines; heap entries are hints:
+//   * Cancellation is O(1): erase from the map, the heap entry dies lazily.
+//   * Rescheduling is O(1) for deadline extensions (the keep-alive/dead-timer
+//     reset that fires on every data frame): only the map's deadline moves,
+//     and a popped entry that is earlier than the authoritative deadline is
+//     re-pushed instead of fired. Moving a deadline *earlier* pushes one new
+//     heap entry.
+//   * Stale entries (cancelled or superseded) are compacted away whenever the
+//     heap outgrows the live callbacks 4:1, so heap_size() stays within
+//     max(64, 4 x pending()) no matter how hot the cancel/reschedule churn.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +45,11 @@ class Scheduler {
   /// Cancels a pending event; no-op if already fired or cancelled.
   void cancel(EventId id);
 
+  /// Moves a pending event's deadline to `at` (clamped to now()); returns
+  /// false if the event already fired or was cancelled. O(1) when the
+  /// deadline moves later — the per-frame keep-alive reset path.
+  bool reschedule(EventId id, Time at);
+
   /// Fires the next event; returns false when the queue is empty.
   bool step();
 
@@ -49,8 +61,15 @@ class Scheduler {
   bool run(std::uint64_t max_events = UINT64_MAX);
 
   [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  /// Live (uncancelled) callbacks.
   [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  /// Heap entries, including stale ones awaiting lazy discard/compaction;
+  /// bounded by max(64, 4 x pending()) after every public call.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t heap_high_water() const { return heap_high_water_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t reschedules() const { return reschedules_; }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
@@ -62,15 +81,32 @@ class Scheduler {
     }
   };
 
+  struct Pending {
+    Time at;  // authoritative deadline; heap entries may lag behind
+    Callback fn;
+  };
+
+  void push_entry(Entry e);
+  void pop_entry();
+  /// Rebuilds the heap from the live callbacks (one entry per callback).
+  void compact();
+  /// Compacts when stale entries dominate (heap > max(64, 4 x pending)).
+  void maybe_compact();
+
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t reschedules_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t heap_high_water_ = 0;
+  std::vector<Entry> heap_;  // min-heap via std::*_heap with std::greater
+  std::unordered_map<std::uint64_t, Pending> callbacks_;
 };
 
 /// Restartable timer built on Scheduler; the workhorse behind every
 /// keep-alive, dead, hold, MRAI, and retransmission timer in the protocols.
+/// Re-arming an already-running timer reuses the scheduled event via
+/// Scheduler::reschedule, so per-frame resets do not churn the heap.
 class Timer {
  public:
   Timer(Scheduler& sched, Scheduler::Callback on_fire)
@@ -82,25 +118,20 @@ class Timer {
 
   /// Arms (or re-arms) as a one-shot firing after `d`.
   void start(Duration d) {
-    stop();
     periodic_ = false;
     interval_ = d;
-    arm();
+    rearm();
   }
 
   /// Arms as a periodic timer with period `d`; fires repeatedly until stop().
   void start_periodic(Duration d) {
-    stop();
     periodic_ = true;
     interval_ = d;
-    arm();
+    rearm();
   }
 
   /// Re-arms with the last interval (e.g. dead timer reset on keep-alive).
-  void restart() {
-    stop();
-    arm();
-  }
+  void restart() { rearm(); }
 
   void stop() {
     if (id_.valid()) {
@@ -113,6 +144,13 @@ class Timer {
   [[nodiscard]] Duration interval() const { return interval_; }
 
  private:
+  void rearm() {
+    Duration d = interval_ < Duration{} ? Duration{} : interval_;
+    if (id_.valid() && sched_.reschedule(id_, sched_.now() + d)) return;
+    id_ = {};
+    arm();
+  }
+
   void arm() {
     id_ = sched_.schedule_after(interval_, [this] {
       id_ = {};

@@ -1,0 +1,53 @@
+// Shared hashing primitives for the forwarding hot paths.
+//
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler whose output
+// bits all depend on all input bits, unlike the multiply-shift folklore hashes
+// that collide systematically on structured keys (aligned subnets, sequential
+// port numbers).
+//
+// hrw_pick implements rendezvous (highest-random-weight) hashing over a
+// candidate set: every (flow, member) pair gets an independent weight and the
+// flow goes to the member with the highest one. When a member disappears only
+// the flows whose winner it was move — the property `hash % n` lacks, where
+// removing one member remaps (n-1)/n of all flows (paper §III.C's stable
+// load balancing; cf. FatPaths' flow-stability requirement).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrmtp::util {
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Rendezvous weight of `member` for `flow`.
+[[nodiscard]] constexpr std::uint64_t hrw_weight(std::uint64_t flow,
+                                                 std::uint64_t member) {
+  return mix64(flow ^ mix64(member));
+}
+
+/// Index of the HRW winner among `n` candidates whose keys are produced by
+/// `key_of(i)`; `n` must be > 0. Ties break toward the lower index, which
+/// cannot happen between distinct keys (mix64 is bijective) but keeps the
+/// pick deterministic if a caller passes duplicates.
+template <typename KeyOf>
+[[nodiscard]] std::size_t hrw_pick(std::uint64_t flow, std::size_t n,
+                                   KeyOf&& key_of) {
+  std::size_t best = 0;
+  std::uint64_t best_w = hrw_weight(flow, key_of(std::size_t{0}));
+  for (std::size_t i = 1; i < n; ++i) {
+    std::uint64_t w = hrw_weight(flow, key_of(i));
+    if (w > best_w) {
+      best_w = w;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mrmtp::util

@@ -2,6 +2,8 @@
 // table — including a randomized LPM-vs-linear-scan oracle property test.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "ip/packet.hpp"
 #include "ip/route_table.hpp"
 #include "sim/random.hpp"
@@ -51,6 +53,27 @@ TEST(PrefixTest, ParseForm) {
   EXPECT_THROW(Ipv4Prefix::parse("10.1.0.0/33"), util::CodecError);
 }
 
+TEST(PrefixHashTest, AdjacentPrefixesSpreadAcrossBuckets) {
+  // The old `network * 33 + length` hash stepped by 33 * 256 = 8448 between
+  // adjacent /24s — a multiple of 64, so every rack prefix landed in the
+  // same low-bit bucket class of an unordered_map. The mixed hash must
+  // spread them.
+  std::set<std::size_t> buckets;
+  std::set<std::size_t> hashes;
+  std::hash<Ipv4Prefix> h;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    Ipv4Prefix p(Ipv4Addr(10, 0, static_cast<std::uint8_t>(i), 0), 24);
+    std::size_t v = h(p);
+    hashes.insert(v);
+    buckets.insert(v % 64);
+  }
+  EXPECT_EQ(hashes.size(), 256u);
+  EXPECT_GT(buckets.size(), 48u);
+  // Same network, different length -> different hash.
+  EXPECT_NE(h(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 24)),
+            h(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 25)));
+}
+
 TEST(HeaderTest, SerializeParseRoundTrip) {
   Ipv4Header h;
   h.src = Ipv4Addr::parse("192.168.11.1");
@@ -96,6 +119,47 @@ TEST(HeaderTest, RejectsTruncationAndBadVersion) {
   EXPECT_THROW(Ipv4Header::parse(bytes, p), util::CodecError);
 }
 
+TEST(HeaderTest, OptionsRoundTripAndShiftPayload) {
+  Ipv4Header h;
+  h.src = Ipv4Addr::parse("192.168.11.1");
+  h.dst = Ipv4Addr::parse("192.168.14.1");
+  h.protocol = IpProto::kUdp;
+  h.options = {0x94, 0x04, 0x00, 0x00,   // router alert
+               0x01, 0x01, 0x01, 0x01};  // NOP padding
+  std::vector<std::uint8_t> payload{9, 8, 7, 6};
+  auto bytes = h.serialize(payload);
+  ASSERT_EQ(bytes.size(), Ipv4Header::kSize + 8 + payload.size());
+  EXPECT_EQ(bytes[0], 0x47);  // version 4, IHL 7
+
+  std::span<const std::uint8_t> out_payload;
+  Ipv4Header parsed = Ipv4Header::parse(bytes, out_payload);
+  EXPECT_EQ(parsed.options, h.options);
+  EXPECT_EQ(parsed.header_length(), 28u);
+  // The payload span must start after the options, so the transport ports a
+  // flow hash reads are the real ports, not option bytes.
+  ASSERT_EQ(out_payload.size(), payload.size());
+  EXPECT_EQ(out_payload[0], 9);
+  EXPECT_EQ(Ipv4Header::payload_offset(bytes), 28u);
+}
+
+TEST(HeaderTest, RejectsMalformedOptions) {
+  Ipv4Header h;
+  h.options = {0x01, 0x01, 0x01};  // not a multiple of 4
+  EXPECT_THROW(h.serialize({}), util::CodecError);
+  h.options.assign(44, 0x01);  // over the 40-byte cap
+  EXPECT_THROW(h.serialize({}), util::CodecError);
+
+  h.options.clear();
+  auto bytes = h.serialize({});
+  bytes[0] = 0x44;  // IHL 4 < minimum 5
+  std::span<const std::uint8_t> p;
+  EXPECT_THROW(Ipv4Header::parse(bytes, p), util::CodecError);
+  EXPECT_THROW(static_cast<void>(Ipv4Header::payload_offset(bytes)),
+               util::CodecError);
+  EXPECT_THROW(static_cast<void>(Ipv4Header::payload_offset({})),
+               util::CodecError);
+}
+
 class RouteTableTest : public ::testing::Test {
  protected:
   RouteTable table_;
@@ -126,12 +190,16 @@ TEST_F(RouteTableTest, EcmpSelectIsDeterministicPerHash) {
              {{Ipv4Addr::parse("172.16.0.1"), 3},
               {Ipv4Addr::parse("172.16.8.1"), 4}});
   auto dst = Ipv4Addr::parse("192.168.14.1");
-  const NextHop* h0 = table_.select(dst, 0);
-  const NextHop* h1 = table_.select(dst, 1);
-  ASSERT_NE(h0, nullptr);
-  ASSERT_NE(h1, nullptr);
-  EXPECT_NE(h0->port, h1->port);
-  EXPECT_EQ(table_.select(dst, 2)->port, h0->port);
+  // Same flow hash always lands on the same member (flow affinity), and
+  // across many hashes the rendezvous pick uses every member.
+  std::set<std::uint32_t> ports;
+  for (std::uint64_t f = 0; f < 64; ++f) {
+    const NextHop* pick = table_.select(dst, f);
+    ASSERT_NE(pick, nullptr);
+    EXPECT_EQ(table_.select(dst, f)->port, pick->port);
+    ports.insert(pick->port);
+  }
+  EXPECT_EQ(ports, (std::set<std::uint32_t>{3, 4}));
 }
 
 TEST_F(RouteTableTest, ReplaceAndRemove) {

@@ -1,6 +1,8 @@
 // Unit tests: simulation time, scheduler ordering/cancellation, timers, RNG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -117,6 +119,109 @@ TEST(SchedulerTest, MaxEventsGuardTrips) {
   sched.schedule_after(Duration::nanos(1), forever);
   EXPECT_FALSE(sched.run(1000));
   EXPECT_EQ(sched.events_fired(), 1000u);
+}
+
+TEST(SchedulerTest, RescheduleMovesDeadlineLater) {
+  Scheduler sched;
+  std::vector<int> order;
+  EventId moved =
+      sched.schedule_at(Time::from_ns(100), [&] { order.push_back(1); });
+  sched.schedule_at(Time::from_ns(200), [&] { order.push_back(2); });
+  EXPECT_TRUE(sched.reschedule(moved, Time::from_ns(300)));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(sched.now().ns(), 300);
+}
+
+TEST(SchedulerTest, RescheduleMovesDeadlineEarlier) {
+  Scheduler sched;
+  std::vector<int> order;
+  EventId moved =
+      sched.schedule_at(Time::from_ns(500), [&] { order.push_back(1); });
+  sched.schedule_at(Time::from_ns(200), [&] { order.push_back(2); });
+  EXPECT_TRUE(sched.reschedule(moved, Time::from_ns(100)));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, RescheduleAfterFireOrCancelFails) {
+  Scheduler sched;
+  EventId fired = sched.schedule_at(Time::from_ns(10), [] {});
+  EventId cancelled = sched.schedule_at(Time::from_ns(20), [] {});
+  sched.cancel(cancelled);
+  sched.run();
+  EXPECT_FALSE(sched.reschedule(fired, Time::from_ns(100)));
+  EXPECT_FALSE(sched.reschedule(cancelled, Time::from_ns(100)));
+  EXPECT_FALSE(sched.reschedule(EventId{}, Time::from_ns(100)));
+}
+
+TEST(SchedulerTest, ReschedulePastClampsToNow) {
+  Scheduler sched;
+  sched.schedule_at(Time::from_ns(100), [] {});
+  sched.run();
+  bool fired = false;
+  EventId id = sched.schedule_at(Time::from_ns(500), [&] { fired = true; });
+  EXPECT_TRUE(sched.reschedule(id, Time::from_ns(50)));  // in the past
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now().ns(), 100);
+}
+
+/// The compaction invariant: no matter how hot the reschedule churn, the heap
+/// never outgrows max(64, 4 x live callbacks).
+std::size_t heap_bound(const Scheduler& sched) {
+  return std::max<std::size_t>(64, 4 * sched.pending());
+}
+
+TEST(SchedulerTest, MillionReschedulesBoundHeapGrowth) {
+  Scheduler sched;
+  // One background event per "router" plus the churning dead-timer event.
+  for (int i = 0; i < 16; ++i) {
+    sched.schedule_at(Time::from_ns(2'000'000'000), [] {});
+  }
+  bool fired = false;
+  EventId dead = sched.schedule_at(Time::from_ns(1'000'000'000),
+                                   [&] { fired = true; });
+  // A keep-alive per simulated frame: alternate bump-later and pull-earlier
+  // so both reschedule paths run at full churn.
+  for (std::int64_t i = 0; i < 1'000'000; ++i) {
+    std::int64_t at = 1'000'000'000 + ((i % 2 == 0) ? i : -i);
+    ASSERT_TRUE(sched.reschedule(dead, Time::from_ns(at)));
+    ASSERT_LE(sched.heap_size(), heap_bound(sched)) << "at churn step " << i;
+  }
+  EXPECT_EQ(sched.reschedules(), 1'000'000u);
+  EXPECT_LE(sched.heap_high_water(), heap_bound(sched));
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, CancelChurnCompactsHeap) {
+  Scheduler sched;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(sched.schedule_after(Duration::millis(i + 1), [] {}));
+    }
+    for (EventId id : ids) sched.cancel(id);
+    ASSERT_LE(sched.heap_size(), heap_bound(sched)) << "round " << round;
+  }
+  EXPECT_GT(sched.compactions(), 0u);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, RescheduledEventFiresExactlyOnce) {
+  Scheduler sched;
+  int fires = 0;
+  EventId id = sched.schedule_at(Time::from_ns(100), [&] { ++fires; });
+  // Pull earlier several times — each push leaves a stale later entry that
+  // must be discarded, not fired.
+  for (std::int64_t at : {90, 80, 70, 60}) {
+    ASSERT_TRUE(sched.reschedule(id, Time::from_ns(at)));
+  }
+  sched.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sched.now().ns(), 60);
 }
 
 TEST(TimerTest, OneShotFiresOnce) {
