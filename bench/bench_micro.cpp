@@ -1,13 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: VID operations,
-// LPM route lookup, ECMP hashing, codec throughput, scheduler throughput,
-// and full simulated-fabric event rates.
+// LPM route lookup, ECMP hashing, codec throughput, buffer-pipeline
+// encap/decap and link transit (ns/frame with allocs/frame from the pool
+// counters), scheduler throughput, and full simulated-fabric event rates.
 #include <benchmark/benchmark.h>
 
 #include "bgp/message.hpp"
 #include "harness/deploy.hpp"
+#include "ip/packet.hpp"
 #include "ip/route_table.hpp"
 #include "mtp/message.hpp"
 #include "mtp/vid_table.hpp"
+#include "net/buffer.hpp"
+#include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -91,6 +95,105 @@ void BM_MtpDataEncode(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MtpDataEncode)->Arg(64)->Arg(1400);
+
+/// Spine transit cycle on one pooled buffer: decode slices the IP packet out
+/// of the frame, encode prepends the 6-byte MTP header back into the same
+/// headroom. allocs/frame and copied_B/frame come from the pool's own
+/// counters and must both be ~0.
+void BM_MtpTransitEncapDecap(benchmark::State& state) {
+  mtp::DataMsg seed;
+  seed.src_root = 11;
+  seed.dst_root = 14;
+  seed.ip_packet.assign(static_cast<std::size_t>(state.range(0)), 0xab);
+  net::Buffer wire = mtp::encode(mtp::MtpMessage{std::move(seed)});
+
+  const net::BufferPoolStats& stats = net::BufferPool::instance().stats();
+  const std::uint64_t allocs_before = stats.slab_allocs;
+  const std::uint64_t copied_before = stats.bytes_copied;
+  for (auto _ : state) {
+    mtp::MtpMessage msg = mtp::decode(std::move(wire));
+    auto* d = std::get_if<mtp::DataMsg>(&msg);
+    --d->ttl;
+    wire = mtp::encode(std::move(msg));
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  const auto frames = static_cast<double>(state.iterations());
+  state.counters["allocs/frame"] =
+      static_cast<double>(stats.slab_allocs - allocs_before) / frames;
+  state.counters["copied_B/frame"] =
+      static_cast<double>(stats.bytes_copied - copied_before) / frames;
+}
+BENCHMARK(BM_MtpTransitEncapDecap)->Arg(64)->Arg(1400);
+
+/// Headroom-based IPv4 encapsulation vs the legacy serialize-into-vector.
+void BM_IpEncapsulate(benchmark::State& state) {
+  ip::Ipv4Header h;
+  h.src = ip::Ipv4Addr::parse("10.1.1.2");
+  h.dst = ip::Ipv4Addr::parse("10.2.4.2");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  net::Buffer payload = net::Buffer::allocate(n);
+  for (auto _ : state) {
+    net::Buffer pkt = h.encapsulate(std::move(payload));
+    benchmark::DoNotOptimize(pkt.data());
+    payload = pkt.slice(h.header_length());  // shed the header, keep the slab
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpEncapsulate)->Arg(64)->Arg(1400);
+
+void BM_IpSerializeLegacy(benchmark::State& state) {
+  ip::Ipv4Header h;
+  h.src = ip::Ipv4Addr::parse("10.1.1.2");
+  h.dst = ip::Ipv4Addr::parse("10.2.4.2");
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)),
+                                    0xab);
+  for (auto _ : state) {
+    auto pkt = h.serialize(payload);
+    benchmark::DoNotOptimize(pkt.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpSerializeLegacy)->Arg(64)->Arg(1400);
+
+/// One frame through a link (transmit -> serialization/propagation events ->
+/// delivery), pooled payload end to end. allocs/frame must settle at ~0:
+/// every slab is recycled through the freelist.
+void BM_LinkTransitPooledFrames(benchmark::State& state) {
+  class SinkNode : public net::Node {
+   public:
+    using Node::Node;
+    void handle_frame(net::Port& in, net::Frame frame) override {
+      (void)in;
+      last = std::move(frame);
+    }
+    net::Frame last;
+  };
+
+  net::SimContext ctx(1);
+  net::Network network(ctx);
+  auto& a = network.add_node<SinkNode>("a", 1);
+  auto& b = network.add_node<SinkNode>("b", 2);
+  network.connect(a, b, {});
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+
+  const net::BufferPoolStats& stats = net::BufferPool::instance().stats();
+  const std::uint64_t allocs_before = stats.slab_allocs;
+  for (auto _ : state) {
+    net::Frame f;
+    f.dst = net::MacAddr::broadcast();
+    f.ethertype = net::EtherType::kIpv4;
+    f.payload = net::Buffer::allocate(payload_size);
+    a.transmit(a.port(1), std::move(f));
+    ctx.sched.run();
+    benchmark::DoNotOptimize(b.last.payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs/frame"] =
+      static_cast<double>(stats.slab_allocs - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LinkTransitPooledFrames)->Arg(64)->Arg(1400);
 
 void BM_BgpUpdateCodec(benchmark::State& state) {
   bgp::UpdateMessage u;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One-stop pre-merge check: the tier-1 configure/build/ctest cycle plus the
-# fully instrumented ASan+UBSan preset. Run from anywhere; both build trees
-# live under the repo root (build/ and build-asan/).
+# fully instrumented ASan+UBSan preset, a TSan pass over the buffer/scheduler
+# tests, and the steady-state allocation gate (the buffer pool's own counters
+# must show zero slab allocations and zero payload copies across a pure
+# forwarding window). Run from anywhere; the build trees live under the repo
+# root (build/, build-asan/, build-tsan/).
 #
-#   scripts/check.sh            # tier-1 + sanitized suite
+#   scripts/check.sh            # tier-1 + sanitizers + allocation gate
 #   scripts/check.sh --tier1    # tier-1 only (fast loop)
 set -euo pipefail
 
@@ -19,12 +22,34 @@ cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
+echo
+echo "== steady-state allocation gate (bench_buffer_pipeline) =="
+(cd build && ./bench/bench_buffer_pipeline > /dev/null)
+for key in slab_allocs oversize_allocs prepend_copies bytes_copied; do
+  val="$(grep -o "\"$key\": [0-9-]*" build/BENCH_buffer.json | head -1 \
+         | awk '{print $2}')"
+  if [[ "$val" != "0" ]]; then
+    echo "FAIL: steady-state window reports $key=$val (expected 0) —" \
+         "a payload path regressed to heap allocation or copying."
+    exit 1
+  fi
+  echo "  $key=0 ok"
+done
+
 if ! $tier1_only; then
   echo
   echo "== asan-ubsan: whole tree instrumented (build-asan/) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$jobs"
   ctest --preset asan-ubsan -j "$jobs"
+
+  echo
+  echo "== tsan: buffer + scheduler tests (build-tsan/) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" \
+    --target buffer_test sim_test net_test util_test
+  ctest --test-dir build-tsan -R '^(buffer_test|sim_test|net_test|util_test)$' \
+    --output-on-failure -j "$jobs"
 fi
 
 echo

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "harness/deploy.hpp"
+#include "net/buffer.hpp"
 #include "net/network.hpp"
 
 namespace mrmtp::harness {
@@ -126,6 +127,19 @@ Table hot_path_table(Deployment& dep, bool busy_only) {
                  "heap_hw=" + std::to_string(sched.heap_high_water()),
                  "resched=" + std::to_string(sched.reschedules()),
                  "compact=" + std::to_string(sched.compactions()), ""});
+  const net::BufferPoolStats& bp = net::BufferPool::instance().stats();
+  table.add_row({"[buffer-pool]",
+                 "allocs=" + std::to_string(bp.slab_allocs),
+                 "reuses=" + std::to_string(bp.slab_reuses),
+                 "live_hw=" + std::to_string(bp.live_high_water),
+                 "copied=" + std::to_string(bp.bytes_copied),
+                 "shared=" + std::to_string(bp.bytes_shared)});
+  table.add_row({"[buffer-pool]",
+                 "prepend_inplace=" + std::to_string(bp.prepend_inplace),
+                 "prepend_copies=" + std::to_string(bp.prepend_copies),
+                 "oversize=" + std::to_string(bp.oversize_allocs),
+                 "regrows=" + std::to_string(bp.writer_regrows),
+                 "import=" + std::to_string(bp.import_bytes)});
   return table;
 }
 

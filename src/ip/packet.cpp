@@ -1,5 +1,7 @@
 #include "ip/packet.hpp"
 
+#include <algorithm>
+
 namespace mrmtp::ip {
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
@@ -38,6 +40,59 @@ std::vector<std::uint8_t> Ipv4Header::serialize(
   out[11] = static_cast<std::uint8_t>(csum & 0xff);
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
+}
+
+net::Buffer Ipv4Header::encapsulate(net::Buffer payload) const {
+  if (options.size() % 4 != 0 || options.size() > kMaxSize - kSize) {
+    throw util::CodecError("IPv4: options must be 0..40 bytes in 32-bit words");
+  }
+  const std::size_t hlen = header_length();
+  std::uint8_t hdr[kMaxSize];
+  hdr[0] = static_cast<std::uint8_t>(0x40 | (hlen / 4));
+  hdr[1] = tos;
+  const auto total = static_cast<std::uint16_t>(hlen + payload.size());
+  hdr[2] = static_cast<std::uint8_t>(total >> 8);
+  hdr[3] = static_cast<std::uint8_t>(total & 0xff);
+  hdr[4] = static_cast<std::uint8_t>(identification >> 8);
+  hdr[5] = static_cast<std::uint8_t>(identification & 0xff);
+  hdr[6] = 0x40;  // DF, no fragmentation in this fabric
+  hdr[7] = 0x00;
+  hdr[8] = ttl;
+  hdr[9] = static_cast<std::uint8_t>(protocol);
+  hdr[10] = 0;  // checksum placeholder
+  hdr[11] = 0;
+  const std::uint32_t s = src.value();
+  const std::uint32_t d = dst.value();
+  hdr[12] = static_cast<std::uint8_t>(s >> 24);
+  hdr[13] = static_cast<std::uint8_t>((s >> 16) & 0xff);
+  hdr[14] = static_cast<std::uint8_t>((s >> 8) & 0xff);
+  hdr[15] = static_cast<std::uint8_t>(s & 0xff);
+  hdr[16] = static_cast<std::uint8_t>(d >> 24);
+  hdr[17] = static_cast<std::uint8_t>((d >> 16) & 0xff);
+  hdr[18] = static_cast<std::uint8_t>((d >> 8) & 0xff);
+  hdr[19] = static_cast<std::uint8_t>(d & 0xff);
+  std::copy(options.begin(), options.end(), hdr + kSize);
+  const std::uint16_t csum =
+      internet_checksum(std::span<const std::uint8_t>(hdr, hlen));
+  hdr[10] = static_cast<std::uint8_t>(csum >> 8);
+  hdr[11] = static_cast<std::uint8_t>(csum & 0xff);
+  payload.prepend(std::span<const std::uint8_t>(hdr, hlen));
+  return payload;
+}
+
+void Ipv4Header::decrement_ttl(net::Buffer& packet) {
+  if (packet.size() < kSize) throw util::CodecError("IPv4: header truncated");
+  std::uint8_t* p = packet.mutable_data();
+  const std::size_t ihl = static_cast<std::size_t>(p[0] & 0xf) * 4;
+  if (ihl < kSize) throw util::CodecError("IPv4: IHL below 5");
+  if (ihl > packet.size()) throw util::CodecError("IPv4: header truncated");
+  --p[8];
+  p[10] = 0;
+  p[11] = 0;
+  const std::uint16_t csum =
+      internet_checksum(std::span<const std::uint8_t>(p, ihl));
+  p[10] = static_cast<std::uint8_t>(csum >> 8);
+  p[11] = static_cast<std::uint8_t>(csum & 0xff);
 }
 
 Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,

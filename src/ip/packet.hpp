@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ip/addr.hpp"
+#include "net/buffer.hpp"
 #include "util/byte_io.hpp"
 
 namespace mrmtp::ip {
@@ -44,6 +45,17 @@ struct Ipv4Header {
   /// Serializes header (+options) + payload.
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       std::span<const std::uint8_t> payload) const;
+
+  /// Prepends this header over the payload buffer's headroom — in place when
+  /// the caller moved a uniquely owned buffer in, a counted pool copy
+  /// otherwise. Byte-identical to serialize(payload).
+  [[nodiscard]] net::Buffer encapsulate(net::Buffer payload) const;
+
+  /// Transit fast path: decrements the TTL of a serialized packet and
+  /// re-patches the header checksum in place (copy-on-shared via the
+  /// buffer). Byte-identical to parse + ttl-1 + serialize. Throws
+  /// util::CodecError on a truncated or malformed header.
+  static void decrement_ttl(net::Buffer& packet);
 
   /// Parses a header; `out_payload` receives the bytes after it (options
   /// skipped). Throws util::CodecError on truncation, bad version, bad IHL,

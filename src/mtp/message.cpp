@@ -19,7 +19,8 @@ std::string_view to_string(MsgType t) {
 
 namespace {
 
-void write_vids(util::BufWriter& w, const std::vector<Vid>& vids) {
+template <typename Writer>
+void write_vids(Writer& w, const std::vector<Vid>& vids) {
   w.u8(static_cast<std::uint8_t>(vids.size()));
   for (const Vid& v : vids) v.serialize(w);
 }
@@ -32,7 +33,8 @@ std::vector<Vid> read_vids(util::BufReader& r) {
   return out;
 }
 
-void write_roots(util::BufWriter& w, const std::vector<std::uint16_t>& roots) {
+template <typename Writer>
+void write_roots(Writer& w, const std::vector<std::uint16_t>& roots) {
   w.u8(static_cast<std::uint8_t>(roots.size()));
   for (std::uint16_t root : roots) w.u16(root);
 }
@@ -64,8 +66,24 @@ MsgType type_of(const MtpMessage& msg) {
       msg);
 }
 
-std::vector<std::uint8_t> encode(const MtpMessage& msg) {
-  util::BufWriter w(32);
+net::Buffer encode(MtpMessage msg) {
+  // Data path: prepend the 6-byte header over the IP packet's headroom —
+  // in place when the caller moved a uniquely owned payload in, a counted
+  // pool copy otherwise. Identical bytes either way.
+  if (auto* d = std::get_if<DataMsg>(&msg)) {
+    const std::uint8_t hdr[DataMsg::kHeaderSize] = {
+        static_cast<std::uint8_t>(MsgType::kData),
+        static_cast<std::uint8_t>(d->src_root >> 8),
+        static_cast<std::uint8_t>(d->src_root & 0xff),
+        static_cast<std::uint8_t>(d->dst_root >> 8),
+        static_cast<std::uint8_t>(d->dst_root & 0xff),
+        d->ttl};
+    net::Buffer out = std::move(d->ip_packet);
+    out.prepend(hdr);
+    return out;
+  }
+
+  net::BufferWriter w(32);
   w.u8(static_cast<std::uint8_t>(type_of(msg)));
 
   std::visit(
@@ -92,19 +110,14 @@ std::vector<std::uint8_t> encode(const MtpMessage& msg) {
         } else if constexpr (std::is_same_v<T, DestClearMsg>) {
           w.u16(m.msg_id);
           write_roots(w, m.roots);
-        } else if constexpr (std::is_same_v<T, DataMsg>) {
-          w.u16(m.src_root);
-          w.u16(m.dst_root);
-          w.u8(m.ttl);
-          w.bytes(m.ip_packet.data(), m.ip_packet.size());
         }
       },
       msg);
   return w.take();
 }
 
-MtpMessage decode(std::span<const std::uint8_t> payload) {
-  util::BufReader r(payload);
+MtpMessage decode(net::Buffer payload) {
+  util::BufReader r(payload.span());
   auto type = static_cast<MsgType>(r.u8());
   switch (type) {
     case MsgType::kHello:
@@ -154,8 +167,9 @@ MtpMessage decode(std::span<const std::uint8_t> payload) {
       m.src_root = r.u16();
       m.dst_root = r.u16();
       m.ttl = r.u8();
-      auto rest = r.rest();
-      m.ip_packet.assign(rest.begin(), rest.end());
+      // The IP packet is the rest of the frame payload: share the slab at
+      // offset 6 instead of copying the bytes out.
+      m.ip_packet = payload.slice(r.position());
       return m;
     }
   }

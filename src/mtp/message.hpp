@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mtp/vid.hpp"
+#include "net/buffer.hpp"
 
 namespace mrmtp::mtp {
 
@@ -83,12 +84,17 @@ struct DestClearMsg {
 };
 
 /// An encapsulated IP packet: 2-byte source and destination ToR VIDs plus a
-/// TTL backstop, then the untouched IP packet (paper §III.D).
+/// TTL backstop, then the untouched IP packet (paper §III.D). The packet is
+/// a pooled Buffer view — encapsulation prepends the 6-byte MTP header into
+/// its headroom and decapsulation slices it back out, so the IP bytes are
+/// never re-serialized while crossing the fabric.
 struct DataMsg {
+  static constexpr std::size_t kHeaderSize = 6;  // type + roots + ttl
+
   std::uint16_t src_root = 0;
   std::uint16_t dst_root = 0;
   std::uint8_t ttl = 16;
-  std::vector<std::uint8_t> ip_packet;
+  net::Buffer ip_packet;
 };
 
 using MtpMessage =
@@ -96,9 +102,15 @@ using MtpMessage =
                  CtrlAckMsg, VidWithdrawMsg, DestUnreachMsg, DestClearMsg,
                  DataMsg>;
 
-[[nodiscard]] std::vector<std::uint8_t> encode(const MtpMessage& msg);
-/// Throws util::CodecError on malformed frames.
-[[nodiscard]] MtpMessage decode(std::span<const std::uint8_t> payload);
+/// Serializes into a pooled Buffer. Takes the message by value: a DataMsg
+/// moved in keeps a unique payload slab, so the 6-byte header lands in its
+/// headroom in place — pass `MtpMessage{std::move(data_msg)}` on the hot
+/// path. Control messages serialize through a pooled writer either way.
+[[nodiscard]] net::Buffer encode(MtpMessage msg);
+/// Throws util::CodecError on malformed frames. Takes the payload by value:
+/// a kData payload moved in is *sliced*, not copied — DataMsg::ip_packet
+/// shares the frame's slab at offset 6.
+[[nodiscard]] MtpMessage decode(net::Buffer payload);
 
 [[nodiscard]] MsgType type_of(const MtpMessage& msg);
 

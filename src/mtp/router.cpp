@@ -48,17 +48,18 @@ void MtpRouter::start() {
 
 // ---------------------------------------------------------------- frame I/O
 
-void MtpRouter::send_msg(std::uint32_t port_number, const MtpMessage& msg) {
+void MtpRouter::send_msg(std::uint32_t port_number, MtpMessage msg) {
   net::Port& out = port(port_number);
   if (!out.connected() || !out.admin_up()) return;
 
+  const MsgType type = type_of(msg);
   net::Frame frame;
   frame.dst = net::MacAddr::broadcast();
   frame.src = out.mac();
   frame.ethertype = net::EtherType::kMtp;
-  frame.payload = encode(msg);
+  frame.payload = encode(std::move(msg));
 
-  switch (type_of(msg)) {
+  switch (type) {
     case MsgType::kHello:
       frame.traffic_class = net::TrafficClass::kMtpHello;
       ++stats_.hellos_sent;
@@ -70,7 +71,7 @@ void MtpRouter::send_msg(std::uint32_t port_number, const MtpMessage& msg) {
       frame.traffic_class = net::TrafficClass::kMtpControl;
   }
 
-  switch (type_of(msg)) {
+  switch (type) {
     case MsgType::kVidWithdraw:
     case MsgType::kDestUnreach:
     case MsgType::kDestClear:
@@ -129,14 +130,16 @@ void MtpRouter::send_reliable(std::uint32_t port_number, MtpMessage msg) {
 void MtpRouter::handle_frame(net::Port& in, net::Frame frame) {
   PortState& s = pstate(in.number());
   if (!s.mtp) {
-    if (frame.ethertype == net::EtherType::kIpv4) handle_rack_frame(in, frame);
+    if (frame.ethertype == net::EtherType::kIpv4) {
+      handle_rack_frame(in, std::move(frame));
+    }
     return;
   }
   if (frame.ethertype != net::EtherType::kMtp) return;
 
   MtpMessage msg;
   try {
-    msg = decode(frame.payload);
+    msg = decode(std::move(frame.payload));
   } catch (const util::CodecError&) {
     return;
   }
@@ -144,19 +147,21 @@ void MtpRouter::handle_frame(net::Port& in, net::Frame frame) {
   handle_msg(in, msg);
 }
 
-void MtpRouter::handle_msg(net::Port& in, const MtpMessage& msg) {
+void MtpRouter::handle_msg(net::Port& in, MtpMessage& msg) {
   std::uint32_t p = in.number();
   bool alive = pstate(p).alive;
 
   std::visit(
-      [&](const auto& m) {
+      [&](auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, HelloMsg>) {
           // Liveness already recorded by note_rx.
         } else if constexpr (std::is_same_v<T, CtrlAckMsg>) {
           outstanding_.erase(m.msg_id);
         } else if constexpr (std::is_same_v<T, DataMsg>) {
-          forward_data(m, p);
+          // Move the payload through: its slab stays uniquely owned, so the
+          // re-encapsulation on the far port prepends in place.
+          forward_data(std::move(m), p);
         } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
           if (alive) handle_advertise(p, m);
         } else if constexpr (std::is_same_v<T, JoinRequestMsg>) {
@@ -590,7 +595,7 @@ void MtpRouter::handle_dest_clear(std::uint32_t p, const DestClearMsg& msg) {
 
 // ---------------------------------------------------------------- data path
 
-void MtpRouter::handle_rack_frame(net::Port& in, const net::Frame& frame) {
+void MtpRouter::handle_rack_frame(net::Port& in, net::Frame frame) {
   std::span<const std::uint8_t> payload;
   ip::Ipv4Header header;
   try {
@@ -607,8 +612,9 @@ void MtpRouter::handle_rack_frame(net::Port& in, const net::Frame& frame) {
     // Intra-rack: switch between host ports.
     auto it = config_.rack_hosts.find(header.dst);
     if (it == config_.rack_hosts.end() || it->second == in.number()) return;
-    net::Frame out = frame;
-    transmit(port(it->second), std::move(out));
+    net::Port& out = port(it->second);
+    frame.src = out.mac();
+    transmit(out, std::move(frame));
     return;
   }
 
@@ -616,13 +622,13 @@ void MtpRouter::handle_rack_frame(net::Port& in, const net::Frame& frame) {
   msg.src_root = own_vid_;
   msg.dst_root = dst_root;
   msg.ttl = config_.data_ttl;
-  msg.ip_packet = frame.payload;
+  msg.ip_packet = std::move(frame.payload);
   forward_data(std::move(msg), std::nullopt);
 }
 
 void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) {
   if (is_leaf() && msg.dst_root == own_vid_) {
-    deliver_to_rack(msg);
+    deliver_to_rack(std::move(msg));
     return;
   }
 
@@ -648,7 +654,7 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
     std::uint32_t out = candidates[pick].port;
     ++stats_.data_forwarded;
     ++stats_.allocs_avoided;
-    send_msg(out, msg);
+    send_msg(out, MtpMessage{std::move(msg)});
     return;
   }
 
@@ -666,10 +672,10 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
   std::uint32_t out = ups[util::hrw_pick(
       h, ups.size(), [&](std::size_t i) { return std::uint64_t{ups[i]}; })];
   ++stats_.data_forwarded;
-  send_msg(out, msg);
+  send_msg(out, MtpMessage{std::move(msg)});
 }
 
-void MtpRouter::deliver_to_rack(const DataMsg& msg) {
+void MtpRouter::deliver_to_rack(DataMsg msg) {
   std::span<const std::uint8_t> payload;
   ip::Ipv4Header header;
   try {
@@ -685,7 +691,7 @@ void MtpRouter::deliver_to_rack(const DataMsg& msg) {
   frame.dst = net::MacAddr::broadcast();
   frame.src = out.mac();
   frame.ethertype = net::EtherType::kIpv4;
-  frame.payload = msg.ip_packet;
+  frame.payload = std::move(msg.ip_packet);
   frame.traffic_class = net::TrafficClass::kIpData;
   ++stats_.data_delivered;
   transmit(out, std::move(frame));

@@ -170,9 +170,11 @@ class MtpRouter : public net::Node {
   };
 
   // --- frame I/O ---
-  void send_msg(std::uint32_t port, const MtpMessage& msg);
+  /// Takes the message by value: move a DataMsg in to keep its payload slab
+  /// unique so encapsulation prepends in place (see mtp::encode).
+  void send_msg(std::uint32_t port, MtpMessage msg);
   void send_reliable(std::uint32_t port, MtpMessage msg);
-  void handle_msg(net::Port& in, const MtpMessage& msg);
+  void handle_msg(net::Port& in, MtpMessage& msg);
 
   // --- liveness ---
   void note_rx(net::Port& in);
@@ -202,9 +204,9 @@ class MtpRouter : public net::Node {
   void update_reachability(const std::set<std::uint16_t>& roots);
 
   // --- data plane ---
-  void handle_rack_frame(net::Port& in, const net::Frame& frame);
+  void handle_rack_frame(net::Port& in, net::Frame frame);
   void forward_data(DataMsg msg, std::optional<std::uint32_t> in_port);
-  void deliver_to_rack(const DataMsg& msg);
+  void deliver_to_rack(DataMsg msg);
   [[nodiscard]] static std::uint64_t data_flow_hash(const DataMsg& msg);
 
   // --- helpers ---

@@ -26,11 +26,6 @@ std::string Vid::str() const {
   return out;
 }
 
-void Vid::serialize(util::BufWriter& w) const {
-  w.u8(static_cast<std::uint8_t>(labels_.size()));
-  for (std::uint16_t label : labels_) w.u16(label);
-}
-
 Vid Vid::deserialize(util::BufReader& r) {
   std::uint8_t count = r.u8();
   if (count == 0) throw util::CodecError("VID: zero labels");

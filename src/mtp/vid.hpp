@@ -60,8 +60,14 @@ class Vid {
 
   [[nodiscard]] std::string str() const;
 
-  /// Wire form: 1-byte label count, then 2 bytes per label.
-  void serialize(util::BufWriter& w) const;
+  /// Wire form: 1-byte label count, then 2 bytes per label. Writes through
+  /// any writer with the BufWriter method surface (util::BufWriter or the
+  /// pooled net::BufferWriter).
+  template <typename Writer>
+  void serialize(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(labels_.size()));
+    for (std::uint16_t label : labels_) w.u16(label);
+  }
   static Vid deserialize(util::BufReader& r);
   [[nodiscard]] std::size_t wire_size() const { return 1 + 2 * labels_.size(); }
 

@@ -31,7 +31,7 @@ std::vector<std::uint8_t> Frame::serialize() const {
   w.bytes(dst.bytes.data(), dst.bytes.size());
   w.bytes(src.bytes.data(), src.bytes.size());
   w.u16(static_cast<std::uint16_t>(ethertype));
-  w.bytes(payload.data(), payload.size());
+  if (!payload.empty()) w.bytes(payload.data(), payload.size());
   return w.take();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "net/mac.hpp"
 #include "util/byte_io.hpp"
 
@@ -43,7 +44,9 @@ struct Frame {
   MacAddr dst;
   MacAddr src;
   EtherType ethertype = EtherType::kIpv4;
-  std::vector<std::uint8_t> payload;
+  /// Pooled payload view: copying a Frame shares the slab (refcount bump);
+  /// the bytes only move when someone mutates a shared payload.
+  Buffer payload;
   TrafficClass traffic_class = TrafficClass::kOther;
 
   static constexpr std::size_t kHeaderSize = 14;

@@ -110,17 +110,23 @@ void Link::transmit(Port& from, Frame frame) {
     duplicate = false;  // the "copy" survives as the only delivery
   }
 
-  ctx_.sched.schedule_at(arrival, [this, &to, &dstats, frame]() mutable {
-    deliver(to, std::move(frame), dstats);
-  });
   if (duplicate) {
+    // Schedule the duplicate first so the primary delivery below can still
+    // move the frame; the copy shares the payload slab (refcount bump), and
+    // that second reference is exactly what blocks in-place mutation of the
+    // delivered bytes until the duplicate lands.
     ++dstats.duplicated;
-    Frame copy = *&frame;
+    Frame copy = frame;
     ctx_.sched.schedule_at(arrival + sim::Duration::micros(1),
-                           [this, &to, &dstats, copy]() mutable {
+                           [this, &to, &dstats, copy = std::move(copy)]() mutable {
                              deliver(to, std::move(copy), dstats);
                            });
   }
+  // The last/only delivery moves the frame — no payload copy on transit.
+  ctx_.sched.schedule_at(arrival,
+                         [this, &to, &dstats, frame = std::move(frame)]() mutable {
+                           deliver(to, std::move(frame), dstats);
+                         });
 }
 
 void Link::deliver(Port& to, Frame frame, DirStats& dstats) {

@@ -36,11 +36,22 @@ std::vector<std::uint8_t> PcapWriter::to_pcap() const {
 
   for (const Record& rec : records_) {
     std::int64_t ns = rec.at.ns();
+    const Frame& f = rec.frame;
     le32(out, static_cast<std::uint32_t>(ns / 1'000'000'000));
     le32(out, static_cast<std::uint32_t>((ns % 1'000'000'000) / 1000));
-    le32(out, static_cast<std::uint32_t>(rec.bytes.size()));
-    le32(out, static_cast<std::uint32_t>(rec.bytes.size()));
-    out.insert(out.end(), rec.bytes.begin(), rec.bytes.end());
+    le32(out, static_cast<std::uint32_t>(f.wire_size()));
+    le32(out, static_cast<std::uint32_t>(f.wire_size()));
+    // Ethernet header + payload straight from the shared slab — identical
+    // bytes to Frame::serialize() without the intermediate vector.
+    out.insert(out.end(), f.dst.bytes.begin(), f.dst.bytes.end());
+    out.insert(out.end(), f.src.bytes.begin(), f.src.bytes.end());
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint16_t>(f.ethertype) >> 8));
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint16_t>(f.ethertype) & 0xff));
+    if (!f.payload.empty()) {
+      out.insert(out.end(), f.payload.begin(), f.payload.end());
+    }
   }
   return out;
 }

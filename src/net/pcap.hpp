@@ -16,16 +16,24 @@ namespace mrmtp::net {
 
 class PcapWriter {
  public:
-  /// One captured frame.
+  /// One captured frame. The record holds the frame itself — its payload
+  /// shares the live slab via refcount (no serialization at capture time),
+  /// and that extra reference pins the captured bytes: any later in-place
+  /// mutation attempt on the payload is forced into a copy instead.
   struct Record {
     sim::Time at;
-    std::vector<std::uint8_t> bytes;  // serialized Ethernet frame
-    TrafficClass traffic_class;       // simulator metadata (not in the file)
+    Frame frame;
+    TrafficClass traffic_class;  // simulator metadata (not in the file)
+
+    /// Serialized Ethernet bytes, materialized on demand (tests/dumps).
+    [[nodiscard]] std::vector<std::uint8_t> bytes() const {
+      return frame.serialize();
+    }
   };
 
-  /// Captures a frame (serialize + timestamp).
+  /// Captures a frame (shares the payload + timestamps; no copy).
   void capture(sim::Time at, const Frame& frame) {
-    records_.push_back(Record{at, frame.serialize(), frame.traffic_class});
+    records_.push_back(Record{at, frame, frame.traffic_class});
   }
 
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }

@@ -2,8 +2,8 @@
 
 namespace mrmtp::traffic {
 
-std::vector<std::uint8_t> ProbePacket::serialize(std::size_t pad_to) const {
-  util::BufWriter w(std::max(pad_to, kMinSize));
+net::Buffer ProbePacket::serialize(std::size_t pad_to) const {
+  net::BufferWriter w(std::max(pad_to, kMinSize));
   w.u32(kMagic);
   w.u64(seq);
   w.u64(static_cast<std::uint64_t>(sent_ns));

@@ -20,7 +20,9 @@ struct ProbePacket {
   std::uint64_t seq = 0;
   std::int64_t sent_ns = 0;
 
-  [[nodiscard]] std::vector<std::uint8_t> serialize(std::size_t pad_to) const;
+  /// Serializes into a pooled buffer with headroom for the UDP/IP headers,
+  /// so the generator's steady state never copies payload bytes.
+  [[nodiscard]] net::Buffer serialize(std::size_t pad_to) const;
   static std::optional<ProbePacket> parse(std::span<const std::uint8_t> data);
 };
 

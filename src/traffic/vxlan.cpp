@@ -40,14 +40,12 @@ void VtepHost::start() {
 }
 
 void VtepHost::vm_send(std::uint32_t vni, ip::Ipv4Addr src_overlay,
-                       ip::Ipv4Addr dst_overlay,
-                       std::vector<std::uint8_t> payload) {
+                       ip::Ipv4Addr dst_overlay, net::Buffer payload) {
   ip::Ipv4Header inner;
   inner.src = src_overlay;
   inner.dst = dst_overlay;
   inner.protocol = ip::IpProto::kUdp;
   inner.identification = next_id_++;
-  auto inner_packet = inner.serialize(payload);
 
   // Same-server VM? Switch locally without touching the fabric.
   if (vms_.contains({vni, dst_overlay})) {
@@ -68,8 +66,11 @@ void VtepHost::vm_send(std::uint32_t vni, ip::Ipv4Addr src_overlay,
   // stable per-destination value keeps ECMP flow affinity here.
   auto src_port = static_cast<std::uint16_t>(
       49152 + (dst_overlay.value() & 0x3fff));
+  // Inner IP, VXLAN, then (inside send_udp) UDP and outer IP all prepend
+  // into the same buffer's headroom: 20 + 8 + 8 + 20 = 56 of the 64 bytes.
   send_udp(addr(), it->second, src_port, kVxlanPort,
-           vxlan.serialize(inner_packet), net::TrafficClass::kIpData);
+           vxlan.encapsulate(inner.encapsulate(std::move(payload))),
+           net::TrafficClass::kIpData);
 }
 
 void VtepHost::deliver_to_vm(std::uint32_t vni, const ip::Ipv4Header& inner,

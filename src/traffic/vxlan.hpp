@@ -38,6 +38,22 @@ struct VxlanHeader {
     return w.take();
   }
 
+  /// Prepends the VXLAN header over the inner packet's headroom — the
+  /// encapsulation path's zero-copy sibling of serialize().
+  [[nodiscard]] net::Buffer encapsulate(net::Buffer inner_packet) const {
+    const std::uint8_t hdr[kSize] = {
+        0x08,  // flags: I (valid VNI)
+        0,
+        0,
+        0,
+        static_cast<std::uint8_t>(vni >> 16),
+        static_cast<std::uint8_t>((vni >> 8) & 0xff),
+        static_cast<std::uint8_t>(vni & 0xff),
+        0};
+    inner_packet.prepend(hdr);
+    return inner_packet;
+  }
+
   static VxlanHeader parse(std::span<const std::uint8_t> data,
                            std::span<const std::uint8_t>& out_inner) {
     util::BufReader r(data);
@@ -75,7 +91,7 @@ class VtepHost : public Host {
   /// in the same VNI are delivered directly; remote ones are VXLAN-
   /// encapsulated toward their server over the fabric.
   void vm_send(std::uint32_t vni, ip::Ipv4Addr src_overlay,
-               ip::Ipv4Addr dst_overlay, std::vector<std::uint8_t> payload);
+               ip::Ipv4Addr dst_overlay, net::Buffer payload);
 
   struct VtepStats {
     std::uint64_t encapsulated = 0;

@@ -23,20 +23,20 @@ bool L3Node::is_local_addr(ip::Ipv4Addr addr) const {
 
 void L3Node::send_udp(ip::Ipv4Addr src, ip::Ipv4Addr dst,
                       std::uint16_t src_port, std::uint16_t dst_port,
-                      std::vector<std::uint8_t> payload, net::TrafficClass tc) {
+                      net::Buffer payload, net::TrafficClass tc) {
   UdpHeader h{src_port, dst_port};
-  send_ip(src, dst, ip::IpProto::kUdp, h.serialize(payload), tc);
+  send_ip(src, dst, ip::IpProto::kUdp, h.encapsulate(std::move(payload)), tc);
 }
 
 void L3Node::send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
-                     std::vector<std::uint8_t> payload,
-                     net::TrafficClass traffic_class) {
+                     net::Buffer payload, net::TrafficClass traffic_class) {
   ip::Ipv4Header header;
   header.src = src;
   header.dst = dst;
   header.protocol = proto;
   header.identification = next_ip_id_++;
-  route_packet(header, payload, traffic_class, /*from_self=*/true);
+  route_packet(header, header.encapsulate(std::move(payload)), traffic_class,
+               /*from_self=*/true);
 }
 
 void L3Node::handle_frame(net::Port& in, net::Frame frame) {
@@ -49,12 +49,20 @@ void L3Node::handle_frame(net::Port& in, net::Frame frame) {
   } catch (const util::CodecError&) {
     return;  // malformed; counted nowhere, as a NIC would discard it
   }
-  route_packet(header, payload, frame.traffic_class, /*from_self=*/false);
+  net::Buffer packet = std::move(frame.payload);
+  // Trim any bytes past total_length so a forwarded packet carries exactly
+  // what re-serialization used to (none occur on this fabric's links).
+  const std::size_t total = header.header_length() + payload.size();
+  if (packet.size() != total) packet = packet.slice(0, total);
+  route_packet(header, std::move(packet), frame.traffic_class,
+               /*from_self=*/false);
 }
 
-void L3Node::route_packet(const ip::Ipv4Header& header,
-                          std::span<const std::uint8_t> payload,
+void L3Node::route_packet(const ip::Ipv4Header& header, net::Buffer packet,
                           net::TrafficClass tc, bool from_self) {
+  const std::span<const std::uint8_t> payload =
+      packet.span().subspan(header.header_length());
+
   if (is_local_addr(header.dst)) {
     ++fwd_stats_.delivered_local;
     switch (header.protocol) {
@@ -75,22 +83,24 @@ void L3Node::route_packet(const ip::Ipv4Header& header,
     return;
   }
 
-  ip::Ipv4Header out = header;
-  if (!from_self) {
-    if (out.ttl <= 1) {
-      ++fwd_stats_.dropped_ttl;
-      return;
-    }
-    --out.ttl;
+  if (!from_self && header.ttl <= 1) {
+    ++fwd_stats_.dropped_ttl;
+    return;
   }
 
-  const ip::NextHop* nh = routes_.select(out.dst, flow_hash(out, payload));
+  const ip::NextHop* nh = routes_.select(header.dst, flow_hash(header, payload));
   if (nh == nullptr) {
     ++fwd_stats_.dropped_no_route;
     return;
   }
-  if (!from_self) ++fwd_stats_.forwarded;
-  emit_frame(nh->port, out, payload, tc);
+  if (!from_self) {
+    // Transit fast path: patch TTL + checksum in the buffer we received and
+    // forward the same bytes — no parse-and-reserialize per hop. The patch
+    // copies first only if a pcap tap still shares the slab.
+    ip::Ipv4Header::decrement_ttl(packet);
+    ++fwd_stats_.forwarded;
+  }
+  emit_frame(nh->port, std::move(packet), tc);
 }
 
 void L3Node::deliver_local(const ip::Ipv4Header& header,
@@ -115,9 +125,7 @@ std::uint64_t L3Node::flow_hash(const ip::Ipv4Header& header,
   return h;
 }
 
-void L3Node::emit_frame(std::uint32_t port_number,
-                        const ip::Ipv4Header& header,
-                        std::span<const std::uint8_t> payload,
+void L3Node::emit_frame(std::uint32_t port_number, net::Buffer packet,
                         net::TrafficClass tc) {
   net::Port& out = port(port_number);
   if (!out.admin_up() || !out.connected()) {
@@ -128,7 +136,7 @@ void L3Node::emit_frame(std::uint32_t port_number,
   frame.dst = net::MacAddr::broadcast();  // p2p links; no ARP (paper §VII.F)
   frame.src = out.mac();
   frame.ethertype = net::EtherType::kIpv4;
-  frame.payload = header.serialize(payload);
+  frame.payload = std::move(packet);
   frame.traffic_class = tc;
   transmit(out, std::move(frame));
 }

@@ -43,15 +43,16 @@ class L3Node : public net::Node, public IpSender {
     udp_handlers_[port] = std::move(handler);
   }
 
-  /// Sends a UDP datagram (routed like any other packet).
+  /// Sends a UDP datagram (routed like any other packet). Move a uniquely
+  /// owned buffer in and the UDP + IP headers prepend into its headroom
+  /// without copying the payload.
   void send_udp(ip::Ipv4Addr src, ip::Ipv4Addr dst, std::uint16_t src_port,
-                std::uint16_t dst_port, std::vector<std::uint8_t> payload,
+                std::uint16_t dst_port, net::Buffer payload,
                 net::TrafficClass tc);
 
   // --- IpSender ---
   void send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
-               std::vector<std::uint8_t> payload,
-               net::TrafficClass traffic_class) override;
+               net::Buffer payload, net::TrafficClass traffic_class) override;
   net::SimContext& sim() override { return ctx_; }
   [[nodiscard]] std::string endpoint_name() const override { return name(); }
 
@@ -68,9 +69,11 @@ class L3Node : public net::Node, public IpSender {
   [[nodiscard]] const ForwardingStats& forwarding_stats() const { return fwd_stats_; }
 
  protected:
-  /// Routes an IP packet: local delivery or ECMP forwarding.
-  void route_packet(const ip::Ipv4Header& header,
-                    std::span<const std::uint8_t> payload,
+  /// Routes a serialized IP packet: local delivery or ECMP forwarding.
+  /// `header` is the already-parsed view of `packet`'s leading bytes. On the
+  /// transit path the packet buffer is forwarded as-is (TTL and checksum
+  /// patched in place) — the bytes are never re-serialized.
+  void route_packet(const ip::Ipv4Header& header, net::Buffer packet,
                     net::TrafficClass tc, bool from_self);
 
   /// Local delivery for protocols beyond TCP/UDP demux; default drops.
@@ -86,8 +89,7 @@ class L3Node : public net::Node, public IpSender {
   ForwardingStats fwd_stats_;
 
  private:
-  void emit_frame(std::uint32_t port, const ip::Ipv4Header& header,
-                  std::span<const std::uint8_t> payload, net::TrafficClass tc);
+  void emit_frame(std::uint32_t port, net::Buffer packet, net::TrafficClass tc);
 
   ip::RouteTable routes_;
   std::unordered_map<std::uint32_t, ip::Ipv4Addr> port_addrs_;

@@ -21,8 +21,8 @@ std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
 
 }  // namespace
 
-std::vector<std::uint8_t> TcpSegment::serialize() const {
-  util::BufWriter w(kHeaderSize + payload.size());
+net::Buffer TcpSegment::serialize() const {
+  net::BufferWriter w(kHeaderSize + payload.size());
   w.u16(src_port);
   w.u16(dst_port);
   w.u32(seq);

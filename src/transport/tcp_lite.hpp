@@ -25,6 +25,7 @@
 
 #include "ip/addr.hpp"
 #include "ip/packet.hpp"
+#include "net/buffer.hpp"
 #include "net/frame.hpp"
 #include "net/node.hpp"
 #include "util/byte_io.hpp"
@@ -37,8 +38,11 @@ class IpSender {
   virtual ~IpSender() = default;
 
   /// Emits an IP packet into the fabric (routed by the host's data plane).
+  /// The payload is a pooled buffer; movable callers keep its slab unique so
+  /// the IP header prepends into headroom without a copy. Vectors convert
+  /// implicitly (one counted import copy).
   virtual void send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
-                       std::vector<std::uint8_t> payload,
+                       net::Buffer payload,
                        net::TrafficClass traffic_class) = 0;
 
   virtual net::SimContext& sim() = 0;
@@ -62,7 +66,8 @@ struct TcpSegment {
   TcpFlags flags;
   std::vector<std::uint8_t> payload;
 
-  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  /// Serializes into a pooled buffer with headroom for the IP header.
+  [[nodiscard]] net::Buffer serialize() const;
   static TcpSegment parse(std::span<const std::uint8_t> data);
 };
 

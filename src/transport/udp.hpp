@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "util/byte_io.hpp"
 
 namespace mrmtp::transport {
@@ -25,6 +26,23 @@ struct UdpHeader {
     w.u16(0);  // checksum optional in IPv4; the simulator link is lossless
     w.bytes(payload);
     return w.take();
+  }
+
+  /// Prepends this header over the datagram buffer's headroom — in place
+  /// when the buffer is uniquely owned, a counted pool copy otherwise.
+  /// Byte-identical to serialize(payload).
+  [[nodiscard]] net::Buffer encapsulate(net::Buffer payload) const {
+    const auto length = static_cast<std::uint16_t>(kSize + payload.size());
+    const std::uint8_t hdr[kSize] = {
+        static_cast<std::uint8_t>(src_port >> 8),
+        static_cast<std::uint8_t>(src_port & 0xff),
+        static_cast<std::uint8_t>(dst_port >> 8),
+        static_cast<std::uint8_t>(dst_port & 0xff),
+        static_cast<std::uint8_t>(length >> 8),
+        static_cast<std::uint8_t>(length & 0xff),
+        0, 0};  // checksum optional in IPv4; the simulator link is lossless
+    payload.prepend(hdr);
+    return payload;
   }
 
   static UdpHeader parse(std::span<const std::uint8_t> data,

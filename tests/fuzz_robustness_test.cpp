@@ -45,7 +45,7 @@ TEST_P(FuzzSeeds, MtpDecoderRejectsMutatedValidMessages) {
   auto valid = mtp::encode(mtp::MtpMessage{offer});
 
   for (int i = 0; i < 2000; ++i) {
-    auto mutated = valid;
+    std::vector<std::uint8_t> mutated(valid.begin(), valid.end());
     // Flip 1-4 random bytes.
     int flips = static_cast<int>(rng.range(1, 4));
     for (int f = 0; f < flips; ++f) {

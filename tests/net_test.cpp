@@ -157,9 +157,9 @@ TEST_F(LinkTest, ReorderJitterCanSwapFrames) {
   for (int attempt = 0; attempt < 20 && !reordered; ++attempt) {
     b_->arrivals.clear();
     Frame f1 = make_frame(50);
-    f1.payload[0] = 1;
+    f1.payload.mutable_data()[0] = 1;
     Frame f2 = make_frame(50);
-    f2.payload[0] = 2;
+    f2.payload.mutable_data()[0] = 2;
     a_->transmit(a_->port(1), std::move(f1));
     a_->transmit(a_->port(1), std::move(f2));
     ctx_.sched.run();

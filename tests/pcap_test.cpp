@@ -92,10 +92,11 @@ TEST(PcapTapTest, CapturesLiveMtpLink) {
   for (const auto& rec : writer.records()) {
     if (rec.traffic_class == TrafficClass::kMtpHello) {
       ++hellos;
-      ASSERT_EQ(rec.bytes.size(), 15u);
-      EXPECT_EQ(rec.bytes[12], 0x88);  // EtherType 0x8850
-      EXPECT_EQ(rec.bytes[13], 0x50);
-      EXPECT_EQ(rec.bytes[14], 0x06);  // the keep-alive byte
+      const auto bytes = rec.bytes();
+      ASSERT_EQ(bytes.size(), 15u);
+      EXPECT_EQ(bytes[12], 0x88);  // EtherType 0x8850
+      EXPECT_EQ(bytes[13], 0x50);
+      EXPECT_EQ(bytes[14], 0x06);  // the keep-alive byte
     }
   }
   EXPECT_GT(hellos, 20u);  // ~40/s once the fabric idles

@@ -25,7 +25,7 @@ class Channel {
         : channel_(channel), side_(side), name_(std::move(name)), tcp_(*this) {}
 
     void send_ip(ip::Ipv4Addr src, ip::Ipv4Addr dst, ip::IpProto proto,
-                 std::vector<std::uint8_t> payload,
+                 net::Buffer payload,
                  net::TrafficClass traffic_class) override {
       (void)proto;
       channel_.deliver(side_, src, dst, std::move(payload), traffic_class);
@@ -51,7 +51,7 @@ class Channel {
         b_(*this, 1, "b") {}
 
   void deliver(int from_side, ip::Ipv4Addr src, ip::Ipv4Addr dst,
-               std::vector<std::uint8_t> payload, net::TrafficClass tc) {
+               net::Buffer payload, net::TrafficClass tc) {
     Endpoint& sender = from_side == 0 ? a_ : b_;
     ++sender.frames_sent;
     if (tc == net::TrafficClass::kTcpAck) ++sender.ack_frames_sent;
