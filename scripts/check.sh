@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # One-stop pre-merge check: the tier-1 configure/build/ctest cycle plus the
 # fully instrumented ASan+UBSan preset, a TSan pass over the buffer/scheduler
-# tests, and the steady-state allocation gate (the buffer pool's own counters
+# tests, the steady-state allocation gate (the buffer pool's own counters
 # must show zero slab allocations and zero payload copies across a pure
-# forwarding window). Run from anywhere; the build trees live under the repo
-# root (build/, build-asan/, build-tsan/).
+# forwarding window), and the overload-cascade gate (BGP under a shared FIFO
+# must falsely declare healthy neighbors dead during an incast; priority
+# queues must drop that to exactly zero without costing steady-state event
+# throughput). Run from anywhere; the build trees live under the repo root
+# (build/, build-asan/, build-tsan/).
 #
-#   scripts/check.sh            # tier-1 + sanitizers + allocation gate
+#   scripts/check.sh            # tier-1 + sanitizers + both bench gates
 #   scripts/check.sh --tier1    # tier-1 only (fast loop)
 set -euo pipefail
 
@@ -38,6 +41,40 @@ done
 
 if ! $tier1_only; then
   echo
+  echo "== overload-cascade gate (bench_overload_cascade) =="
+  (cd build && ./bench/bench_overload_cascade > /dev/null)
+  gate() {  # gate <flat-json-key> -> value (from the "gates" object)
+    grep -o "\"$1\": [0-9.]*" build/BENCH_overload.json | head -1 \
+      | awk '{print $2}'
+  }
+  shared_fd="$(gate bgp_shared_false_dead)"
+  if [[ "$shared_fd" -lt 1 ]]; then
+    echo "FAIL: shared-FIFO BGP shows no false dead declarations" \
+         "($shared_fd) — the incast no longer reproduces the cascade."
+    exit 1
+  fi
+  echo "  bgp_shared_false_dead=$shared_fd (>0) ok"
+  for key in bgp_priority_false_dead mtp_shared_false_dead \
+             mtp_priority_false_dead; do
+    val="$(gate "$key")"
+    if [[ "$val" != "0" ]]; then
+      echo "FAIL: $key=$val (expected 0) — a healthy neighbor was declared" \
+           "dead despite control-plane protection."
+      exit 1
+    fi
+    echo "  $key=0 ok"
+  done
+  # Priority queues must stay within 3% of the PR 3 steady-state baseline
+  # (3.56M events/sec on the reference machine).
+  ev="$(gate events_per_sec_priority)"
+  if ! awk -v ev="$ev" 'BEGIN { exit !(ev >= 3560000 * 0.97) }'; then
+    echo "FAIL: priority-mode steady state at $ev events/sec —" \
+         "more than 3% below the 3.56M ev/s baseline."
+    exit 1
+  fi
+  echo "  events_per_sec_priority=$ev (>= 3.45M) ok"
+
+  echo
   echo "== asan-ubsan: whole tree instrumented (build-asan/) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$jobs"
@@ -47,8 +84,9 @@ if ! $tier1_only; then
   echo "== tsan: buffer + scheduler tests (build-tsan/) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-    --target buffer_test sim_test net_test util_test
-  ctest --test-dir build-tsan -R '^(buffer_test|sim_test|net_test|util_test)$' \
+    --target buffer_test sim_test net_test util_test overload_damping_test
+  ctest --test-dir build-tsan \
+    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test)$' \
     --output-on-failure -j "$jobs"
 fi
 

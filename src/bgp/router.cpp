@@ -1,6 +1,7 @@
 #include "bgp/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mrmtp::bgp {
 
@@ -152,6 +153,13 @@ void BgpRouter::drop_session(Peer& peer, std::string_view reason) {
     tcp().destroy(*conn);
   }
 
+  if (was_established) {
+    ++stats_.sessions_flapped;
+    if (config_.timers.damping_penalty > 0) {
+      peer.damp_penalty = decayed_penalty(peer) + config_.timers.damping_penalty;
+      peer.damp_updated = ctx_.now();
+    }
+  }
   if (was_established && on_session_down) {
     on_session_down(ctx_.now(), peer.cfg.peer_addr, reason);
   }
@@ -171,7 +179,42 @@ void BgpRouter::drop_session(Peer& peer, std::string_view reason) {
 void BgpRouter::schedule_retry(Peer& peer) {
   auto jitter = sim::Duration::nanos(
       static_cast<std::int64_t>(ctx_.rng.below(100'000'000ull)));
-  peer.retry_timer->start(config_.timers.connect_retry + jitter);
+  sim::Duration wait = config_.timers.connect_retry + jitter;
+  if (config_.timers.damping_penalty > 0) {
+    double pen = decayed_penalty(peer);
+    if (pen >= config_.timers.damping_suppress) {
+      // Defer the reconnect until the penalty would decay to the reuse
+      // threshold: half_life * log2(penalty / reuse).
+      double halves = std::log2(pen / config_.timers.damping_reuse);
+      auto suppress = sim::Duration::nanos(static_cast<std::int64_t>(
+          halves *
+          static_cast<double>(config_.timers.damping_half_life.ns())));
+      if (suppress > wait) {
+        wait = suppress;
+        ++stats_.retries_damped;
+        log(sim::LogLevel::kInfo,
+            "BGP session with " + peer.cfg.peer_addr.str() +
+                " flap-damped; retry in " + wait.str());
+      }
+    }
+  }
+  peer.retry_timer->start(wait);
+}
+
+double BgpRouter::decayed_penalty(const Peer& peer) const {
+  if (peer.damp_penalty <= 0.0) return 0.0;
+  sim::Duration dt = ctx_.now() - peer.damp_updated;
+  if (dt <= sim::Duration{}) return peer.damp_penalty;
+  return peer.damp_penalty *
+         std::exp2(-static_cast<double>(dt.ns()) /
+                   static_cast<double>(config_.timers.damping_half_life.ns()));
+}
+
+double BgpRouter::peer_damping_penalty(ip::Ipv4Addr peer_addr) const {
+  for (const auto& peer : peers_) {
+    if (peer->cfg.peer_addr == peer_addr) return decayed_penalty(*peer);
+  }
+  return 0.0;
 }
 
 void BgpRouter::handle_stream(Peer& peer, std::span<const std::uint8_t> data) {

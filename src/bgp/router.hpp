@@ -32,6 +32,17 @@ struct BgpTimers {
   /// the ablation bench sweeps it.
   sim::Duration mrai = sim::Duration::seconds(0);
   sim::Duration connect_retry = sim::Duration::seconds(1);
+
+  // --- flap damping (RFC 2439-flavoured, disabled when penalty == 0) ---
+  /// Figure-of-merit added per Established->down flap, halving every
+  /// `damping_half_life`. While the decayed penalty is at or above
+  /// `damping_suppress`, reconnect attempts are deferred until the penalty
+  /// would decay to `damping_reuse` — a flapping session backs off instead
+  /// of re-amplifying the withdrawal storm that killed it.
+  double damping_penalty = 0;
+  double damping_suppress = 2500;
+  double damping_reuse = 750;
+  sim::Duration damping_half_life = sim::Duration::seconds(2);
 };
 
 struct NeighborConfig {
@@ -85,8 +96,14 @@ class BgpRouter : public transport::L3Node {
     std::uint64_t updates_received = 0;
     std::uint64_t keepalives_sent = 0;
     std::uint64_t rib_changes = 0;  // RouteTable mutations
+    std::uint64_t sessions_flapped = 0;  // Established -> down transitions
+    /// Reconnects deferred past connect_retry by flap damping.
+    std::uint64_t retries_damped = 0;
   };
   [[nodiscard]] const BgpStats& bgp_stats() const { return stats_; }
+
+  /// Decayed flap-damping penalty for the session with `peer` (tests/bench).
+  [[nodiscard]] double peer_damping_penalty(ip::Ipv4Addr peer) const;
 
   /// Fired whenever this router's RouteTable actually changes.
   std::function<void(sim::Time)> on_rib_change;
@@ -120,6 +137,9 @@ class BgpRouter : public transport::L3Node {
     std::map<ip::Ipv4Prefix, std::vector<std::uint32_t>> advertised;
     /// Prefixes whose advertisement must be re-evaluated at next flush.
     std::set<ip::Ipv4Prefix> pending;
+    /// Flap-damping figure of merit (lazy exponential decay).
+    double damp_penalty = 0;
+    sim::Time damp_updated{};
   };
 
   // --- session management ---
@@ -128,6 +148,8 @@ class BgpRouter : public transport::L3Node {
   void session_established(Peer& peer);
   void drop_session(Peer& peer, std::string_view reason);
   void schedule_retry(Peer& peer);
+  /// Peer's damping penalty decayed to the current instant (no mutation).
+  [[nodiscard]] double decayed_penalty(const Peer& peer) const;
   void handle_stream(Peer& peer, std::span<const std::uint8_t> data);
   void handle_message(Peer& peer, const BgpMessage& msg);
   void send_message(Peer& peer, const BgpMessage& msg);

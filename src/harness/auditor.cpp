@@ -1,5 +1,6 @@
 #include "harness/auditor.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
@@ -18,6 +19,7 @@ std::string_view to_string(InvariantKind kind) {
     case InvariantKind::kForwardingLoop: return "forwarding-loop";
     case InvariantKind::kForwardingBlackhole: return "forwarding-blackhole";
     case InvariantKind::kExclusionBlackhole: return "exclusion-blackhole";
+    case InvariantKind::kFalseDeadNeighbor: return "false-dead-neighbor";
   }
   return "?";
 }
@@ -61,6 +63,98 @@ void FabricAuditor::start(sim::Duration period) {
 
 void FabricAuditor::stop() {
   if (timer_) timer_->stop();
+}
+
+// --- liveness watcher: false-dead declarations + cascade depth ---
+
+void FabricAuditor::watch_liveness(sim::Duration cascade_window) {
+  if (watching_) return;
+  watching_ = true;
+  cascade_window_ = cascade_window;
+
+  // Adjacency from the wiring itself (covers every proto identically).
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    const net::Node& node = dep_.router(d);
+    for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
+      auto peer = peer_router(d, p);
+      if (!peer) continue;
+      adjacent_.insert({std::min(d, *peer), std::max(d, *peer)});
+    }
+  }
+
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    if (dep_.proto() == Proto::kMtp) {
+      mtp::MtpRouter& r = dep_.mtp(d);
+      auto prev = std::move(r.on_neighbor_down);
+      r.on_neighbor_down = [this, d, prev = std::move(prev)](
+                               sim::Time at, std::uint32_t port,
+                               bool local_detect) {
+        if (local_detect) note_down_declaration(d, port, at);
+        if (prev) prev(at, port, local_detect);
+      };
+    } else {
+      bgp::BgpRouter& r = dep_.bgp(d);
+      // Session peers are keyed by address; resolve each to the local port
+      // carrying that /31 so the link can be inspected at declaration time.
+      std::map<std::uint32_t, std::uint32_t> port_of_peer;  // addr -> port
+      for (const bgp::NeighborConfig& n : r.config().neighbors) {
+        for (std::uint32_t p = 1; p <= r.port_count(); ++p) {
+          if (r.port_addr(p) == n.local_addr) {
+            port_of_peer[n.peer_addr.value()] = p;
+            break;
+          }
+        }
+      }
+      auto prev = std::move(r.on_session_down);
+      r.on_session_down = [this, d, port_of_peer = std::move(port_of_peer),
+                           prev = std::move(prev)](sim::Time at,
+                                                   ip::Ipv4Addr peer,
+                                                   std::string_view reason) {
+        auto it = port_of_peer.find(peer.value());
+        note_down_declaration(d, it == port_of_peer.end() ? 0 : it->second,
+                              at);
+        if (prev) prev(at, peer, reason);
+      };
+    }
+  }
+}
+
+bool FabricAuditor::link_unimpaired(std::uint32_t device,
+                                    std::uint32_t p) const {
+  const net::Node& node = dep_.router(device);
+  if (p == 0 || p > node.port_count()) return false;
+  const net::Port& port = node.port(p);
+  if (!port.connected() || !port.admin_up()) return false;
+  const net::Port* peer = port.peer();
+  if (peer == nullptr || !peer->admin_up()) return false;
+  const net::Link* link = port.link();
+  for (net::Link::Dir dir : {net::Link::Dir::kAToB, net::Link::Dir::kBToA}) {
+    if (link->blackholed(dir) || link->effective_loss(dir) > 0.0) return false;
+  }
+  return true;
+}
+
+void FabricAuditor::note_down_declaration(std::uint32_t device,
+                                          std::uint32_t port, sim::Time at) {
+  ++downs_;
+  int depth = 1;
+  for (auto it = down_events_.rbegin(); it != down_events_.rend(); ++it) {
+    if (at - it->at > cascade_window_) break;
+    if (it->device == device) continue;
+    auto pair = std::make_pair(std::min(device, it->device),
+                               std::max(device, it->device));
+    if (adjacent_.contains(pair)) depth = std::max(depth, it->depth + 1);
+  }
+  down_events_.push_back(DownEvent{at, device, depth});
+  max_cascade_depth_ = std::max(max_cascade_depth_, depth);
+
+  if (link_unimpaired(device, port)) {
+    ++false_dead_;
+    log_.push_back(Violation{
+        at, dep_.router(device).name(), InvariantKind::kFalseDeadNeighbor,
+        "neighbor on port " + std::to_string(port) +
+            " declared dead while the link is up and unimpaired"});
+  }
 }
 
 void FabricAuditor::flag(std::vector<Violation>& out, std::uint32_t device,

@@ -36,6 +36,7 @@ enum class InvariantKind : std::uint8_t {
   kForwardingLoop,       // probe revisited a (device, direction) state
   kForwardingBlackhole,  // probe died though a live path still exists
   kExclusionBlackhole,   // ...because exclusions ruled out live uplinks
+  kFalseDeadNeighbor,    // neighbor declared dead on an unimpaired up link
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);
@@ -60,6 +61,25 @@ class FabricAuditor {
   /// Arms a periodic sweep every `period` until stop().
   void start(sim::Duration period);
   void stop();
+
+  /// Opt-in: chains onto every router's neighbor-down / session-down
+  /// callback (preserving whatever was installed before) and scores each
+  /// locally detected dead declaration against the physical link at that
+  /// instant. A declaration while the link is wired, both ends are admin-up,
+  /// and neither direction is impaired is a *false dead* — the smoking gun
+  /// of a congestion-induced control-plane cascade — and is logged as
+  /// kFalseDeadNeighbor. Also tracks cascade depth: consecutive dead
+  /// declarations on adjacent routers within `cascade_window` chain into a
+  /// cascade, and the longest chain is reported.
+  void watch_liveness(sim::Duration cascade_window = sim::Duration::millis(500));
+
+  /// Dead declarations scored since watch_liveness() (local detections).
+  [[nodiscard]] std::uint64_t down_declarations() const { return downs_; }
+  /// ...of which the link was demonstrably unimpaired at that instant.
+  [[nodiscard]] std::uint64_t false_dead_count() const { return false_dead_; }
+  /// Longest chain of adjacent-router dead declarations (0 = none at all,
+  /// 1 = isolated declarations only, >1 = a spreading cascade).
+  [[nodiscard]] int max_cascade_depth() const { return max_cascade_depth_; }
 
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return log_;
@@ -107,6 +127,14 @@ class FabricAuditor {
                      std::uint32_t dst_leaf, InvariantKind kind,
                      std::string detail);
 
+  /// True if `device`'s port `p` is wired, both ends admin-up, and the link
+  /// is loss- and blackhole-free in both directions right now.
+  [[nodiscard]] bool link_unimpaired(std::uint32_t device,
+                                     std::uint32_t p) const;
+  /// Scores one locally detected dead declaration (port 0 = unresolvable).
+  void note_down_declaration(std::uint32_t device, std::uint32_t port,
+                             sim::Time at);
+
   Deployment& dep_;
   /// node pointer -> router (device) index, built once at construction.
   std::map<const net::Node*, std::uint32_t> router_index_;
@@ -119,6 +147,21 @@ class FabricAuditor {
   std::uint64_t sweeps_ = 0;
   std::uint64_t dirty_sweeps_ = 0;
   std::size_t last_ = 0;
+
+  // --- liveness watcher state (watch_liveness) ---
+  struct DownEvent {
+    sim::Time at;
+    std::uint32_t device;
+    int depth;  // 1 + deepest adjacent declaration inside the window
+  };
+  bool watching_ = false;
+  sim::Duration cascade_window_{};
+  /// Unordered adjacent router pairs (lo, hi) from the blueprint wiring.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> adjacent_;
+  std::vector<DownEvent> down_events_;
+  std::uint64_t downs_ = 0;
+  std::uint64_t false_dead_ = 0;
+  int max_cascade_depth_ = 0;
 };
 
 }  // namespace mrmtp::harness

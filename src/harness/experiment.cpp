@@ -231,6 +231,19 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
     }
   }
 
+  for (const auto& link : dep.network().links()) {
+    const net::Link::Stats& ls = link->stats();
+    for (const net::Link::DirStats* ds : {&ls.ab, &ls.ba}) {
+      result.ctrl_queue_drops += ds->dropped_queue_control;
+      result.data_queue_drops +=
+          ds->dropped_queue_full - ds->dropped_queue_control;
+      result.ctrl_backlog_hw_ns =
+          std::max(result.ctrl_backlog_hw_ns, ds->control_backlog_hw_ns);
+      result.data_backlog_hw_ns =
+          std::max(result.data_backlog_hw_ns, ds->data_backlog_hw_ns);
+    }
+  }
+
   if (sender != nullptr && receiver != nullptr) {
     result.packets_sent = sender->packets_sent();
     const auto& sink = receiver->sink_stats();
@@ -269,6 +282,12 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.heap_high_water = std::max(
         avg.heap_high_water, static_cast<double>(r.heap_high_water));
     avg.allocs_avoided += static_cast<double>(r.allocs_avoided);
+    avg.ctrl_queue_drops += static_cast<double>(r.ctrl_queue_drops);
+    avg.data_queue_drops += static_cast<double>(r.data_queue_drops);
+    avg.ctrl_backlog_hw_ns = std::max(
+        avg.ctrl_backlog_hw_ns, static_cast<double>(r.ctrl_backlog_hw_ns));
+    avg.data_backlog_hw_ns = std::max(
+        avg.data_backlog_hw_ns, static_cast<double>(r.data_backlog_hw_ns));
     cache_hits += static_cast<double>(r.up_cache_hits);
     cache_misses += static_cast<double>(r.up_cache_misses);
     avg.convergence_dist.add(r.convergence.to_millis());
@@ -299,6 +318,8 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.final_violations /= n;
     avg.events_per_sec /= n;
     avg.allocs_avoided /= n;
+    avg.ctrl_queue_drops /= n;
+    avg.data_queue_drops /= n;
   }
   if (cache_hits + cache_misses > 0) {
     avg.cache_hit_rate = cache_hits / (cache_hits + cache_misses);

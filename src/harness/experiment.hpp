@@ -108,6 +108,14 @@ struct ExperimentResult {
   std::uint64_t allocs_avoided = 0;
   std::uint64_t up_cache_hits = 0;
   std::uint64_t up_cache_misses = 0;
+
+  /// Per-class egress-queue outcome summed over every link direction:
+  /// control-class vs data-class tail drops, and the worst serialization
+  /// backlog (ns) either class saw at admission anywhere in the fabric.
+  std::uint64_t ctrl_queue_drops = 0;
+  std::uint64_t data_queue_drops = 0;
+  std::uint64_t ctrl_backlog_hw_ns = 0;
+  std::uint64_t data_backlog_hw_ns = 0;
 };
 
 [[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);
@@ -135,6 +143,12 @@ struct AveragedResult {
   double heap_high_water = 0;
   double allocs_avoided = 0;
   double cache_hit_rate = 0;
+  /// Per-class egress-queue aggregates: mean drops per run, max high-water
+  /// backlog (ns) across seeds.
+  double ctrl_queue_drops = 0;
+  double data_queue_drops = 0;
+  double ctrl_backlog_hw_ns = 0;
+  double data_backlog_hw_ns = 0;
   int runs = 0;
   int converged_runs = 0;
   int detected_runs = 0;

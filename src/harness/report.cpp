@@ -70,7 +70,8 @@ std::string fmt(double value, int decimals) {
 
 Table link_direction_table(const net::Network& network, bool busy_only) {
   Table table({"direction", "delivered", "link_down", "dst_down", "impaired",
-               "blackhole", "queue_full", "dup"});
+               "blackhole", "queue_full", "ctrl_drop", "data_drop",
+               "ctrl_hw_us", "data_hw_us", "dup"});
   auto row = [&](const net::Port& from, const net::Port& to,
                  const net::Link::DirStats& s) {
     table.add_row({from.str() + " -> " + to.str(), std::to_string(s.delivered),
@@ -79,6 +80,11 @@ Table link_direction_table(const net::Network& network, bool busy_only) {
                    std::to_string(s.dropped_impairment),
                    std::to_string(s.dropped_blackhole),
                    std::to_string(s.dropped_queue_full),
+                   std::to_string(s.dropped_queue_control),
+                   std::to_string(s.dropped_queue_full -
+                                  s.dropped_queue_control),
+                   fmt(static_cast<double>(s.control_backlog_hw_ns) / 1e3, 1),
+                   fmt(static_cast<double>(s.data_backlog_hw_ns) / 1e3, 1),
                    std::to_string(s.duplicated)});
   };
   for (const auto& link : network.links()) {

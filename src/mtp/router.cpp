@@ -1,6 +1,7 @@
 #include "mtp/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/hash.hpp"
 
@@ -41,6 +42,8 @@ void MtpRouter::start() {
     });
     s.join_retry_timer =
         std::make_unique<sim::Timer>(ctx_.sched, [this, p] { retry_joins(p); });
+    s.update_flush_timer =
+        std::make_unique<sim::Timer>(ctx_.sched, [this, p] { flush_updates(p); });
     s.hello_timer->start_periodic(config_.timers.hello);
     send_advertise(p);
   }
@@ -200,12 +203,52 @@ void MtpRouter::note_rx(net::Port& in) {
     ++s.streak;
     if (!config_.timers.slow_to_accept ||
         s.streak >= config_.timers.accept_streak) {
+      // Flap damping: a streak on a suppressed port does not promote the
+      // neighbor until the penalty decays to the reuse threshold. The streak
+      // keeps counting, so the instant suppression lifts the (stable)
+      // neighbor is re-admitted on its next keep-alive.
+      if (s.damp_suppressed) {
+        decay_damping(s);
+        if (s.damp_penalty > config_.timers.damping_reuse) {
+          ++stats_.accepts_suppressed;
+          s.last_rx = now;
+          return;
+        }
+        s.damp_suppressed = false;
+      }
       s.last_rx = now;
       neighbor_up(in.number());
       return;
     }
   }
   s.last_rx = now;
+}
+
+void MtpRouter::decay_damping(PortState& s) {
+  if (s.damp_penalty > 0.0) {
+    sim::Duration dt = ctx_.now() - s.damp_updated;
+    if (dt > sim::Duration{}) {
+      s.damp_penalty *=
+          std::exp2(-static_cast<double>(dt.ns()) /
+                    static_cast<double>(config_.timers.damping_half_life.ns()));
+    }
+  }
+  s.damp_updated = ctx_.now();
+}
+
+double MtpRouter::port_damping_penalty(std::uint32_t p) const {
+  const PortState& s = pstate(p);
+  if (s.damp_penalty <= 0.0) return 0.0;
+  sim::Duration dt = ctx_.now() - s.damp_updated;
+  if (dt <= sim::Duration{}) return s.damp_penalty;
+  return s.damp_penalty *
+         std::exp2(-static_cast<double>(dt.ns()) /
+                   static_cast<double>(config_.timers.damping_half_life.ns()));
+}
+
+bool MtpRouter::port_damping_suppressed(std::uint32_t p) const {
+  return pstate(p).damp_suppressed &&
+         port_damping_penalty(p) > config_.timers.damping_reuse;
 }
 
 void MtpRouter::neighbor_up(std::uint32_t p) {
@@ -245,6 +288,22 @@ void MtpRouter::neighbor_down(std::uint32_t p, bool local_detect) {
   s.dead_timer->stop();
   s.join_pending.clear();
   s.join_retry_timer->stop();
+  // Updates queued for this neighbor are moot now; reliable delivery of the
+  // failure state restarts from scratch if it ever comes back.
+  s.update_flush_timer->stop();
+  s.pending_withdraw.clear();
+  s.pending_unreach.clear();
+  s.pending_clear.clear();
+  if (config_.timers.damping_penalty > 0) {
+    decay_damping(s);
+    s.damp_penalty += config_.timers.damping_penalty;
+    if (s.damp_penalty >= config_.timers.damping_suppress) {
+      s.damp_suppressed = true;
+      log(sim::LogLevel::kInfo,
+          "port " + std::to_string(p) + " flap-damped (penalty " +
+              std::to_string(static_cast<int>(s.damp_penalty)) + ")");
+    }
+  }
   log(sim::LogLevel::kInfo, "neighbor on port " + std::to_string(p) + " DOWN");
 
   // Abandon reliable messages directed at the dead neighbor.
@@ -465,16 +524,16 @@ void MtpRouter::process_vid_loss(const std::vector<VidEntry>& lost,
   // Withdraw the children we derived from the lost VIDs, upward.
   for (std::uint32_t up : alive_ports(/*upstream=*/true)) {
     PortState& s = pstate(up);
-    VidWithdrawMsg m;
+    std::vector<Vid> withdraw;
     for (auto it = s.assigned.begin(); it != s.assigned.end();) {
       if (lost_vids.contains(it->second)) {
-        m.vids.push_back(it->first);
+        withdraw.push_back(it->first);
         it = s.assigned.erase(it);
       } else {
         ++it;
       }
     }
-    if (!m.vids.empty()) send_reliable(up, m);
+    if (!withdraw.empty()) queue_withdraw(up, withdraw);
   }
 
   update_reachability(roots);
@@ -525,8 +584,105 @@ void MtpRouter::update_reachability(const std::set<std::uint16_t>& roots) {
   }
   if (unreach.roots.empty() && clear.roots.empty()) return;
   for (std::uint32_t down : alive_ports(/*upstream=*/false)) {
-    if (!unreach.roots.empty()) send_reliable(down, unreach);
-    if (!clear.roots.empty()) send_reliable(down, clear);
+    if (!unreach.roots.empty()) queue_reach_update(down, unreach.roots, true);
+    if (!clear.roots.empty()) queue_reach_update(down, clear.roots, false);
+  }
+}
+
+// ---------------------------------------------- withdrawal-storm containment
+
+void MtpRouter::queue_withdraw(std::uint32_t p, const std::vector<Vid>& vids) {
+  if (config_.timers.update_min_interval <= sim::Duration{}) {
+    VidWithdrawMsg m;
+    m.vids = vids;
+    send_reliable(p, m);
+    return;
+  }
+  PortState& s = pstate(p);
+  for (const Vid& v : vids) {
+    if (!s.pending_withdraw.insert(v).second) ++stats_.updates_deduped;
+  }
+  schedule_flush(p);
+}
+
+void MtpRouter::queue_reach_update(std::uint32_t p,
+                                   const std::vector<std::uint16_t>& roots,
+                                   bool unreach) {
+  if (config_.timers.update_min_interval <= sim::Duration{}) {
+    if (unreach) {
+      DestUnreachMsg m;
+      m.roots = roots;
+      send_reliable(p, m);
+    } else {
+      DestClearMsg m;
+      m.roots = roots;
+      send_reliable(p, m);
+    }
+    return;
+  }
+  PortState& s = pstate(p);
+  auto& add = unreach ? s.pending_unreach : s.pending_clear;
+  auto& opposite = unreach ? s.pending_clear : s.pending_unreach;
+  for (std::uint16_t r : roots) {
+    if (opposite.erase(r) > 0) {
+      // The opposite update never left this router, so the pair cancels:
+      // the neighbor's view is already correct without either message.
+      stats_.updates_deduped += 2;
+      continue;
+    }
+    if (!add.insert(r).second) ++stats_.updates_deduped;
+  }
+  schedule_flush(p);
+}
+
+void MtpRouter::schedule_flush(std::uint32_t p) {
+  PortState& s = pstate(p);
+  if (s.pending_withdraw.empty() && s.pending_unreach.empty() &&
+      s.pending_clear.empty()) {
+    return;
+  }
+  sim::Time earliest = s.last_update_tx + config_.timers.update_min_interval;
+  if (ctx_.now() >= earliest) {
+    // Idle interval: the first update of a burst keeps today's latency.
+    flush_updates(p);
+    return;
+  }
+  ++stats_.updates_batched;
+  if (!s.update_flush_timer->running()) {
+    s.update_flush_timer->start(earliest - ctx_.now());
+  }
+}
+
+void MtpRouter::flush_updates(std::uint32_t p) {
+  PortState& s = pstate(p);
+  if (!s.alive) {
+    s.pending_withdraw.clear();
+    s.pending_unreach.clear();
+    s.pending_clear.clear();
+    return;
+  }
+  if (s.pending_withdraw.empty() && s.pending_unreach.empty() &&
+      s.pending_clear.empty()) {
+    return;
+  }
+  s.last_update_tx = ctx_.now();
+  if (!s.pending_withdraw.empty()) {
+    VidWithdrawMsg m;
+    m.vids.assign(s.pending_withdraw.begin(), s.pending_withdraw.end());
+    s.pending_withdraw.clear();
+    send_reliable(p, m);
+  }
+  if (!s.pending_unreach.empty()) {
+    DestUnreachMsg m;
+    m.roots.assign(s.pending_unreach.begin(), s.pending_unreach.end());
+    s.pending_unreach.clear();
+    send_reliable(p, m);
+  }
+  if (!s.pending_clear.empty()) {
+    DestClearMsg m;
+    m.roots.assign(s.pending_clear.begin(), s.pending_clear.end());
+    s.pending_clear.clear();
+    send_reliable(p, m);
   }
 }
 

@@ -45,6 +45,26 @@ struct MtpTimers {
   /// Reliable-control retransmission interval and cap.
   sim::Duration retransmit = sim::Duration::millis(100);
   int max_retransmits = 10;
+
+  // --- flap damping (overload containment, disabled when penalty == 0) ---
+  /// Figure-of-merit added per alive->dead flap. The penalty halves every
+  /// `damping_half_life`; while it sits at or above `damping_suppress` the
+  /// port is suppressed and Slow-to-Accept streaks no longer promote the
+  /// neighbor, until decay brings it down to `damping_reuse`. With the
+  /// defaults below (once enabled) a single clean failure/recovery never
+  /// suppresses; three flaps inside a couple of seconds do.
+  double damping_penalty = 0;
+  double damping_suppress = 2500;
+  double damping_reuse = 750;
+  sim::Duration damping_half_life = sim::Duration::seconds(2);
+
+  // --- withdrawal-storm containment (disabled when zero) ---
+  /// Minimum spacing between failure-update originations per port. The
+  /// first update in an idle interval still leaves immediately (single
+  /// failures keep today's latency); bursts inside the interval are batched
+  /// into one VID_WITHDRAW / DEST_UNREACH / DEST_CLEAR each, with duplicate
+  /// and self-cancelling entries absorbed.
+  sim::Duration update_min_interval{};
 };
 
 struct MtpConfig {
@@ -84,6 +104,11 @@ class MtpRouter : public net::Node {
   /// Neighbor liveness as seen by this router (tests/harness).
   [[nodiscard]] bool neighbor_alive(std::uint32_t port) const;
 
+  /// Decayed flap-damping penalty on `port` at the current instant, and
+  /// whether re-accept is currently suppressed by it (tests/bench).
+  [[nodiscard]] double port_damping_penalty(std::uint32_t port) const;
+  [[nodiscard]] bool port_damping_suppressed(std::uint32_t port) const;
+
   /// Operator view: one line per MTP port with tier, liveness, and the
   /// VIDs held/assigned across it.
   [[nodiscard]] std::string neighbor_summary() const;
@@ -103,6 +128,15 @@ class MtpRouter : public net::Node {
     std::uint64_t exclusion_changes = 0;
     std::uint64_t neighbors_lost = 0;
     std::uint64_t neighbors_accepted = 0;
+    /// Slow-to-Accept streaks that completed while the port's flap-damping
+    /// penalty was still above the reuse threshold (re-accept suppressed).
+    std::uint64_t accepts_suppressed = 0;
+    /// Failure-update originations deferred into a pending batch by the
+    /// per-port min-interval rate limit.
+    std::uint64_t updates_batched = 0;
+    /// Duplicate or self-cancelling entries absorbed while pending (e.g. an
+    /// UNREACH and its CLEAR meeting in the queue before either was sent).
+    std::uint64_t updates_deduped = 0;
     /// Joins refused because another port already roots the same ToR VID
     /// (duplicate rack subnet misconfiguration).
     std::uint64_t duplicate_roots_rejected = 0;
@@ -160,6 +194,18 @@ class MtpRouter : public net::Node {
     std::set<Vid> join_pending;
     /// Child VIDs we assigned to the neighbor on this port -> their base.
     std::map<Vid, Vid> assigned;
+
+    // --- flap damping (lazy exponential decay) ---
+    double damp_penalty = 0;
+    sim::Time damp_updated{};
+    bool damp_suppressed = false;
+
+    // --- withdrawal-storm containment ---
+    sim::Time last_update_tx{};
+    std::unique_ptr<sim::Timer> update_flush_timer;
+    std::set<Vid> pending_withdraw;
+    std::set<std::uint16_t> pending_unreach;
+    std::set<std::uint16_t> pending_clear;
   };
 
   struct Outstanding {
@@ -181,6 +227,8 @@ class MtpRouter : public net::Node {
   void neighbor_up(std::uint32_t port);
   void neighbor_down(std::uint32_t port, bool local_detect);
   void send_hello_if_idle(std::uint32_t port);
+  /// Applies the half-life decay to the port's damping penalty in place.
+  void decay_damping(PortState& s);
   /// True when the upstream neighbor on `port` holds a child of every tree
   /// we can offer (steady state: plain hellos only).
   [[nodiscard]] bool fully_assigned(std::uint32_t port) const;
@@ -194,6 +242,15 @@ class MtpRouter : public net::Node {
   [[nodiscard]] std::vector<Vid> advertisable_vids() const;
 
   // --- failure updates ---
+  /// Origination points route through these instead of send_reliable so a
+  /// burst of failures inside `update_min_interval` collapses into one
+  /// message per port per type (withdrawal-storm containment).
+  void queue_withdraw(std::uint32_t port, const std::vector<Vid>& vids);
+  void queue_reach_update(std::uint32_t port,
+                          const std::vector<std::uint16_t>& roots,
+                          bool unreach);
+  void schedule_flush(std::uint32_t port);
+  void flush_updates(std::uint32_t port);
   void handle_withdraw(std::uint32_t port, const VidWithdrawMsg& msg);
   void handle_dest_unreach(std::uint32_t port, const DestUnreachMsg& msg);
   void handle_dest_clear(std::uint32_t port, const DestClearMsg& msg);

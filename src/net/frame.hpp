@@ -36,6 +36,28 @@ enum class TrafficClass : std::uint8_t {
 [[nodiscard]] std::string_view to_string(TrafficClass tc);
 constexpr std::size_t kTrafficClassCount = 9;
 
+/// Control-band membership for class-aware egress queueing: everything a
+/// router needs to keep adjacencies and sessions alive under congestion.
+/// Pure TCP ACKs ride in the control band because BGP's transport liveness
+/// depends on them — a tail-dropped ACK stalls the session's keep-alives
+/// just as fatally as a dropped KEEPALIVE itself.
+[[nodiscard]] constexpr bool is_control_class(TrafficClass tc) {
+  switch (tc) {
+    case TrafficClass::kMtpControl:
+    case TrafficClass::kMtpHello:
+    case TrafficClass::kBgpUpdate:
+    case TrafficClass::kBgpKeepalive:
+    case TrafficClass::kBfd:
+    case TrafficClass::kTcpAck:
+      return true;
+    case TrafficClass::kMtpData:
+    case TrafficClass::kIpData:
+    case TrafficClass::kOther:
+      return false;
+  }
+  return false;
+}
+
 /// An Ethernet II frame. `wire_size()` counts the 14-byte header plus
 /// payload; `padded_wire_size()` additionally applies the 60-byte minimum
 /// (64 minus FCS) that a real NIC pads to and wireshark reports — the sizes

@@ -51,6 +51,13 @@ double Link::effective_loss(Dir dir) const {
   return im.ramp_from + (im.loss - im.ramp_from) * f;
 }
 
+sim::Duration Link::ser_time(const Frame& frame) const {
+  // 20 bytes of preamble + inter-frame gap per frame, as on real Ethernet.
+  std::uint64_t wire_bits = (frame.padded_wire_size() + 20) * 8;
+  return sim::Duration::nanos(static_cast<std::int64_t>(
+      (wire_bits * 1000000000ull) / params_.bandwidth_bps));
+}
+
 void Link::transmit(Port& from, Frame frame) {
   if (&from != a_ && &from != b_) {
     throw std::logic_error("Link::transmit from foreign port");
@@ -64,21 +71,99 @@ void Link::transmit(Port& from, Frame frame) {
   }
   from.tx_stats().record(frame);
 
-  Port& to = other(from);
   int dir = static_cast<int>(direction);
-
-  // Tail drop: the output queue (expressed as serialization backlog) is
-  // full when the transmitter is more than max_queue behind.
-  if (busy_until_[dir] > ctx_.now() + params_.max_queue) {
-    ++dstats.dropped_queue_full;
+  if (params_.priority_queues) {
+    transmit_priority(dir, std::move(frame));
     return;
   }
 
+  // Shared FIFO: tail drop when the output queue (expressed as serialization
+  // backlog) is full, i.e. the transmitter is more than max_queue behind.
+  sim::Duration backlog = busy_until_[dir] > ctx_.now()
+                              ? busy_until_[dir] - ctx_.now()
+                              : sim::Duration{};
+  if (backlog > params_.max_queue) {
+    ++dstats.dropped_queue_full;
+    if (is_control_class(frame.traffic_class)) ++dstats.dropped_queue_control;
+    return;
+  }
+  auto& hw = is_control_class(frame.traffic_class)
+                 ? dstats.control_backlog_hw_ns
+                 : dstats.data_backlog_hw_ns;
+  hw = std::max(hw, static_cast<std::uint64_t>(backlog.ns()));
+
+  sim::Duration ser = ser_time(frame);
+  serialize_and_send(dir, std::move(frame), ser);
+}
+
+void Link::transmit_priority(int dir, Frame frame) {
+  DirStats& dstats = dir_stats(static_cast<Dir>(dir));
+  bool control = is_control_class(frame.traffic_class);
+  sim::Duration ser = ser_time(frame);
+
+  sim::Time now = ctx_.now();
+  sim::Duration residual =
+      busy_until_[dir] > now ? busy_until_[dir] - now : sim::Duration{};
+
+  // Fast path: idle transmitter and empty bands behave exactly like the
+  // shared FIFO — one delivery event per frame, no queue churn. This is what
+  // keeps steady-state event throughput unchanged by the priority feature.
+  if (residual <= sim::Duration{} && bands_[dir][kControlBand].empty() &&
+      bands_[dir][kDataBand].empty()) {
+    serialize_and_send(dir, std::move(frame), ser);
+    return;
+  }
+
+  // Band admission. A control frame only waits behind the frame already on
+  // the wire plus other control frames (strict priority), so its depth limit
+  // considers the control band alone — the guaranteed band. Data sees the
+  // whole backlog, matching the shared FIFO's tail-drop bound.
+  sim::Duration wait = control ? band_backlog_[dir][kControlBand]
+                               : residual + band_backlog_[dir][kControlBand] +
+                                     band_backlog_[dir][kDataBand];
+  if (wait > (control ? params_.control_queue : params_.max_queue)) {
+    ++dstats.dropped_queue_full;
+    if (control) ++dstats.dropped_queue_control;
+    return;
+  }
+  auto& hw = control ? dstats.control_backlog_hw_ns : dstats.data_backlog_hw_ns;
+  hw = std::max(hw, static_cast<std::uint64_t>(wait.ns()));
+
+  int band = control ? kControlBand : kDataBand;
+  bands_[dir][band].push_back(Pending{std::move(frame), ser});
+  band_backlog_[dir][band] = band_backlog_[dir][band] + ser;
+  if (!drain_armed_[dir]) {
+    drain_armed_[dir] = true;
+    ctx_.sched.schedule_at(std::max(now, busy_until_[dir]),
+                           [this, dir] { drain(dir); });
+  }
+}
+
+void Link::drain(int dir) {
+  int band =
+      !bands_[dir][kControlBand].empty() ? kControlBand : kDataBand;
+  auto& q = bands_[dir][band];
+  if (q.empty()) {  // defensive: both bands drained out from under the event
+    drain_armed_[dir] = false;
+    return;
+  }
+  Pending p = std::move(q.front());
+  q.pop_front();
+  band_backlog_[dir][band] = band_backlog_[dir][band] - p.ser;
+  serialize_and_send(dir, std::move(p.frame), p.ser);
+  if (!bands_[dir][kControlBand].empty() || !bands_[dir][kDataBand].empty()) {
+    ctx_.sched.schedule_at(busy_until_[dir], [this, dir] { drain(dir); });
+  } else {
+    drain_armed_[dir] = false;
+  }
+}
+
+void Link::serialize_and_send(int dir, Frame frame, sim::Duration ser) {
+  Dir direction = static_cast<Dir>(dir);
+  DirStats& dstats = dir_stats(direction);
+  Port& to = dir == static_cast<int>(Dir::kAToB) ? *b_ : *a_;
+
   // Serialization occupies the transmitter; back-to-back frames queue.
-  // 20 bytes of preamble + inter-frame gap per frame, as on real Ethernet.
-  std::uint64_t wire_bits = (frame.padded_wire_size() + 20) * 8;
-  auto ser = sim::Duration::nanos(static_cast<std::int64_t>(
-      (wire_bits * 1000000000ull) / params_.bandwidth_bps));
   sim::Time start = std::max(ctx_.now(), busy_until_[dir]);
   busy_until_[dir] = start + ser;
   sim::Time arrival = busy_until_[dir] + params_.delay;

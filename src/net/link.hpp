@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "net/node.hpp"
@@ -41,6 +42,17 @@ class Link {
     /// time units); frames arriving when the transmitter is further behind
     /// are tail-dropped. 1 ms at 10 GbE is ~1.25 MB of buffer.
     sim::Duration max_queue = sim::Duration::millis(1);
+    /// Class-aware egress queueing: the transmitter serves a strict-priority
+    /// control band (hello/control/ACK classes, see is_control_class()) ahead
+    /// of data. Data keeps the shared tail-drop bound above; control frames
+    /// are only dropped when the control band alone exceeds `control_queue`,
+    /// so an incast of data can never starve keep-alives off the wire.
+    /// Default off = today's single shared FIFO (the A/B ablation switch).
+    bool priority_queues = false;
+    /// Guaranteed control-band depth (serialization backlog) when
+    /// `priority_queues` is on. 100 us at 10 GbE is ~125 KB — orders of
+    /// magnitude more than a fabric's worth of hellos needs.
+    sim::Duration control_queue = sim::Duration::micros(100);
   };
 
   /// Runtime-mutable per-direction gray-failure state. The sender still
@@ -64,8 +76,18 @@ class Link {
     std::uint64_t dropped_dst_down = 0;    // receiver-side port down at arrival
     std::uint64_t dropped_impairment = 0;  // random loss (static or gray)
     std::uint64_t dropped_blackhole = 0;   // directional blackhole
-    std::uint64_t dropped_queue_full = 0;  // output-queue tail drop
+    std::uint64_t dropped_queue_full = 0;  // output-queue tail drop (any class)
     std::uint64_t duplicated = 0;
+    /// Subset of dropped_queue_full that was control-class (hello / control /
+    /// ACK). Nonzero here under congestion is the smoking gun for false dead
+    /// declarations; priority mode exists to keep it at zero.
+    std::uint64_t dropped_queue_control = 0;
+    /// High-water serialization backlog (ns) observed at frame admission,
+    /// split by the admitted frame's band. In shared-FIFO mode both classes
+    /// see the same queue, so these record the shared backlog as each class
+    /// encountered it.
+    std::uint64_t control_backlog_hw_ns = 0;
+    std::uint64_t data_backlog_hw_ns = 0;
 
     [[nodiscard]] std::uint64_t dropped_total() const {
       return dropped_link_down + dropped_dst_down + dropped_impairment +
@@ -98,6 +120,9 @@ class Link {
     }
     [[nodiscard]] std::uint64_t dropped_queue_full() const {
       return ab.dropped_queue_full + ba.dropped_queue_full;
+    }
+    [[nodiscard]] std::uint64_t dropped_queue_control() const {
+      return ab.dropped_queue_control + ba.dropped_queue_control;
     }
     [[nodiscard]] std::uint64_t duplicated() const {
       return ab.duplicated + ba.duplicated;
@@ -156,10 +181,29 @@ class Link {
   Params& mutable_params() { return params_; }
 
  private:
+  /// A frame admitted to a band, waiting for the transmitter.
+  struct Pending {
+    Frame frame;
+    sim::Duration ser;
+  };
+  static constexpr int kControlBand = 0;
+  static constexpr int kDataBand = 1;
+
   void deliver(Port& to, Frame frame, DirStats& dstats);
+  /// Serializes `frame` starting no earlier than now (impairments, jitter,
+  /// loss and duplication applied) and schedules delivery. Shared tail of the
+  /// fast path and the band drain.
+  void serialize_and_send(int dir, Frame frame, sim::Duration ser);
+  /// Priority-mode admission: fast path when the transmitter is idle,
+  /// otherwise band enqueue with per-class depth limits.
+  void transmit_priority(int dir, Frame frame);
+  /// Pops the next frame (control band first) onto the transmitter; rearms
+  /// itself at the next transmitter-free instant while frames wait.
+  void drain(int dir);
   DirStats& dir_stats(Dir dir) {
     return dir == Dir::kAToB ? stats_.ab : stats_.ba;
   }
+  [[nodiscard]] sim::Duration ser_time(const Frame& frame) const;
 
   SimContext& ctx_;
   Port* a_;
@@ -170,6 +214,13 @@ class Link {
   Tap tap_;
   /// Per-direction time the transmitter becomes free (0 = a->b, 1 = b->a).
   sim::Time busy_until_[2];
+  /// Priority-mode waiting rooms: [dir][band]. Empty whenever the analytic
+  /// fast path is in use, so shared-FIFO workloads never touch them.
+  std::deque<Pending> bands_[2][2];
+  /// Serialization backlog held in each band's deque, [dir][band].
+  sim::Duration band_backlog_[2][2];
+  /// True while a drain event is scheduled for the direction.
+  bool drain_armed_[2] = {false, false};
 };
 
 }  // namespace mrmtp::net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "traffic/host.hpp"
+
 namespace mrmtp::topo {
 
 std::string_view to_string(GrayKind kind) {
@@ -12,6 +14,16 @@ std::string_view to_string(GrayKind kind) {
     case GrayKind::kDegradationRamp: return "degradation-ramp";
     case GrayKind::kFlapStorm: return "flap-storm";
     case GrayKind::kCorrelatedBlackhole: return "correlated-blackhole";
+    case GrayKind::kCongestionStorm: return "congestion-storm";
+  }
+  return "?";
+}
+
+std::string_view to_string(ChaosPhase phase) {
+  switch (phase) {
+    case ChaosPhase::kOnset: return "onset";
+    case ChaosPhase::kHeal: return "heal";
+    case ChaosPhase::kRampComplete: return "ramp-complete";
   }
   return "?";
 }
@@ -39,8 +51,9 @@ net::Link::Dir ChaosEngine::dir_of(const FailurePoint& fp,
   return toward_device ? net::Link::reverse(outbound) : outbound;
 }
 
-void ChaosEngine::record(sim::Time at, GrayKind kind, std::string description) {
-  log_.push_back(ChaosEventRecord{at, kind, std::move(description)});
+void ChaosEngine::record(sim::Time at, GrayKind kind, ChaosPhase phase,
+                         std::string description) {
+  log_.push_back(ChaosEventRecord{at, kind, phase, std::move(description)});
   std::sort(log_.begin(), log_.end(),
             [](const ChaosEventRecord& a, const ChaosEventRecord& b) {
               return a.at < b.at;
@@ -48,15 +61,19 @@ void ChaosEngine::record(sim::Time at, GrayKind kind, std::string description) {
 }
 
 std::optional<sim::Time> ChaosEngine::first_onset() const {
-  if (log_.empty()) return std::nullopt;
-  return log_.front().at;
+  // Heal / ramp-complete records never precede their onset, but guard
+  // against a bare heal() call being the only thing logged.
+  for (const ChaosEventRecord& r : log_) {
+    if (r.phase == ChaosPhase::kOnset) return r.at;
+  }
+  return std::nullopt;
 }
 
 void ChaosEngine::blackhole_one_way(const FailurePoint& fp, bool toward_device,
                                     sim::Time at) {
   net::Link& link = link_of(fp);
   net::Link::Dir dir = dir_of(fp, toward_device);
-  record(at, GrayKind::kUnidirBlackhole,
+  record(at, GrayKind::kUnidirBlackhole, ChaosPhase::kOnset,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              (toward_device ? " blackhole toward " : " blackhole away from ") +
              fp.device);
@@ -68,7 +85,7 @@ void ChaosEngine::loss_one_way(const FailurePoint& fp, bool toward_device,
                                double p, sim::Time at) {
   net::Link& link = link_of(fp);
   net::Link::Dir dir = dir_of(fp, toward_device);
-  record(at, GrayKind::kUnidirLoss,
+  record(at, GrayKind::kUnidirLoss, ChaosPhase::kOnset,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              " one-way loss " + std::to_string(p) +
              (toward_device ? " toward " : " away from ") + fp.device);
@@ -81,18 +98,23 @@ void ChaosEngine::degradation_ramp(const FailurePoint& fp, bool toward_device,
                                    sim::Duration over) {
   net::Link& link = link_of(fp);
   net::Link::Dir dir = dir_of(fp, toward_device);
-  record(at, GrayKind::kDegradationRamp,
+  record(at, GrayKind::kDegradationRamp, ChaosPhase::kOnset,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              " loss ramp to " + std::to_string(target) + " over " + over.str());
+  record(at + over, GrayKind::kDegradationRamp, ChaosPhase::kRampComplete,
+         fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
+             " ramp reached " + std::to_string(target));
   network_.ctx().sched.schedule_at(
       at, [&link, dir, target, over] { link.ramp_loss(dir, target, over); });
 }
 
 void ChaosEngine::flap_storm(const FailurePoint& fp, sim::Time at, int flaps,
                              sim::Duration period) {
-  record(at, GrayKind::kFlapStorm,
+  record(at, GrayKind::kFlapStorm, ChaosPhase::kOnset,
          fp.device + ":" + std::to_string(fp.port) + " flap storm x" +
              std::to_string(flaps) + " every " + period.str());
+  record(at + period * flaps, GrayKind::kFlapStorm, ChaosPhase::kHeal,
+         fp.device + ":" + std::to_string(fp.port) + " flap storm complete");
   FailurePoint copy = fp;  // by value: records are independent of callers
   for (int f = 0; f < flaps; ++f) {
     sim::Time down_at = at + period * f;
@@ -131,12 +153,15 @@ void ChaosEngine::correlated_blackhole(const std::string& device, int links,
     network_.ctx().sched.schedule_at(
         at, [&link, dir] { link.set_blackhole(dir, true); });
   }
-  record(at, GrayKind::kCorrelatedBlackhole,
+  record(at, GrayKind::kCorrelatedBlackhole, ChaosPhase::kOnset,
          device + " loses " + std::to_string(n) + " links together");
 }
 
-void ChaosEngine::heal(const FailurePoint& fp, sim::Time at) {
+void ChaosEngine::heal(const FailurePoint& fp, sim::Time at, GrayKind healed) {
   net::Link& link = link_of(fp);
+  record(at, healed, ChaosPhase::kHeal,
+         fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
+             " healed");
   network_.ctx().sched.schedule_at(at, [&link] { link.clear_impairments(); });
 }
 
@@ -149,14 +174,61 @@ FailurePoint ChaosEngine::random_fabric_point() {
                       blueprint_.device(ls.upper).name};
 }
 
+std::string ChaosEngine::congestion_storm(const StormSpec& spec, sim::Time at) {
+  const auto& hosts = blueprint_.hosts();
+  if (hosts.size() < 2) return {};
+
+  // Seeded victim; senders drawn from other racks so every flow crosses the
+  // fabric and converges on the victim's leaf.
+  std::size_t vi = rng_.below(hosts.size());
+  const HostSpec& victim = hosts[vi];
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i].leaf != victim.leaf) candidates.push_back(i);
+  }
+  if (candidates.empty()) return {};
+  for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
+    std::size_t j = i + rng_.below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  int n = std::min<int>(spec.senders, static_cast<int>(candidates.size()));
+
+  record(at, GrayKind::kCongestionStorm, ChaosPhase::kOnset,
+         victim.name + " incast from " + std::to_string(n) + " hosts for " +
+             spec.duration.str());
+  record(at + spec.duration, GrayKind::kCongestionStorm, ChaosPhase::kHeal,
+         victim.name + " incast complete");
+
+  auto* sink = dynamic_cast<traffic::Host*>(&network_.find(victim.name));
+  if (sink == nullptr) {
+    throw std::logic_error("ChaosEngine: " + victim.name +
+                           " is not a traffic::Host");
+  }
+  network_.ctx().sched.schedule_at(at, [sink] { sink->listen(); });
+  for (int i = 0; i < n; ++i) {
+    const HostSpec& spec_src = hosts[candidates[static_cast<std::size_t>(i)]];
+    auto* src = dynamic_cast<traffic::Host*>(&network_.find(spec_src.name));
+    if (src == nullptr) continue;
+    traffic::FlowConfig flow;
+    flow.dst = victim.addr;
+    flow.gap = spec.gap;
+    flow.payload_size = spec.payload_size;
+    network_.ctx().sched.schedule_at(at, [src, flow] { src->start_flow(flow); });
+    network_.ctx().sched.schedule_at(at + spec.duration,
+                                     [src] { src->stop_flow(); });
+  }
+  return victim.name;
+}
+
 void ChaosEngine::run_campaign(const CampaignSpec& spec) {
   const double total = spec.w_blackhole + spec.w_loss + spec.w_ramp +
-                       spec.w_flap + spec.w_correlated;
+                       spec.w_flap + spec.w_correlated + spec.w_congestion;
   for (int e = 0; e < spec.events; ++e) {
     sim::Time at = spec.start + spec.spacing * e;
     FailurePoint fp = random_fabric_point();
     bool toward = rng_.chance(0.5);
     double pick = rng_.uniform() * total;
+    GrayKind healed = GrayKind::kUnidirBlackhole;
 
     if ((pick -= spec.w_blackhole) < 0) {
       blackhole_one_way(fp, toward, at);
@@ -164,12 +236,14 @@ void ChaosEngine::run_campaign(const CampaignSpec& spec) {
       double p = spec.loss_min +
                  rng_.uniform() * (spec.loss_max - spec.loss_min);
       loss_one_way(fp, toward, p, at);
+      healed = GrayKind::kUnidirLoss;
     } else if ((pick -= spec.w_ramp) < 0) {
       degradation_ramp(fp, toward, 1.0, at, spec.ramp_over);
+      healed = GrayKind::kDegradationRamp;
     } else if ((pick -= spec.w_flap) < 0) {
       flap_storm(fp, at, spec.flaps, spec.flap_period);
       continue;  // flaps are admin events; nothing to heal on the link
-    } else {
+    } else if ((pick -= spec.w_correlated) < 0) {
       correlated_blackhole(fp.device, spec.correlated_links, at);
       if (spec.heal_after > sim::Duration{}) {
         // Heal every link of the device; cheaper than tracking the subset.
@@ -180,12 +254,24 @@ void ChaosEngine::run_campaign(const CampaignSpec& spec) {
           std::uint32_t peer = ls.upper == d ? ls.lower : ls.upper;
           heal(FailurePoint{fp.device, blueprint_.port_on(d, li),
                             blueprint_.device(peer).name},
-               at + spec.heal_after);
+               at + spec.heal_after, GrayKind::kCorrelatedBlackhole);
         }
       }
       continue;
+    } else {
+      StormSpec storm;
+      storm.senders = spec.storm_senders;
+      storm.gap = spec.storm_gap;
+      storm.payload_size = spec.storm_payload;
+      storm.duration = spec.heal_after > sim::Duration{}
+                           ? spec.heal_after
+                           : sim::Duration::millis(500);
+      congestion_storm(storm, at);
+      continue;  // the storm stops itself; no link impairment to heal
     }
-    if (spec.heal_after > sim::Duration{}) heal(fp, at + spec.heal_after);
+    if (spec.heal_after > sim::Duration{}) {
+      heal(fp, at + spec.heal_after, healed);
+    }
   }
 }
 

@@ -30,14 +30,27 @@ enum class GrayKind : std::uint8_t {
   kDegradationRamp,   // one-way loss ramps up over time (dying optics)
   kFlapStorm,         // admin down/up toggles faster than damping
   kCorrelatedBlackhole,  // several links of one device fail together
+  kCongestionStorm,   // seeded incast burst from N hosts toward one rack
 };
 
 [[nodiscard]] std::string_view to_string(GrayKind kind);
+
+/// Lifecycle phase of a logged chaos event. Every onset that ends (heals,
+/// finishes ramping, or stops sending) also logs its terminal phase, so a
+/// campaign replay can assert the full timeline, not just the injections.
+enum class ChaosPhase : std::uint8_t {
+  kOnset,
+  kHeal,          // impairment cleared / storm stopped
+  kRampComplete,  // a degradation ramp reached its target loss
+};
+
+[[nodiscard]] std::string_view to_string(ChaosPhase phase);
 
 /// One injected event, for post-run reporting and assertions.
 struct ChaosEventRecord {
   sim::Time at;
   GrayKind kind;
+  ChaosPhase phase = ChaosPhase::kOnset;
   std::string description;  // "S-1-1:3 -> L-1-1 blackhole", ...
 };
 
@@ -68,6 +81,24 @@ class ChaosEngine {
     sim::Duration ramp_over = sim::Duration::millis(500);
     /// kCorrelatedBlackhole: links of one device failing together.
     int correlated_links = 2;
+    /// kCongestionStorm weight. Defaults to 0 so existing seeded campaigns
+    /// replay bit-identically; overload campaigns opt in.
+    double w_congestion = 0.0;
+    /// kCongestionStorm shape (see StormSpec).
+    int storm_senders = 6;
+    sim::Duration storm_gap = sim::Duration::micros(30);
+    std::size_t storm_payload = 1000;
+  };
+
+  /// Incast-burst parameters for congestion_storm().
+  struct StormSpec {
+    /// Hosts (from other racks) that each open a flow toward the victim.
+    int senders = 6;
+    /// How long the burst lasts; flows stop (and the heal record logs) then.
+    sim::Duration duration = sim::Duration::millis(500);
+    /// Per-sender inter-packet gap; small values saturate the victim paths.
+    sim::Duration gap = sim::Duration::micros(30);
+    std::size_t payload_size = 1000;
   };
 
   ChaosEngine(net::Network& network, const ClosBlueprint& blueprint,
@@ -91,8 +122,17 @@ class ChaosEngine {
   /// `device` (correlated failure: a bad linecard / fan tray).
   void correlated_blackhole(const std::string& device, int links,
                             sim::Time at);
-  /// Heals both directions of the link at `fp` at `at`.
-  void heal(const FailurePoint& fp, sim::Time at);
+  /// Heals both directions of the link at `fp` at `at`. `healed` labels the
+  /// heal record with the onset kind it terminates.
+  void heal(const FailurePoint& fp, sim::Time at,
+            GrayKind healed = GrayKind::kUnidirBlackhole);
+
+  /// Seeded incast burst: `spec.senders` hosts drawn from other racks each
+  /// open a probe flow toward one victim host (also drawn seeded), swamping
+  /// the fabric directions into its rack. Composable with the gray modes —
+  /// the overload analogue of a blackhole. The victim is returned so a bench
+  /// can read its sink stats.
+  std::string congestion_storm(const StormSpec& spec, sim::Time at);
 
   /// Schedules `spec.events` randomized gray failures over the fabric links
   /// (host links are never touched), each healing after `heal_after`.
@@ -113,7 +153,8 @@ class ChaosEngine {
                                       bool toward_device) const;
 
  private:
-  void record(sim::Time at, GrayKind kind, std::string description);
+  void record(sim::Time at, GrayKind kind, ChaosPhase phase,
+              std::string description);
   /// A random fabric link as a FailurePoint anchored on its lower device.
   [[nodiscard]] FailurePoint random_fabric_point();
 

@@ -156,7 +156,13 @@ TEST_P(FuzzSeeds, ChaosCampaignKeepsForwardingInvariants) {
   spec.w_loss = 0.5;
   spec.w_ramp = spec.w_flap = spec.w_correlated = 0.0;
   chaos.run_campaign(spec);
-  ASSERT_EQ(chaos.log().size(), 4u);
+  // Every onset also logs its heal (satellite: full-timeline records).
+  ASSERT_EQ(chaos.log().size(), 8u);
+  int onsets = 0;
+  for (const topo::ChaosEventRecord& r : chaos.log()) {
+    if (r.phase == topo::ChaosPhase::kOnset) ++onsets;
+  }
+  ASSERT_EQ(onsets, 4);
 
   harness::FabricAuditor auditor(dep);
   auto assert_no_forwarding_violations = [&](int window) {
