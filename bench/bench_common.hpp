@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -13,6 +15,38 @@
 #include "harness/report.hpp"
 
 namespace mrmtp::bench {
+
+/// Command-line flags every bench understands:
+///   --threads=N    run experiments on the parallel fabric engine with N
+///                  shards (0 or 1 keeps the classic single-context engine)
+///   --json-out=P   write the bench's JSON artifact to P instead of the
+///                  default committed at the repo root
+struct BenchFlags {
+  std::uint32_t threads = 0;
+  std::string json_out;
+
+  static BenchFlags parse(int argc, char** argv,
+                          std::string default_json = "") {
+    BenchFlags flags;
+    flags.json_out = std::move(default_json);
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--threads=", 10) == 0) {
+        flags.threads = static_cast<std::uint32_t>(
+            std::strtoul(arg + 10, nullptr, 10));
+      } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+        flags.json_out = arg + 11;
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--threads=N] [--json-out=PATH]\n"
+                     "unknown flag: %s\n",
+                     argv[0], arg);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+};
 
 inline const std::vector<std::uint64_t>& default_seeds() {
   static const std::vector<std::uint64_t> seeds{11, 23, 37, 51, 73};

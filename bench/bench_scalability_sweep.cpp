@@ -13,9 +13,12 @@
 #include "bench_common.hpp"
 #include "util/json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrmtp;
   using namespace mrmtp::bench;
+
+  BenchFlags flags =
+      BenchFlags::parse(argc, argv, "BENCH_scalability.json");
 
   print_header("Scalability sweep — PoDs 2..16 (paper Section IX)",
                "future-work extension of Figs. 4-6");
@@ -49,6 +52,7 @@ int main() {
       harness::ExperimentSpec spec;
       spec.topo = params;
       spec.proto = proto;
+      spec.threads = flags.threads;
       spec.tc = topo::TestCase::kTC1;
       spec.settle = sim::Duration::seconds(5);  // larger fabrics need longer
       auto tc1 = harness::run_averaged(spec, seeds);
@@ -85,10 +89,9 @@ int main() {
 
   table.print(/*with_csv=*/true);
 
-  const char* out_path = "BENCH_scalability.json";
-  std::ofstream out(out_path);
+  std::ofstream out(flags.json_out);
   out << doc.dump(/*pretty=*/true) << "\n";
-  std::printf("\nWrote %s (%zu points).\n", out_path,
+  std::printf("\nWrote %s (%zu points).\n", flags.json_out.c_str(),
               doc["points"].as_array().size());
 
   std::printf(

@@ -75,18 +75,56 @@ if ! $tier1_only; then
   echo "  events_per_sec_priority=$ev (>= 3.45M) ok"
 
   echo
+  echo "== parallel-engine gate (bench_parallel_sweep) =="
+  (cd build && ./bench/bench_parallel_sweep > /dev/null)
+  pgate() {  # pgate <topology> <threads> <key> -> value of that sweep point
+    python3 - "$1" "$2" "$3" <<'EOF' < build/BENCH_parallel.json
+import json, sys
+doc = json.load(sys.stdin)
+topo, threads, key = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+for p in doc["points"]:
+    if p["topology"] == topo and p["threads"] == threads \
+       and p["protocol"] == "MR-MTP":
+        print(p[key]); break
+EOF
+  }
+  # 1-thread runs ride the classic single-context engine verbatim, so their
+  # throughput must stay within 3% of the pre-sharding baseline (3.5M ev/s
+  # on the 16-PoD TC1 failure experiment on the reference machine).
+  base_eps="$(pgate 16-PoD 1 events_per_sec)"
+  if ! awk -v ev="$base_eps" 'BEGIN { exit !(ev >= 3500000 * 0.97) }'; then
+    echo "FAIL: 1-thread (classic engine) at $base_eps events/sec —" \
+         "more than 3% below the 3.5M ev/s pre-sharding baseline."
+    exit 1
+  fi
+  echo "  16-PoD 1-thread events_per_sec=$base_eps (>= 3.4M) ok"
+  # The speedup gate needs real cores; a 1- or 2-core host can only measure
+  # overhead, so it is skipped (the artifact still records the sweep).
+  if [[ "$jobs" -ge 4 ]]; then
+    speedup="$(pgate 16-PoD 4 speedup_vs_1)"
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 2.5) }'; then
+      echo "FAIL: 4-thread speedup on 16-PoD is ${speedup}x (< 2.5x)."
+      exit 1
+    fi
+    echo "  16-PoD 4-thread speedup=${speedup}x (>= 2.5x) ok"
+  else
+    echo "  skipping 4-thread speedup gate: only $jobs hardware thread(s)"
+  fi
+
+  echo
   echo "== asan-ubsan: whole tree instrumented (build-asan/) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$jobs"
   ctest --preset asan-ubsan -j "$jobs"
 
   echo
-  echo "== tsan: buffer + scheduler tests (build-tsan/) =="
+  echo "== tsan: buffer + scheduler + parallel-engine tests (build-tsan/) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-    --target buffer_test sim_test net_test util_test overload_damping_test
+    --target buffer_test sim_test net_test util_test overload_damping_test \
+             parallel_engine_test
   ctest --test-dir build-tsan \
-    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test)$' \
+    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test)$' \
     --output-on-failure -j "$jobs"
 fi
 

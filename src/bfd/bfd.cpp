@@ -74,10 +74,11 @@ void BfdSession::arm_tx() {
   // RFC 5880 section 6.8.7: apply 75..100% jitter to the transmit interval
   // so control packets never self-synchronize.
   std::uint64_t span = static_cast<std::uint64_t>(config_.tx_interval.ns() / 4);
+  sim::Rng& rng = rng_ ? *rng_ : node_.sim().rng;
   sim::Duration interval =
       config_.tx_interval -
       sim::Duration::nanos(static_cast<std::int64_t>(
-          span == 0 ? 0 : node_.sim().rng.below(span)));
+          span == 0 ? 0 : rng.below(span)));
   tx_timer_.start(interval);
 }
 

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "transport/l3_node.hpp"
 
 namespace mrmtp::bfd {
@@ -58,6 +60,11 @@ class BfdSession {
   void start();
   void stop();
 
+  /// Moves the tx-jitter draws onto a private stream so they depend only on
+  /// this session's own send order (sharded-run determinism). Call before
+  /// start().
+  void use_stream_rng(std::uint64_t seed) { rng_.emplace(seed); }
+
   void handle_packet(const BfdPacket& pkt);
 
   [[nodiscard]] BfdState state() const { return state_; }
@@ -81,6 +88,7 @@ class BfdSession {
   std::uint32_t remote_discriminator_ = 0;
 
   BfdState state_ = BfdState::kDown;
+  std::optional<sim::Rng> rng_;  // empty: draw from the node's shared rng
   sim::Timer tx_timer_;
   sim::Timer detect_timer_;
 };

@@ -40,6 +40,11 @@ void BgpRouter::start() {
     auto peer = std::make_unique<Peer>();
     peer->cfg = n;
     peer->index = index++;
+    if (stream_seed_) {
+      // Stream per (router seed, peer slot); the SplitMix64 expansion inside
+      // Rng decorrelates adjacent seeds.
+      peer->rng.emplace(*stream_seed_ + peer->index);
+    }
     Peer& ref = *peer;
     peer->hold_timer = std::make_unique<sim::Timer>(
         ctx_.sched, [this, &ref] { drop_session(ref, "hold timer expired"); });
@@ -50,7 +55,7 @@ void BgpRouter::start() {
             ++stats_.keepalives_sent;
             // RFC 4271 section 10: jitter each interval by 0.75..1.0 so
             // keep-alives across the fabric do not phase-lock.
-            ref.keepalive_timer->start(jittered(config_.timers.keepalive));
+            ref.keepalive_timer->start(jittered(ref, config_.timers.keepalive));
           }
         });
     peer->retry_timer = std::make_unique<sim::Timer>(
@@ -61,11 +66,15 @@ void BgpRouter::start() {
     peers_.push_back(std::move(peer));
 
     if (config_.enable_bfd) {
-      bfd_->create_session(n.local_addr, n.peer_addr, config_.bfd,
-                           [this, &ref](bool up) {
-                             if (!up) drop_session(ref, "BFD down");
-                           })
-          .start();
+      bfd::BfdSession& session =
+          bfd_->create_session(n.local_addr, n.peer_addr, config_.bfd,
+                               [this, &ref](bool up) {
+                                 if (!up) drop_session(ref, "BFD down");
+                               });
+      if (stream_seed_) {
+        session.use_stream_rng(~*stream_seed_ + ref.index);
+      }
+      session.start();
     }
   }
 
@@ -113,18 +122,18 @@ void BgpRouter::attach_connection(Peer& peer, transport::TcpConnection& conn) {
   });
 }
 
-sim::Duration BgpRouter::jittered(sim::Duration base) {
+sim::Duration BgpRouter::jittered(Peer& peer, sim::Duration base) {
   // Uniform in [0.75, 1.0) of the base interval.
   std::uint64_t span = static_cast<std::uint64_t>(base.ns() / 4);
   return base - sim::Duration::nanos(static_cast<std::int64_t>(
-                    span == 0 ? 0 : ctx_.rng.below(span)));
+                    span == 0 ? 0 : draw_rng(peer).below(span)));
 }
 
 void BgpRouter::session_established(Peer& peer) {
   peer.state = SessionState::kEstablished;
   log(sim::LogLevel::kInfo, "BGP session with " + peer.cfg.peer_addr.str() +
                                 " established");
-  peer.keepalive_timer->start(jittered(config_.timers.keepalive));
+  peer.keepalive_timer->start(jittered(peer, config_.timers.keepalive));
   peer.hold_timer->start(config_.timers.hold);
   // Initial full-table advertisement.
   for (const auto& [prefix, paths] : loc_rib_) peer.pending.insert(prefix);
@@ -178,7 +187,7 @@ void BgpRouter::drop_session(Peer& peer, std::string_view reason) {
 
 void BgpRouter::schedule_retry(Peer& peer) {
   auto jitter = sim::Duration::nanos(
-      static_cast<std::int64_t>(ctx_.rng.below(100'000'000ull)));
+      static_cast<std::int64_t>(draw_rng(peer).below(100'000'000ull)));
   sim::Duration wait = config_.timers.connect_retry + jitter;
   if (config_.timers.damping_penalty > 0) {
     double pen = decayed_penalty(peer);

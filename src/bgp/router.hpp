@@ -80,6 +80,14 @@ class BgpRouter : public transport::L3Node {
   void on_port_down(net::Port& port) override;
   void on_port_up(net::Port& port) override;
 
+  /// Moves every timer-jitter draw (keepalive, retry, BFD tx) onto private
+  /// per-peer streams derived from `seed`. Sharded deployments enable this
+  /// on every router so each session's draw sequence depends only on its own
+  /// event order — the cross-shard determinism requirement. Call before
+  /// start(); the legacy single-context path leaves it off and keeps drawing
+  /// from the shared SimContext rng.
+  void use_stream_rng(std::uint64_t seed) { stream_seed_ = seed; }
+
   [[nodiscard]] const BgpConfig& config() const { return config_; }
   [[nodiscard]] SessionState session_state(ip::Ipv4Addr peer) const;
   [[nodiscard]] std::size_t established_sessions() const;
@@ -140,6 +148,8 @@ class BgpRouter : public transport::L3Node {
     /// Flap-damping figure of merit (lazy exponential decay).
     double damp_penalty = 0;
     sim::Time damp_updated{};
+    /// Private jitter stream (use_stream_rng); empty: shared ctx rng.
+    std::optional<sim::Rng> rng;
   };
 
   // --- session management ---
@@ -153,8 +163,12 @@ class BgpRouter : public transport::L3Node {
   void handle_stream(Peer& peer, std::span<const std::uint8_t> data);
   void handle_message(Peer& peer, const BgpMessage& msg);
   void send_message(Peer& peer, const BgpMessage& msg);
-  /// RFC 4271-style timer jitter: uniform in [0.75, 1.0) x base.
-  [[nodiscard]] sim::Duration jittered(sim::Duration base);
+  /// RFC 4271-style timer jitter: uniform in [0.75, 1.0) x base, drawn from
+  /// the peer's private stream when one is set.
+  [[nodiscard]] sim::Duration jittered(Peer& peer, sim::Duration base);
+  [[nodiscard]] sim::Rng& draw_rng(Peer& peer) {
+    return peer.rng ? *peer.rng : ctx_.rng;
+  }
 
   // --- routing ---
   void process_update(Peer& peer, const UpdateMessage& update);
@@ -175,6 +189,7 @@ class BgpRouter : public transport::L3Node {
   [[nodiscard]] std::uint32_t egress_port_for(ip::Ipv4Addr next_hop) const;
 
   BgpConfig config_;
+  std::optional<std::uint64_t> stream_seed_;
   std::vector<std::unique_ptr<Peer>> peers_;
   /// Adj-RIB-In: prefix -> (peer index -> path).
   std::map<ip::Ipv4Prefix, std::map<std::size_t, PathInfo>> adj_rib_in_;

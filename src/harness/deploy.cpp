@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace mrmtp::harness {
 
 std::string_view to_string(Proto p) {
@@ -13,6 +15,69 @@ std::string_view to_string(Proto p) {
   return "?";
 }
 
+ShardedFabric::ShardedFabric(const topo::ClosBlueprint& blueprint,
+                             std::uint32_t threads, std::uint64_t seed)
+    : blueprint_(&blueprint),
+      seed_(seed),
+      plan_(topo::make_shard_plan(blueprint, threads)) {
+  ctxs_.reserve(plan_.shards);
+  for (std::uint32_t s = 0; s < plan_.shards; ++s) {
+    // The shared per-context rng is never drawn in a sharded deployment
+    // (every consumer is moved onto a private stream below), but seed each
+    // shard distinctly so any future draw is at least not correlated.
+    ctxs_.push_back(
+        std::make_unique<net::SimContext>(util::mix64(seed) + s));
+  }
+}
+
+void ShardedFabric::attach(net::Network& network) {
+  if (engine_) {
+    throw std::logic_error("ShardedFabric::attach called twice");
+  }
+
+  // Per-link (per-direction, inside Link) RNG streams, seeded by wiring
+  // order. Wiring order is a blueprint property, so a link's stream — and
+  // hence its loss/jitter draws — is identical no matter how many shards the
+  // fabric is split into. That is the whole determinism argument: each draw
+  // depends only on the entity's own event order, never on global order.
+  std::uint64_t li = 0;
+  for (const auto& link : network.links()) {
+    link->use_stream_rng(util::mix64(seed_ ^ 0x6c696e6b5347ull) + li++);
+  }
+
+  // Lookahead = the minimum one-way propagation delay over ALL links, not
+  // just cross-shard ones: in a sharded run every frame delivery rides the
+  // ShardBus (the determinism tie-break, see Link::schedule_delivery), so a
+  // window must never out-run a same-shard delivery either. An event at time
+  // t can schedule a delivery no earlier than t + lookahead.
+  bool any = false;
+  sim::Duration lookahead = sim::Duration::micros(5);
+  for (const auto& link : network.links()) {
+    if (!any || link->params().delay < lookahead) {
+      lookahead = link->params().delay;
+    }
+    any = true;
+  }
+  lookahead_ = lookahead;
+
+  std::vector<sim::Scheduler*> scheds;
+  scheds.reserve(ctxs_.size());
+  for (auto& c : ctxs_) scheds.push_back(&c->sched);
+  engine_ = std::make_unique<sim::ShardedEngine>(
+      std::move(scheds), sim::ShardedEngine::Options{lookahead});
+  for (std::uint32_t s = 0; s < ctxs_.size(); ++s) {
+    ctxs_[s]->shard = s;
+    ctxs_[s]->bus = &engine_->bus();
+  }
+}
+
+sim::ShardedEngine& ShardedFabric::engine() {
+  if (!engine_) {
+    throw std::logic_error("ShardedFabric::engine before attach");
+  }
+  return *engine_;
+}
+
 Deployment::Deployment(net::SimContext& ctx,
                        const topo::ClosBlueprint& blueprint, Proto proto,
                        DeployOptions options)
@@ -22,6 +87,32 @@ Deployment::Deployment(net::SimContext& ctx,
   } else {
     deploy_bgp(options);
   }
+}
+
+Deployment::Deployment(ShardedFabric& fabric, Proto proto,
+                       DeployOptions options)
+    : ctx_(fabric.ctx(0)),
+      blueprint_(&fabric.blueprint()),
+      proto_(proto),
+      fabric_(&fabric),
+      network_(fabric.ctx(0)) {
+  if (proto_ == Proto::kMtp) {
+    deploy_mtp(options);
+  } else {
+    deploy_bgp(options);
+    // Keepalive-jitter and retry draws onto per-peer streams (and per-BFD-
+    // session streams), seeded by device index — again a pure blueprint
+    // property, invariant under sharding. Must precede start().
+    for (std::uint32_t d = 0; d < router_count(); ++d) {
+      bgp(d).use_stream_rng(util::mix64(fabric.seed() ^ 0x626770ull) ^
+                            util::mix64(static_cast<std::uint64_t>(d)));
+    }
+  }
+  fabric.attach(network_);
+}
+
+net::SimContext& Deployment::device_ctx(std::uint32_t d) {
+  return fabric_ != nullptr ? fabric_->device_ctx(d) : ctx_;
 }
 
 void Deployment::deploy_mtp(const DeployOptions& options) {
@@ -40,7 +131,8 @@ void Deployment::deploy_mtp(const DeployOptions& options) {
         if (hs.leaf == d) cfg.rack_hosts[hs.addr] = base_port + offset++;
       }
     }
-    routers_.push_back(&network_.add_node<mtp::MtpRouter>(spec.name, cfg));
+    routers_.push_back(
+        &network_.add_node_on<mtp::MtpRouter>(device_ctx(d), spec.name, cfg));
   }
 
   add_hosts(options);
@@ -72,8 +164,8 @@ void Deployment::deploy_bgp(const DeployOptions& options) {
     if (spec.role == topo::Role::kLeaf) {
       cfg.originate.push_back(*spec.server_subnet);
     }
-    routers_.push_back(
-        &network_.add_node<bgp::BgpRouter>(spec.name, spec.tier, cfg));
+    routers_.push_back(&network_.add_node_on<bgp::BgpRouter>(
+        device_ctx(d), spec.name, spec.tier, cfg));
   }
 
   add_hosts(options);
@@ -98,12 +190,14 @@ void Deployment::deploy_bgp(const DeployOptions& options) {
 
 void Deployment::add_hosts(const DeployOptions& options) {
   for (const auto& hs : blueprint_->hosts()) {
+    // Hosts follow their ToR's shard: the rack link never crosses threads.
+    net::SimContext& ctx = device_ctx(hs.leaf);
     if (options.vtep_hosts) {
-      hosts_.push_back(&network_.add_node<traffic::VtepHost>(hs.name, hs.addr,
-                                                             24, hs.gateway));
+      hosts_.push_back(&network_.add_node_on<traffic::VtepHost>(
+          ctx, hs.name, hs.addr, 24, hs.gateway));
     } else {
-      hosts_.push_back(
-          &network_.add_node<traffic::Host>(hs.name, hs.addr, 24, hs.gateway));
+      hosts_.push_back(&network_.add_node_on<traffic::Host>(
+          ctx, hs.name, hs.addr, 24, hs.gateway));
     }
   }
 }

@@ -9,10 +9,61 @@
 #include "bgp/router.hpp"
 #include "mtp/router.hpp"
 #include "net/network.hpp"
+#include "sim/parallel.hpp"
 #include "topo/clos.hpp"
 #include "traffic/vxlan.hpp"
 
 namespace mrmtp::harness {
+
+class Deployment;
+
+/// The shard substrate of a parallel deployment: one SimContext per shard
+/// (PoD-affine assignment from topo::make_shard_plan) plus the conservative
+/// engine that advances them in lockstep windows. Construct the fabric first,
+/// hand it to Deployment's sharded constructor, then drive the simulation
+/// through engine().run_until() instead of a single Scheduler.
+///
+/// A one-shard fabric is the determinism reference: it runs the exact same
+/// per-entity RNG streams and event order as an N-shard run, inline on the
+/// calling thread, so per-router counters must match bit for bit.
+class ShardedFabric {
+ public:
+  ShardedFabric(const topo::ClosBlueprint& blueprint, std::uint32_t threads,
+                std::uint64_t seed);
+
+  [[nodiscard]] const topo::ClosBlueprint& blueprint() const {
+    return *blueprint_;
+  }
+  [[nodiscard]] const topo::ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(ctxs_.size());
+  }
+  [[nodiscard]] net::SimContext& ctx(std::uint32_t shard) {
+    return *ctxs_[shard];
+  }
+  /// The owning context of a blueprint device.
+  [[nodiscard]] net::SimContext& device_ctx(std::uint32_t device) {
+    return *ctxs_[plan_.shard_of(device)];
+  }
+
+  /// Called by Deployment once every link is wired: moves all RNG draws onto
+  /// per-entity streams, measures the lookahead (minimum propagation delay
+  /// over shard-crossing links), and builds the engine.
+  void attach(net::Network& network);
+
+  /// Valid after attach(); throws before.
+  [[nodiscard]] sim::ShardedEngine& engine();
+  [[nodiscard]] sim::Duration lookahead() const { return lookahead_; }
+
+ private:
+  const topo::ClosBlueprint* blueprint_;
+  std::uint64_t seed_;
+  topo::ShardPlan plan_;
+  std::vector<std::unique_ptr<net::SimContext>> ctxs_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  sim::Duration lookahead_ = sim::Duration::micros(5);
+};
 
 enum class Proto : std::uint8_t { kMtp, kBgp, kBgpBfd };
 
@@ -35,6 +86,11 @@ class Deployment {
  public:
   Deployment(net::SimContext& ctx, const topo::ClosBlueprint& blueprint,
              Proto proto, DeployOptions options = {});
+
+  /// Sharded deployment: every device is instantiated on its shard's context
+  /// per the fabric's plan (hosts follow their ToR), per-entity RNG streams
+  /// are enabled, and the fabric's engine is built once wiring completes.
+  Deployment(ShardedFabric& fabric, Proto proto, DeployOptions options = {});
 
   [[nodiscard]] Proto proto() const { return proto_; }
   [[nodiscard]] const topo::ClosBlueprint& blueprint() const { return *blueprint_; }
@@ -72,10 +128,14 @@ class Deployment {
   void deploy_bgp(const DeployOptions& options);
   void add_hosts(const DeployOptions& options);
   void wire(const DeployOptions& options);
+  /// The context device `d` lives on: its shard's in a sharded deployment,
+  /// the single shared one otherwise.
+  [[nodiscard]] net::SimContext& device_ctx(std::uint32_t d);
 
   net::SimContext& ctx_;
   const topo::ClosBlueprint* blueprint_;
   Proto proto_;
+  ShardedFabric* fabric_ = nullptr;
   net::Network network_;
   std::vector<net::Node*> routers_;
   std::vector<traffic::Host*> hosts_;

@@ -47,9 +47,264 @@ ByteSnapshot update_bytes(Deployment& dep) {
                                     : bgp_update_bytes(dep);
 }
 
+/// The sharded twin of run_failure_experiment. Structure and event timeline
+/// are identical; the differences are exactly the ones thread-safety forces:
+///
+///   * Instrumentation callbacks write per-shard single-writer slots (merged
+///     after the run) instead of shared locals — a shard only ever touches
+///     its own entry, and the engine's thread joins order those writes
+///     before the merge.
+///   * The pre-failure snapshot (converged(), byte counters, arming the
+///     trackers) reads cross-shard state, so instead of riding an in-band
+///     event at t_fail it runs on this thread while the engine is paused at
+///     t_fail - 1ns. Arming therefore still precedes every event at t_fail,
+///     exactly like the in-band snapshot (which wins t_fail ties by
+///     insertion order).
+///   * Auditor sweeps also read cross-shard state, so the periodic timer is
+///     replaced by pausing the engine at each tick and sweeping inline.
+ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
+  topo::ClosBlueprint blueprint(spec.topo);
+  ShardedFabric fabric(blueprint, std::max<std::uint32_t>(spec.threads, 1),
+                       spec.seed);
+  Deployment dep(fabric, spec.proto, spec.options);
+  sim::ShardedEngine& engine = fabric.engine();
+  const std::uint32_t shards = fabric.shard_count();
+
+  const sim::Time t_traffic = sim::Time::zero() + spec.settle;
+  const sim::Time t_fail = t_traffic + spec.traffic_lead;
+  const sim::Time t_end = t_fail + spec.post_failure;
+  const sim::Time t_run_end = t_end + sim::Duration::millis(200);
+
+  // --- instrumentation (per-shard slots; std::uint8_t, never vector<bool>,
+  // so adjacent shards write distinct memory locations) ---
+  struct Track {
+    std::uint8_t changed_any = 0;
+    std::uint8_t changed_remote = 0;
+  };
+  std::vector<Track> tracks(dep.router_count());
+  std::vector<sim::Time> last_update(shards, sim::Time::zero());
+  std::vector<std::uint64_t> update_events(shards, 0);
+  std::vector<std::uint8_t> detected(shards, 0);
+  std::vector<sim::Time> detect_at(shards, sim::Time::zero());
+  // Written only while the engine is paused; shard threads merely read it.
+  bool armed = false;
+
+  for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+    Track& track = tracks[d];
+    const std::uint32_t s = fabric.plan().shard_of(d);
+    sim::Time* lu = &last_update[s];
+    std::uint64_t* ue = &update_events[s];
+    std::uint8_t* det = &detected[s];
+    sim::Time* dat = &detect_at[s];
+    auto note_detection = [&armed, det, dat](sim::Time at) {
+      if (!armed || *det != 0) return;
+      *det = 1;
+      *dat = at;  // first per shard == earliest per shard (time order)
+    };
+    if (spec.proto == Proto::kMtp) {
+      auto& router = dep.mtp(d);
+      router.on_update_activity = [&armed, lu, ue](sim::Time at) {
+        if (!armed) return;
+        *lu = std::max(*lu, at);
+        ++*ue;
+      };
+      router.on_table_change = [&track, &armed](sim::Time, bool from_update) {
+        if (!armed) return;
+        track.changed_any = 1;
+        if (from_update) track.changed_remote = 1;
+      };
+      router.on_neighbor_down = [note_detection](sim::Time at, std::uint32_t,
+                                                 bool local_detect) {
+        if (local_detect) note_detection(at);
+      };
+    } else {
+      auto& router = dep.bgp(d);
+      router.on_update_activity = [&armed, lu, ue](sim::Time at) {
+        if (!armed) return;
+        *lu = std::max(*lu, at);
+        ++*ue;
+      };
+      router.on_session_down = [note_detection](sim::Time at, ip::Ipv4Addr,
+                                                std::string_view) {
+        note_detection(at);
+      };
+      router.on_rib_change = [&track, &armed](sim::Time) {
+        if (!armed) return;
+        track.changed_any = 1;
+        track.changed_remote = 1;
+      };
+    }
+  }
+
+  dep.start();
+
+  // --- traffic (flow control events belong to the sender's shard) ---
+  traffic::Host* sender = nullptr;
+  traffic::Host* receiver = nullptr;
+  if (spec.with_traffic && dep.host_count() >= 2) {
+    std::uint32_t first = 0;
+    auto last = static_cast<std::uint32_t>(dep.host_count() - 1);
+    sender = &dep.host(spec.reverse_flow ? last : first);
+    receiver = &dep.host(spec.reverse_flow ? first : last);
+    receiver->listen();
+    sender->ctx().sched.schedule_at(t_traffic, [&, sender, receiver] {
+      traffic::FlowConfig flow;
+      flow.dst = receiver->addr();
+      flow.src_port = spec.traffic_src_port;
+      flow.gap = spec.traffic_gap;
+      flow.payload_size = spec.payload_size;
+      sender->start_flow(flow);
+    });
+    sender->ctx().sched.schedule_at(t_end, [sender] { sender->stop_flow(); });
+  }
+
+  // --- failure (the injector and chaos engine route every event to the
+  // owning shard themselves) ---
+  ExperimentResult result;
+  ByteSnapshot before;
+  const topo::FailurePoint fp = blueprint.failure_point(spec.tc);
+  topo::FailureInjector injector(dep.network(), blueprint);
+  topo::ChaosEngine chaos(dep.network(), blueprint, spec.seed);
+  using GrayKind = ExperimentSpec::GraySpec::Kind;
+  switch (spec.gray.kind) {
+    case GrayKind::kNone:
+      injector.schedule_failure(spec.tc, t_fail);
+      break;
+    case GrayKind::kUnidirBlackhole:
+      chaos.blackhole_one_way(fp, spec.gray.toward_device, t_fail);
+      break;
+    case GrayKind::kUnidirLoss:
+      chaos.loss_one_way(fp, spec.gray.toward_device, spec.gray.loss, t_fail);
+      break;
+    case GrayKind::kFlapStorm:
+      chaos.flap_storm(fp, t_fail, spec.gray.flaps, spec.gray.flap_period);
+      break;
+  }
+
+  std::optional<FabricAuditor> auditor;
+  std::vector<sim::Time> audit_ticks;
+  if (spec.audit) {
+    auditor.emplace(dep);
+    for (sim::Time t = t_traffic + spec.audit_period; t <= t_run_end;
+         t = t + spec.audit_period) {
+      audit_ticks.push_back(t);
+    }
+  }
+  std::size_t next_tick = 0;
+  auto run_to = [&](sim::Time target) {
+    while (next_tick < audit_ticks.size() && audit_ticks[next_tick] <= target) {
+      engine.run_until(audit_ticks[next_tick]);
+      auditor->sweep();
+      ++next_tick;
+    }
+    engine.run_until(target);
+  };
+
+  auto wall_start = std::chrono::steady_clock::now();
+  run_to(t_fail - sim::Duration::nanos(1));
+  result.initial_converged = dep.converged();
+  before = update_bytes(dep);
+  armed = true;
+  run_to(t_run_end);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // --- merge the per-shard slots ---
+  sim::Time last_update_merged = sim::Time::zero();
+  std::optional<sim::Time> first_detect;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    result.update_events += update_events[s];
+    last_update_merged = std::max(last_update_merged, last_update[s]);
+    if (detected[s] != 0 && (!first_detect || detect_at[s] < *first_detect)) {
+      first_detect = detect_at[s];
+    }
+  }
+  if (result.update_events > 0) result.convergence = last_update_merged - t_fail;
+  if (first_detect) {
+    result.failure_detected = true;
+    result.detection_latency = *first_detect - t_fail;
+  }
+
+  if (auditor) {
+    result.final_sweep_violations = auditor->sweep();
+    result.audit_sweeps = auditor->sweeps();
+    result.audit_violations =
+        auditor->violations().size() - result.final_sweep_violations;
+  }
+
+  std::uint32_t owner = blueprint.device_index(fp.device);
+  std::uint32_t peer = blueprint.device_index(fp.peer);
+  for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+    if (tracks[d].changed_any != 0) ++result.blast_any;
+    bool remote = tracks[d].changed_remote != 0 && d != owner && d != peer;
+    if (remote) {
+      ++result.blast_remote;
+      if (blueprint.device(d).role == topo::Role::kLeaf) {
+        ++result.blast_leaf_remote;
+      }
+    }
+  }
+
+  ByteSnapshot after = update_bytes(dep);
+  result.ctrl_bytes_raw = after.raw - before.raw;
+  result.ctrl_bytes_padded = after.padded - before.padded;
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const sim::Scheduler& sched = fabric.ctx(s).sched;
+    result.events_fired += sched.events_fired();
+    result.heap_high_water =
+        std::max(result.heap_high_water, sched.heap_high_water());
+    result.sched_reschedules += sched.reschedules();
+    result.sched_compactions += sched.compactions();
+  }
+  if (spec.proto == Proto::kMtp) {
+    for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+      const auto& ms = dep.mtp(d).mtp_stats();
+      result.allocs_avoided += ms.allocs_avoided;
+      result.up_cache_hits += ms.up_cache_hits;
+      result.up_cache_misses += ms.up_cache_misses;
+    }
+  }
+
+  for (const auto& link : dep.network().links()) {
+    const net::Link::Stats& ls = link->stats();
+    for (const net::Link::DirStats* ds : {&ls.ab, &ls.ba}) {
+      result.ctrl_queue_drops += ds->dropped_queue_control;
+      result.data_queue_drops +=
+          ds->dropped_queue_full - ds->dropped_queue_control;
+      result.ctrl_backlog_hw_ns =
+          std::max(result.ctrl_backlog_hw_ns, ds->control_backlog_hw_ns);
+      result.data_backlog_hw_ns =
+          std::max(result.data_backlog_hw_ns, ds->data_backlog_hw_ns);
+    }
+  }
+
+  if (sender != nullptr && receiver != nullptr) {
+    result.packets_sent = sender->packets_sent();
+    const auto& sink = receiver->sink_stats();
+    result.packets_lost = sink.lost(result.packets_sent);
+    result.duplicates = sink.duplicates;
+    result.out_of_order = sink.out_of_order;
+    result.outage = sink.max_gap;
+  }
+
+  const sim::ShardedEngine::Stats& es = engine.stats();
+  result.threads_used = shards;
+  result.sync_windows = es.windows;
+  result.horizon_stalls = es.horizon_stalls;
+  result.cross_shard_frames = es.cross_events;
+  result.mailbox_high_water = es.mailbox_high_water;
+  return result;
+}
+
 }  // namespace
 
 ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
+  if (spec.threads >= 2 || spec.force_parallel_engine) {
+    return run_sharded_experiment(spec);
+  }
   net::SimContext ctx(spec.seed);
   topo::ClosBlueprint blueprint(spec.topo);
   Deployment dep(ctx, blueprint, spec.proto, spec.options);

@@ -18,6 +18,15 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
   DeployOptions options;
 
+  /// Worker shards for the parallel fabric engine. 0 or 1 = the classic
+  /// single-context path, bit-identical to every release so far. >= 2 =
+  /// PoD-sharded conservative engine (clamped to the PoD count). Set
+  /// `force_parallel_engine` to run the sharded machinery even at one shard:
+  /// that configuration is the determinism reference an N-shard run must
+  /// reproduce counter-for-counter.
+  std::uint32_t threads = 0;
+  bool force_parallel_engine = false;
+
   /// Initial convergence allowance before traffic starts.
   sim::Duration settle = sim::Duration::seconds(3);
   /// Traffic lead time before the failure fires.
@@ -116,6 +125,16 @@ struct ExperimentResult {
   std::uint64_t data_queue_drops = 0;
   std::uint64_t ctrl_backlog_hw_ns = 0;
   std::uint64_t data_backlog_hw_ns = 0;
+
+  /// Parallel-engine health (all zero on the classic path): shards actually
+  /// used, barrier windows executed, windows in which some shard had no
+  /// local work before the horizon (pure synchronization overhead), frames
+  /// that crossed a shard mailbox, and the deepest any mailbox ever got.
+  std::uint32_t threads_used = 1;
+  std::uint64_t sync_windows = 0;
+  std::uint64_t horizon_stalls = 0;
+  std::uint64_t cross_shard_frames = 0;
+  std::uint64_t mailbox_high_water = 0;
 };
 
 [[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);

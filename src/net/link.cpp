@@ -4,14 +4,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/parallel.hpp"
+
 namespace mrmtp::net {
 
 Link::Link(SimContext& ctx, Port& a, Port& b, Params params)
-    : ctx_(ctx), a_(&a), b_(&b), params_(params) {
+    : a_(&a), b_(&b), params_(params) {
+  (void)ctx;  // kept for API stability; endpoint contexts are authoritative
   if (a.link_ != nullptr || b.link_ != nullptr) {
     throw std::logic_error("Link: port already wired (" + a.str() + " / " +
                            b.str() + ")");
   }
+  end_ctx_[0] = &a.owner().ctx();
+  end_ctx_[1] = &b.owner().ctx();
   a.link_ = this;
   b.link_ = this;
 }
@@ -31,7 +36,7 @@ void Link::ramp_loss(Dir dir, double target, sim::Duration over) {
   Impairments& im = impair_[static_cast<int>(dir)];
   im.ramp_from = effective_loss(dir);
   im.loss = std::clamp(target, 0.0, 1.0);
-  im.ramp_start = ctx_.now();
+  im.ramp_start = send_ctx(static_cast<int>(dir)).now();
   im.ramp_over = over;
 }
 
@@ -40,10 +45,46 @@ void Link::clear_impairments() {
   impair_[1] = Impairments{};
 }
 
+void Link::clear_impairments(Dir dir) {
+  impair_[static_cast<int>(dir)] = Impairments{};
+}
+
+void Link::use_stream_rng(std::uint64_t seed) {
+  sim::Rng base(seed);
+  stream_rng_[0].emplace(base.fork());
+  stream_rng_[1].emplace(base.fork());
+}
+
+sim::Rng& Link::dir_rng(int dir) {
+  return stream_rng_[dir] ? *stream_rng_[dir] : send_ctx(dir).rng;
+}
+
+void Link::schedule_delivery(int dir, sim::Time at, sim::Scheduler::Callback fn) {
+  SimContext& snd = send_ctx(dir);
+  SimContext& rcv = recv_ctx(dir);
+  if (snd.bus == nullptr) {
+    if (&snd != &rcv) {
+      throw std::logic_error(
+          "Link: endpoints on different contexts but no ShardBus wired");
+    }
+    snd.sched.schedule_at(at, std::move(fn));
+    return;
+  }
+  // Sharded run: every delivery rides the bus so the destination drains
+  // same-instant arrivals in (sender node, sender port, send sequence)
+  // order — the same tie-break at any shard count.
+  const Port& sender = dir == static_cast<int>(Dir::kAToB) ? *a_ : *b_;
+  std::uint64_t order =
+      (static_cast<std::uint64_t>(sender.owner().id()) << 48) |
+      (static_cast<std::uint64_t>(sender.number()) << 32) |
+      tx_seq_[dir]++;
+  snd.bus->post(snd.shard, rcv.shard, at, order, std::move(fn));
+}
+
 double Link::effective_loss(Dir dir) const {
   const Impairments& im = impair_[static_cast<int>(dir)];
   if (im.ramp_over <= sim::Duration{}) return im.loss;
-  sim::Duration elapsed = ctx_.now() - im.ramp_start;
+  sim::Duration elapsed = send_ctx(static_cast<int>(dir)).now() - im.ramp_start;
   if (elapsed >= im.ramp_over) return im.loss;
   if (elapsed <= sim::Duration{}) return im.ramp_from;
   double f = static_cast<double>(elapsed.ns()) /
@@ -79,9 +120,9 @@ void Link::transmit(Port& from, Frame frame) {
 
   // Shared FIFO: tail drop when the output queue (expressed as serialization
   // backlog) is full, i.e. the transmitter is more than max_queue behind.
-  sim::Duration backlog = busy_until_[dir] > ctx_.now()
-                              ? busy_until_[dir] - ctx_.now()
-                              : sim::Duration{};
+  sim::Time now = send_ctx(dir).now();
+  sim::Duration backlog =
+      busy_until_[dir] > now ? busy_until_[dir] - now : sim::Duration{};
   if (backlog > params_.max_queue) {
     ++dstats.dropped_queue_full;
     if (is_control_class(frame.traffic_class)) ++dstats.dropped_queue_control;
@@ -101,7 +142,7 @@ void Link::transmit_priority(int dir, Frame frame) {
   bool control = is_control_class(frame.traffic_class);
   sim::Duration ser = ser_time(frame);
 
-  sim::Time now = ctx_.now();
+  sim::Time now = send_ctx(dir).now();
   sim::Duration residual =
       busy_until_[dir] > now ? busy_until_[dir] - now : sim::Duration{};
 
@@ -134,8 +175,8 @@ void Link::transmit_priority(int dir, Frame frame) {
   band_backlog_[dir][band] = band_backlog_[dir][band] + ser;
   if (!drain_armed_[dir]) {
     drain_armed_[dir] = true;
-    ctx_.sched.schedule_at(std::max(now, busy_until_[dir]),
-                           [this, dir] { drain(dir); });
+    send_ctx(dir).sched.schedule_at(std::max(now, busy_until_[dir]),
+                                    [this, dir] { drain(dir); });
   }
 }
 
@@ -152,7 +193,8 @@ void Link::drain(int dir) {
   band_backlog_[dir][band] = band_backlog_[dir][band] - p.ser;
   serialize_and_send(dir, std::move(p.frame), p.ser);
   if (!bands_[dir][kControlBand].empty() || !bands_[dir][kDataBand].empty()) {
-    ctx_.sched.schedule_at(busy_until_[dir], [this, dir] { drain(dir); });
+    send_ctx(dir).sched.schedule_at(busy_until_[dir],
+                                    [this, dir] { drain(dir); });
   } else {
     drain_armed_[dir] = false;
   }
@@ -164,7 +206,7 @@ void Link::serialize_and_send(int dir, Frame frame, sim::Duration ser) {
   Port& to = dir == static_cast<int>(Dir::kAToB) ? *b_ : *a_;
 
   // Serialization occupies the transmitter; back-to-back frames queue.
-  sim::Time start = std::max(ctx_.now(), busy_until_[dir]);
+  sim::Time start = std::max(send_ctx(dir).now(), busy_until_[dir]);
   busy_until_[dir] = start + ser;
   sim::Time arrival = busy_until_[dir] + params_.delay;
 
@@ -176,18 +218,19 @@ void Link::serialize_and_send(int dir, Frame frame, sim::Duration ser) {
     return;
   }
 
+  sim::Rng& rng = dir_rng(dir);
   if (params_.reorder_jitter > sim::Duration{}) {
     arrival = arrival + sim::Duration::nanos(static_cast<std::int64_t>(
-                  ctx_.rng.below(static_cast<std::uint64_t>(
+                  rng.below(static_cast<std::uint64_t>(
                       params_.reorder_jitter.ns()))));
   }
 
   bool duplicate = params_.duplicate_probability > 0 &&
-                   ctx_.rng.chance(params_.duplicate_probability);
+                   rng.chance(params_.duplicate_probability);
   bool lost = params_.loss_probability > 0 &&
-              ctx_.rng.chance(params_.loss_probability);
+              rng.chance(params_.loss_probability);
   if (!lost && (im.loss > 0 || im.ramp_over > sim::Duration{})) {
-    lost = ctx_.rng.chance(effective_loss(direction));
+    lost = rng.chance(effective_loss(direction));
   }
   if (lost) {
     ++dstats.dropped_impairment;
@@ -202,16 +245,16 @@ void Link::serialize_and_send(int dir, Frame frame, sim::Duration ser) {
     // delivered bytes until the duplicate lands.
     ++dstats.duplicated;
     Frame copy = frame;
-    ctx_.sched.schedule_at(arrival + sim::Duration::micros(1),
-                           [this, &to, &dstats, copy = std::move(copy)]() mutable {
-                             deliver(to, std::move(copy), dstats);
-                           });
+    schedule_delivery(dir, arrival + sim::Duration::micros(1),
+                      [this, &to, &dstats, copy = std::move(copy)]() mutable {
+                        deliver(to, std::move(copy), dstats);
+                      });
   }
   // The last/only delivery moves the frame — no payload copy on transit.
-  ctx_.sched.schedule_at(arrival,
-                         [this, &to, &dstats, frame = std::move(frame)]() mutable {
-                           deliver(to, std::move(frame), dstats);
-                         });
+  schedule_delivery(dir, arrival,
+                    [this, &to, &dstats, frame = std::move(frame)]() mutable {
+                      deliver(to, std::move(frame), dstats);
+                    });
 }
 
 void Link::deliver(Port& to, Frame frame, DirStats& dstats) {
@@ -220,7 +263,7 @@ void Link::deliver(Port& to, Frame frame, DirStats& dstats) {
     return;
   }
   ++dstats.delivered;
-  if (tap_) tap_(ctx_.now(), frame);
+  if (tap_) tap_(to.owner().ctx().now(), frame);
   to.rx_stats().record(frame);
   to.owner().handle_frame(to, std::move(frame));
 }

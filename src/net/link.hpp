@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 
 #include "net/node.hpp"
+#include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace mrmtp::net {
@@ -150,6 +152,16 @@ class Link {
   void ramp_loss(Dir dir, double target, sim::Duration over);
   /// Resets both directions to healthy.
   void clear_impairments();
+  /// Resets one direction. Sharded chaos heals each side on its own shard
+  /// when the endpoints live on different threads.
+  void clear_impairments(Dir dir);
+
+  /// Switches both directions' random draws (jitter / loss / duplication)
+  /// onto private streams derived from `seed`. Sharded deployments enable
+  /// this on every link so the draw sequence each direction sees depends
+  /// only on its own frame order — never on how other entities interleave —
+  /// which is what makes 1-shard and N-shard runs produce identical drops.
+  void use_stream_rng(std::uint64_t seed);
 
   [[nodiscard]] bool blackholed(Dir dir) const {
     return impair_[static_cast<int>(dir)].blackhole;
@@ -205,12 +217,31 @@ class Link {
   }
   [[nodiscard]] sim::Duration ser_time(const Frame& frame) const;
 
-  SimContext& ctx_;
+  /// The context owning direction `dir`'s transmitter (the sending node's
+  /// shard); all serialization state for that direction lives there.
+  [[nodiscard]] SimContext& send_ctx(int dir) const { return *end_ctx_[dir]; }
+  [[nodiscard]] SimContext& recv_ctx(int dir) const {
+    return *end_ctx_[1 - dir];
+  }
+  [[nodiscard]] sim::Rng& dir_rng(int dir);
+  /// Direct schedule in a classic single-context run. In a sharded run every
+  /// delivery — same-shard included — rides the ShardBus under a
+  /// sharding-invariant order key (sender node, port, send sequence), so
+  /// same-instant arrivals at a router break ties identically at any shard
+  /// count.
+  void schedule_delivery(int dir, sim::Time at, sim::Scheduler::Callback fn);
+
+  /// Endpoint contexts: [0] = a's owner, [1] = b's owner. Identical in every
+  /// single-threaded run.
+  SimContext* end_ctx_[2];
   Port* a_;
   Port* b_;
   Params params_;
   Stats stats_;
   Impairments impair_[2];
+  /// Per-direction private draw streams (see use_stream_rng); empty means
+  /// draws come from the sending context's shared rng, the legacy behavior.
+  std::optional<sim::Rng> stream_rng_[2];
   Tap tap_;
   /// Per-direction time the transmitter becomes free (0 = a->b, 1 = b->a).
   sim::Time busy_until_[2];
@@ -221,6 +252,10 @@ class Link {
   sim::Duration band_backlog_[2][2];
   /// True while a drain event is scheduled for the direction.
   bool drain_armed_[2] = {false, false};
+  /// Per-direction delivery send sequence, the low word of the ShardBus
+  /// order key. Counts schedule_delivery calls in the sender's execution
+  /// order — sharding-invariant by construction. Unused in classic runs.
+  std::uint32_t tx_seq_[2] = {0, 0};
 };
 
 }  // namespace mrmtp::net

@@ -20,7 +20,16 @@ class Network {
   /// and registers it. T must derive from Node.
   template <typename T, typename... Args>
   T& add_node(Args&&... args) {
-    auto node = std::make_unique<T>(ctx_, std::forward<Args>(args)...);
+    return add_node_on<T>(ctx_, std::forward<Args>(args)...);
+  }
+
+  /// Same, but the node lives on an explicit context — the sharded harness
+  /// hands each device its owning shard's SimContext here. Node ids follow
+  /// registration order regardless of placement, so a blueprint deploys to
+  /// identical ids no matter how it is sharded.
+  template <typename T, typename... Args>
+  T& add_node_on(SimContext& ctx, Args&&... args) {
+    auto node = std::make_unique<T>(ctx, std::forward<Args>(args)...);
     node->id_ = static_cast<std::uint32_t>(nodes_.size() + 1);
     T& ref = *node;
     nodes_.push_back(std::move(node));

@@ -19,18 +19,27 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
+namespace mrmtp::sim {
+class ShardBus;
+}
+
 namespace mrmtp::net {
 
 class Node;
 class Link;
 
-/// Shared simulation services handed to every node.
+/// Shared simulation services handed to every node. In a sharded run each
+/// shard owns one SimContext (scheduler + clock); `shard`/`bus` identify it
+/// on the cross-shard mailbox fabric. Single-threaded runs keep the defaults
+/// (shard 0, no bus) and every code path degenerates to direct scheduling.
 struct SimContext {
   explicit SimContext(std::uint64_t seed = 1) : rng(seed) {}
 
   sim::Scheduler sched;
   sim::Logger log;
   sim::Rng rng;
+  std::uint32_t shard = 0;
+  sim::ShardBus* bus = nullptr;
 
   [[nodiscard]] sim::Time now() const { return sched.now(); }
 };

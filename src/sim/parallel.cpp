@@ -1,0 +1,226 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+
+namespace mrmtp::sim {
+
+// ---------------------------------------------------------------------------
+// ShardBus
+
+ShardBus::ShardBus(std::uint32_t shards)
+    : shards_(shards),
+      channels_(static_cast<std::size_t>(shards) * shards) {}
+
+void ShardBus::post(std::uint32_t src, std::uint32_t dst, Time at,
+                    std::uint64_t order, std::function<void()> fn) {
+  if (at.ns() < safe_floor_ns_.load(std::memory_order_relaxed)) {
+    throw std::logic_error(
+        "ShardBus: cross-shard post at " + at.str() +
+        " lands inside the executing window (lookahead violation)");
+  }
+  Channel& ch = channel(src, dst);
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(ch.mu);
+    if (ch.q.size() >= kChannelCap) {
+      throw std::runtime_error("ShardBus: channel overflow (runaway loop?)");
+    }
+    ch.q.push_back(CrossEvent{at, order, ch.next_seq++, std::move(fn)});
+    depth = ch.q.size();
+  }
+  posted_.fetch_add(1, std::memory_order_relaxed);
+  if (src != dst) cross_posted_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  while (depth > hw &&
+         !high_water_.compare_exchange_weak(hw, depth,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t ShardBus::drain(std::uint32_t dst, Scheduler& into) {
+  struct Tagged {
+    Time at;
+    std::uint64_t order;
+    std::uint32_t src;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::vector<Tagged> batch;
+  for (std::uint32_t src = 0; src < shards_; ++src) {
+    Channel& ch = channel(src, dst);
+    std::vector<CrossEvent> q;
+    {
+      std::lock_guard lock(ch.mu);
+      q.swap(ch.q);
+    }
+    batch.reserve(batch.size() + q.size());
+    for (auto& e : q) {
+      batch.push_back(Tagged{e.at, e.order, src, e.seq, std::move(e.fn)});
+    }
+  }
+  // The determinism tie-break: same-instant arrivals enter the destination
+  // scheduler in poster-supplied order-key order — a pure function of the
+  // blueprint (sender node, port, send sequence), never of thread timing or
+  // of how the fabric happens to be sharded. (src, seq) is only a stable
+  // fallback for posters that share an order key.
+  std::sort(batch.begin(), batch.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.order != b.order) return a.order < b.order;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (auto& e : batch) {
+    into.schedule_at(e.at, std::move(e.fn));
+  }
+  return batch.size();
+}
+
+std::optional<Time> ShardBus::pending_min(std::uint32_t dst) {
+  std::optional<Time> best;
+  for (std::uint32_t src = 0; src < shards_; ++src) {
+    Channel& ch = channel(src, dst);
+    std::lock_guard lock(ch.mu);
+    for (const auto& e : ch.q) {
+      if (!best || e.at < *best) best = e.at;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine
+
+struct ShardedEngine::PlanStep {
+  ShardedEngine* eng;
+  Time deadline;
+  void operator()() const noexcept { eng->plan_window(deadline); }
+};
+
+struct ShardedEngine::SyncState {
+  std::barrier<PlanStep> plan;  // drain + publish-min rendezvous
+  std::barrier<> post;          // end-of-window rendezvous
+  SyncState(std::ptrdiff_t n, PlanStep step) : plan(n, step), post(n) {}
+};
+
+ShardedEngine::ShardedEngine(std::vector<Scheduler*> shards, Options options)
+    : shards_(std::move(shards)),
+      options_(options),
+      bus_(static_cast<std::uint32_t>(shards_.size())),
+      local_min_(shards_.size()),
+      shard_stalls_(shards_.size(), 0) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ShardedEngine: no shards");
+  }
+  for (Scheduler* s : shards_) {
+    if (s == nullptr) {
+      throw std::invalid_argument("ShardedEngine: null shard scheduler");
+    }
+  }
+  if (options_.lookahead <= Duration{}) {
+    // Even a 1-shard engine runs the window loop (see run_single), and a
+    // window of zero width would never make progress.
+    throw std::invalid_argument(
+        "ShardedEngine: runs need positive lookahead");
+  }
+}
+
+void ShardedEngine::plan_window(Time deadline) {
+  std::optional<Time> m;
+  for (const auto& lm : local_min_) {
+    if (lm && (!m || *lm < *m)) m = *lm;
+  }
+  ++stats_.windows;
+  if (!m || *m + options_.lookahead > deadline) {
+    // Nothing pending, or the horizon clears the deadline: every shard can
+    // finish inclusively — any message a remaining event generates arrives
+    // at >= m + lookahead > deadline, i.e. beyond this run entirely.
+    phase_ = Phase::kFinal;
+    window_end_ = deadline;
+    bus_.set_safe_floor(deadline + Duration::nanos(1));
+  } else {
+    phase_ = Phase::kWindow;
+    window_end_ = *m + options_.lookahead;
+    bus_.set_safe_floor(window_end_);
+  }
+}
+
+void ShardedEngine::shard_loop(std::uint32_t s, Time deadline,
+                               SyncState& sync) {
+  Scheduler& sched = *shards_[s];
+  std::uint64_t stalls = 0;
+  for (;;) {
+    bus_.drain(s, sched);
+    local_min_[s] = sched.next_time();
+    sync.plan.arrive_and_wait();  // completion ran plan_window()
+    if (phase_ == Phase::kFinal) {
+      sched.run_until(deadline);
+      break;
+    }
+    if (!local_min_[s] || *local_min_[s] >= window_end_) ++stalls;
+    // Exclusive window: events strictly before window_end_ are safe; an
+    // event at exactly window_end_ could still be preceded by a bus
+    // arrival at the same instant, so it waits for the next window.
+    sched.run_until(window_end_ - Duration::nanos(1));
+    sync.post.arrive_and_wait();
+  }
+  shard_stalls_[s] = stalls;
+}
+
+void ShardedEngine::run_single(Time deadline) {
+  // One shard, no threads — but the SAME window loop as the parallel path.
+  // The window sequence is derived from the global event-time minimum, a
+  // property of the simulation itself, so 1-shard and N-shard runs drain the
+  // bus at identical instants and break same-time ties identically. That is
+  // the whole determinism contract; a plain run_until here would interleave
+  // bus arrivals by insertion order instead and diverge from sharded runs.
+  Scheduler& sched = *shards_[0];
+  std::uint64_t stalls = 0;
+  for (;;) {
+    bus_.drain(0, sched);
+    local_min_[0] = sched.next_time();
+    plan_window(deadline);
+    if (phase_ == Phase::kFinal) {
+      sched.run_until(deadline);
+      break;
+    }
+    if (!local_min_[0] || *local_min_[0] >= window_end_) ++stalls;
+    sched.run_until(window_end_ - Duration::nanos(1));
+  }
+  stats_.horizon_stalls += stalls;
+}
+
+void ShardedEngine::run_until(Time deadline) {
+  if (shards_.size() == 1) {
+    run_single(deadline);
+    stats_.cross_events = bus_.cross_posted();  // zero by construction
+    stats_.mailbox_high_water =
+        std::max<std::uint64_t>(stats_.mailbox_high_water,
+                                bus_.channel_high_water());
+    return;
+  }
+  for (auto& lm : local_min_) lm.reset();
+  std::fill(shard_stalls_.begin(), shard_stalls_.end(), 0);
+
+  SyncState sync(static_cast<std::ptrdiff_t>(shards_.size()),
+                 PlanStep{this, deadline});
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    threads.emplace_back(
+        [this, s, deadline, &sync] { shard_loop(s, deadline, sync); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    stats_.horizon_stalls += shard_stalls_[s];
+  }
+  stats_.cross_events = bus_.cross_posted();
+  stats_.mailbox_high_water =
+      std::max<std::uint64_t>(stats_.mailbox_high_water,
+                              bus_.channel_high_water());
+}
+
+}  // namespace mrmtp::sim

@@ -1,0 +1,206 @@
+// Sharded conservative parallel discrete-event engine (PDES).
+//
+// The folded-Clos fabric partitions naturally by PoD: every frame that
+// crosses a shard boundary rides a link with a propagation delay of at least
+// `lookahead`, so a shard can safely execute every event strictly earlier
+// than (global earliest pending event + lookahead) without ever receiving a
+// message into its past. The engine runs one sim::Scheduler per shard on its
+// own thread and synchronizes with a barrier-window protocol:
+//
+//   repeat:
+//     (quiescent) each shard drains its inbound mailboxes, sorted by
+//         (arrival time, order key) — the determinism tie-break — and
+//         publishes its earliest pending event time
+//     barrier: one thread folds the published times into the global minimum
+//         m and the next safe horizon W = min(m + lookahead, deadline)
+//     each shard fires its events with time < W in parallel
+//     barrier
+//
+// Frame deliveries travel through bounded SPSC mailboxes, one per directed
+// shard pair: only the source shard's thread posts, and only the destination
+// shard drains — at window boundaries, while every producer is parked at the
+// barrier. A post whose timestamp lands inside the window being executed
+// would be a causality violation; the bus throws instead of corrupting the
+// run (it means the configured lookahead overstates the real minimum link
+// delay).
+//
+// Determinism. Same-instant arrivals at one router are a real tie: whichever
+// runs first can change an ECMP choice or a dead declaration. A sharded run
+// therefore makes the tie-break a pure function of the blueprint, never of
+// thread timing or sharding:
+//
+//   * EVERY link delivery — same-shard ones included — rides the bus and is
+//     drained in (arrival time, order key) order, where the order key is
+//     (sender node id, sender port, per-direction sequence). The lookahead
+//     is correspondingly the minimum delay over ALL links, so a window can
+//     never out-run a same-shard delivery either.
+//   * A single-shard engine executes the very same window loop inline on
+//     the calling thread: drain boundaries — and hence every frame-vs-timer
+//     interleaving — are identical at any shard count, because the window
+//     sequence is derived from the global event-time minimum, a property of
+//     the simulation rather than of its partitioning.
+//   * Every random decision draws from a per-entity stream (see
+//     net::Link::use_stream_rng and the sharded harness::Deployment), so
+//     each draw depends only on that entity's own event order.
+//
+// The sequential engine (no ShardBus wired into the SimContext) is entirely
+// untouched: links schedule deliveries directly and behavior stays
+// bit-identical to prior releases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace mrmtp::sim {
+
+/// One event in flight between shards.
+struct CrossEvent {
+  Time at;
+  /// Sharding-invariant tie-break for same-instant arrivals: posters derive
+  /// it from stable identity + send order (links use
+  /// (node id << 48) | (port << 32) | tx sequence).
+  std::uint64_t order = 0;
+  std::uint64_t seq = 0;  // per-channel arrival order, the final fallback
+  std::function<void()> fn;
+};
+
+/// Mailboxes for every directed shard pair. post() is called by the source
+/// shard's thread mid-window; drain() by the destination's thread while all
+/// producers are parked at the barrier, so each channel is single-producer /
+/// single-consumer with a mutex only guarding the post/drain edge.
+class ShardBus {
+ public:
+  /// Hard per-channel bound; a fabric window can never legitimately buffer
+  /// this many frames, so hitting it means a runaway loop, not load.
+  static constexpr std::size_t kChannelCap = 1u << 20;
+
+  explicit ShardBus(std::uint32_t shards);
+
+  /// Queues `fn` to run on shard `dst` at simulated time `at`. Throws if
+  /// `at` precedes the window currently being executed (lookahead violation)
+  /// or the channel overflows. `order` breaks same-instant ties in drain and
+  /// must be derived from sharding-invariant identity (see CrossEvent).
+  void post(std::uint32_t src, std::uint32_t dst, Time at,
+            std::uint64_t order, std::function<void()> fn);
+
+  /// Moves every pending event bound for `dst` into its scheduler, ordered
+  /// by (at, order). Caller must guarantee quiescence (barrier). Returns the
+  /// number of events delivered.
+  std::size_t drain(std::uint32_t dst, Scheduler& into);
+
+  /// Earliest pending arrival bound for `dst` (quiescent callers only).
+  [[nodiscard]] std::optional<Time> pending_min(std::uint32_t dst);
+
+  [[nodiscard]] std::uint64_t posted() const {
+    return posted_.load(std::memory_order_relaxed);
+  }
+  /// Posts whose source and destination shard differ (true cross-thread
+  /// traffic; the rest only ride the bus for the deterministic tie-break).
+  [[nodiscard]] std::uint64_t cross_posted() const {
+    return cross_posted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t channel_high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// The lower bound below which a post is a causality violation; the engine
+  /// advances it to each window's end before releasing the shard threads.
+  void set_safe_floor(Time at) {
+    safe_floor_ns_.store(at.ns(), std::memory_order_relaxed);
+  }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::uint64_t next_seq = 0;
+    std::vector<CrossEvent> q;
+  };
+
+  Channel& channel(std::uint32_t src, std::uint32_t dst) {
+    return channels_[src * shards_ + dst];
+  }
+
+  std::uint32_t shards_;
+  std::vector<Channel> channels_;
+  std::atomic<std::uint64_t> posted_{0};
+  std::atomic<std::uint64_t> cross_posted_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::int64_t> safe_floor_ns_{0};
+};
+
+/// Orchestrates N shard schedulers. Construct once per simulation; callers
+/// may invoke run_until repeatedly with increasing deadlines (the harness
+/// pauses at the failure instant to snapshot fabric-wide state without
+/// racing the shard threads).
+class ShardedEngine {
+ public:
+  struct Options {
+    /// Minimum propagation delay over every link (all deliveries ride the
+    /// bus, see the file comment). The safety of the whole protocol rests
+    /// on this bound; the sharded Deployment computes it from the wired
+    /// topology instead of trusting a default.
+    Duration lookahead = Duration::micros(5);
+  };
+
+  /// Merged synchronization counters (stable after run_until returns).
+  struct Stats {
+    std::uint64_t windows = 0;         // barrier windows executed
+    std::uint64_t horizon_stalls = 0;  // shard-windows with nothing to fire
+    std::uint64_t cross_events = 0;    // posts that crossed shard threads
+    std::uint64_t mailbox_high_water = 0;
+  };
+
+  ShardedEngine(std::vector<Scheduler*> shards, Options options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] ShardBus& bus() { return bus_; }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Runs every shard until `deadline` (inclusive, like Scheduler::run_until)
+  /// and advances all shard clocks to it. Spawns one thread per shard for
+  /// the duration of the call; a single-shard engine runs the same window
+  /// loop inline on the calling thread (identical drain boundaries are part
+  /// of the determinism contract).
+  void run_until(Time deadline);
+
+ private:
+  enum class Phase : std::uint8_t { kWindow, kFinal };
+
+  struct PlanStep;   // barrier completion step; defined in parallel.cpp
+  struct SyncState;  // per-run barrier pair; defined in parallel.cpp
+
+  /// Barrier completion step: folds published minima into the next window.
+  void plan_window(Time deadline);
+  void shard_loop(std::uint32_t s, Time deadline, SyncState& sync);
+  void run_single(Time deadline);
+
+  std::vector<Scheduler*> shards_;
+  Options options_;
+  ShardBus bus_;
+  Stats stats_;
+
+  // Window state shared across shard threads. local_min_ slots are each
+  // written by exactly one thread between barriers; phase_/window_end_ are
+  // written only inside barrier completion (all threads parked) and read
+  // between barriers. Per-shard counter slots likewise have one writer and
+  // are merged into stats_ after the threads join.
+  std::vector<std::optional<Time>> local_min_;
+  Phase phase_ = Phase::kWindow;
+  Time window_end_{};
+  std::vector<std::uint64_t> shard_stalls_;
+};
+
+}  // namespace mrmtp::sim

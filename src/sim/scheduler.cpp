@@ -86,6 +86,24 @@ bool Scheduler::reschedule(EventId id, Time at) {
   return true;
 }
 
+std::optional<Time> Scheduler::next_time() {
+  while (!heap_.empty()) {
+    Entry e = heap_.front();
+    auto it = callbacks_.find(e.seq);
+    if (it == callbacks_.end()) {
+      pop_entry();  // cancelled; discard lazily
+      continue;
+    }
+    if (it->second.at != e.at) {
+      pop_entry();
+      push_entry(Entry{it->second.at, e.seq});
+      continue;
+    }
+    return e.at;
+  }
+  return std::nullopt;
+}
+
 bool Scheduler::step() {
   while (!heap_.empty()) {
     Entry e = heap_.front();

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,11 @@ class Scheduler {
   /// false if the event already fired or was cancelled. O(1) when the
   /// deadline moves later — the per-frame keep-alive reset path.
   bool reschedule(EventId id, Time at);
+
+  /// Deadline of the earliest live event, or empty when none is pending.
+  /// Lazily discards stale heap heads, so it is not const; the sharded
+  /// engine calls this at every barrier to compute the global safe horizon.
+  [[nodiscard]] std::optional<Time> next_time();
 
   /// Fires the next event; returns false when the queue is empty.
   bool step();

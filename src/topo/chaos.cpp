@@ -7,6 +7,16 @@
 
 namespace mrmtp::topo {
 
+namespace {
+/// The context owning direction `dir`'s sender state. Impairments are read
+/// by the sending side's transmitter, so chaos must mutate them on that
+/// node's shard — never on the engine's setup context.
+net::SimContext& sender_ctx(net::Link& link, net::Link::Dir dir) {
+  net::Port& from = dir == net::Link::Dir::kAToB ? link.a() : link.b();
+  return from.owner().ctx();
+}
+}  // namespace
+
 std::string_view to_string(GrayKind kind) {
   switch (kind) {
     case GrayKind::kUnidirBlackhole: return "unidir-blackhole";
@@ -77,7 +87,7 @@ void ChaosEngine::blackhole_one_way(const FailurePoint& fp, bool toward_device,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              (toward_device ? " blackhole toward " : " blackhole away from ") +
              fp.device);
-  network_.ctx().sched.schedule_at(
+  sender_ctx(link, dir).sched.schedule_at(
       at, [&link, dir] { link.set_blackhole(dir, true); });
 }
 
@@ -89,8 +99,8 @@ void ChaosEngine::loss_one_way(const FailurePoint& fp, bool toward_device,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              " one-way loss " + std::to_string(p) +
              (toward_device ? " toward " : " away from ") + fp.device);
-  network_.ctx().sched.schedule_at(at,
-                                   [&link, dir, p] { link.set_loss(dir, p); });
+  sender_ctx(link, dir).sched.schedule_at(
+      at, [&link, dir, p] { link.set_loss(dir, p); });
 }
 
 void ChaosEngine::degradation_ramp(const FailurePoint& fp, bool toward_device,
@@ -104,7 +114,7 @@ void ChaosEngine::degradation_ramp(const FailurePoint& fp, bool toward_device,
   record(at + over, GrayKind::kDegradationRamp, ChaosPhase::kRampComplete,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              " ramp reached " + std::to_string(target));
-  network_.ctx().sched.schedule_at(
+  sender_ctx(link, dir).sched.schedule_at(
       at, [&link, dir, target, over] { link.ramp_loss(dir, target, over); });
 }
 
@@ -116,13 +126,15 @@ void ChaosEngine::flap_storm(const FailurePoint& fp, sim::Time at, int flaps,
   record(at + period * flaps, GrayKind::kFlapStorm, ChaosPhase::kHeal,
          fp.device + ":" + std::to_string(fp.port) + " flap storm complete");
   FailurePoint copy = fp;  // by value: records are independent of callers
+  // Admin flaps mutate the device's own port state: its shard runs them.
+  net::SimContext& ctx = network_.find(fp.device).ctx();
   for (int f = 0; f < flaps; ++f) {
     sim::Time down_at = at + period * f;
     sim::Time up_at = down_at + period / 2;
-    network_.ctx().sched.schedule_at(down_at, [this, copy] {
+    ctx.sched.schedule_at(down_at, [this, copy] {
       network_.find(copy.device).set_interface_down(copy.port);
     });
-    network_.ctx().sched.schedule_at(up_at, [this, copy] {
+    ctx.sched.schedule_at(up_at, [this, copy] {
       network_.find(copy.device).set_interface_up(copy.port);
     });
   }
@@ -150,7 +162,7 @@ void ChaosEngine::correlated_blackhole(const std::string& device, int links,
                     blueprint_.device(peer).name};
     net::Link& link = link_of(fp);
     net::Link::Dir dir = dir_of(fp, /*toward_device=*/true);
-    network_.ctx().sched.schedule_at(
+    sender_ctx(link, dir).sched.schedule_at(
         at, [&link, dir] { link.set_blackhole(dir, true); });
   }
   record(at, GrayKind::kCorrelatedBlackhole, ChaosPhase::kOnset,
@@ -162,7 +174,17 @@ void ChaosEngine::heal(const FailurePoint& fp, sim::Time at, GrayKind healed) {
   record(at, healed, ChaosPhase::kHeal,
          fp.device + ":" + std::to_string(fp.port) + " <-> " + fp.peer +
              " healed");
-  network_.ctx().sched.schedule_at(at, [&link] { link.clear_impairments(); });
+  net::SimContext& actx = sender_ctx(link, net::Link::Dir::kAToB);
+  net::SimContext& bctx = sender_ctx(link, net::Link::Dir::kBToA);
+  if (&actx == &bctx) {
+    actx.sched.schedule_at(at, [&link] { link.clear_impairments(); });
+  } else {
+    // Endpoints on different shards: each direction heals on its sender.
+    actx.sched.schedule_at(
+        at, [&link] { link.clear_impairments(net::Link::Dir::kAToB); });
+    bctx.sched.schedule_at(
+        at, [&link] { link.clear_impairments(net::Link::Dir::kBToA); });
+  }
 }
 
 FailurePoint ChaosEngine::random_fabric_point() {
@@ -204,7 +226,7 @@ std::string ChaosEngine::congestion_storm(const StormSpec& spec, sim::Time at) {
     throw std::logic_error("ChaosEngine: " + victim.name +
                            " is not a traffic::Host");
   }
-  network_.ctx().sched.schedule_at(at, [sink] { sink->listen(); });
+  sink->ctx().sched.schedule_at(at, [sink] { sink->listen(); });
   for (int i = 0; i < n; ++i) {
     const HostSpec& spec_src = hosts[candidates[static_cast<std::size_t>(i)]];
     auto* src = dynamic_cast<traffic::Host*>(&network_.find(spec_src.name));
@@ -213,9 +235,8 @@ std::string ChaosEngine::congestion_storm(const StormSpec& spec, sim::Time at) {
     flow.dst = victim.addr;
     flow.gap = spec.gap;
     flow.payload_size = spec.payload_size;
-    network_.ctx().sched.schedule_at(at, [src, flow] { src->start_flow(flow); });
-    network_.ctx().sched.schedule_at(at + spec.duration,
-                                     [src] { src->stop_flow(); });
+    src->ctx().sched.schedule_at(at, [src, flow] { src->start_flow(flow); });
+    src->ctx().sched.schedule_at(at + spec.duration, [src] { src->stop_flow(); });
   }
   return victim.name;
 }

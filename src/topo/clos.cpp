@@ -1,5 +1,6 @@
 #include "topo/clos.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mrmtp::topo {
@@ -331,6 +332,29 @@ util::Json ClosBlueprint::mtp_config() const {
   }
   topo["pods"] = util::Json(std::move(pods));
   return cfg;
+}
+
+ShardPlan make_shard_plan(const ClosBlueprint& blueprint,
+                          std::uint32_t shards) {
+  const ClosParams& p = blueprint.params();
+  std::uint32_t global_pods = p.clusters * p.pods;
+  ShardPlan plan;
+  plan.shards = std::clamp<std::uint32_t>(shards, 1,
+                                          std::max<std::uint32_t>(global_pods, 1));
+  plan.device_shard.resize(blueprint.devices().size(), 0);
+
+  std::uint32_t spine_rr = 0;  // round-robin cursor for pod-less tiers
+  for (std::uint32_t d = 0; d < blueprint.devices().size(); ++d) {
+    const DeviceSpec& spec = blueprint.device(d);
+    if (spec.pod > 0) {
+      std::uint32_t cluster = std::max<std::uint32_t>(spec.cluster, 1);
+      std::uint32_t global_pod = (cluster - 1) * p.pods + (spec.pod - 1);
+      plan.device_shard[d] = global_pod % plan.shards;
+    } else {
+      plan.device_shard[d] = spine_rr++ % plan.shards;
+    }
+  }
+  return plan;
 }
 
 }  // namespace mrmtp::topo

@@ -113,6 +113,28 @@ struct FailurePoint {
   std::string peer;  // informational: the device on the other end
 };
 
+class ClosBlueprint;
+
+/// Device-to-shard assignment for the parallel fabric engine. PoD-affine:
+/// every leaf and pod spine of a PoD (plus its hosts, which follow their
+/// ToR) lands on one shard, so rack-local traffic never crosses threads;
+/// top and super spines — whose links all cross PoDs anyway — round-robin
+/// across shards to balance the interconnect load.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// Shard of each blueprint device, indexed like ClosBlueprint::devices().
+  std::vector<std::uint32_t> device_shard;
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t device) const {
+    return device_shard[device];
+  }
+};
+
+/// Builds the PoD-affine plan; `shards` is clamped to [1, pod count] so no
+/// shard is left without a PoD (an idle shard only adds barrier latency).
+[[nodiscard]] ShardPlan make_shard_plan(const ClosBlueprint& blueprint,
+                                        std::uint32_t shards);
+
 class ClosBlueprint {
  public:
   explicit ClosBlueprint(ClosParams params);

@@ -22,9 +22,12 @@ class FailureInjector {
   void schedule_failure(TestCase tc, sim::Time at) {
     point_ = blueprint_.failure_point(tc);
     FailurePoint fp = *point_;
-    network_.ctx().sched.schedule_at(at, [this, fp] {
-      failed_at_ = network_.ctx().now();
-      network_.find(fp.device).set_interface_down(fp.port);
+    // Interface state belongs to the device's shard: schedule (and stamp the
+    // failure instant) on its own context so sharded runs never cross it.
+    network_.find(fp.device).ctx().sched.schedule_at(at, [this, fp] {
+      net::Node& node = network_.find(fp.device);
+      failed_at_ = node.ctx().now();
+      node.set_interface_down(fp.port);
     });
   }
 
@@ -37,7 +40,7 @@ class FailureInjector {
           "FailureInjector::schedule_recovery before schedule_failure");
     }
     FailurePoint fp = *point_;
-    network_.ctx().sched.schedule_at(at, [this, fp] {
+    network_.find(fp.device).ctx().sched.schedule_at(at, [this, fp] {
       network_.find(fp.device).set_interface_up(fp.port);
     });
   }
@@ -45,9 +48,9 @@ class FailureInjector {
   /// Whole-router failure (§IX "extended failure test cases"): every
   /// interface of `device` goes down at `at`, like a crashed/rebooted node.
   void schedule_node_failure(const std::string& device, sim::Time at) {
-    network_.ctx().sched.schedule_at(at, [this, device] {
-      failed_at_ = network_.ctx().now();
+    network_.find(device).ctx().sched.schedule_at(at, [this, device] {
       net::Node& node = network_.find(device);
+      failed_at_ = node.ctx().now();
       for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
         node.set_interface_down(p);
       }
@@ -55,7 +58,7 @@ class FailureInjector {
   }
 
   void schedule_node_recovery(const std::string& device, sim::Time at) {
-    network_.ctx().sched.schedule_at(at, [this, device] {
+    network_.find(device).ctx().sched.schedule_at(at, [this, device] {
       net::Node& node = network_.find(device);
       for (std::uint32_t p = 1; p <= node.port_count(); ++p) {
         node.set_interface_up(p);

@@ -1,0 +1,290 @@
+// Parallel fabric engine: ShardBus/ShardedEngine unit behavior, and the
+// determinism contract — an N-shard run must reproduce the 1-shard sharded
+// run counter-for-counter (per-link Link::Stats, per-router VID tables,
+// traffic outcomes, FabricAuditor verdicts) on a chaotic 8-PoD fabric under
+// both MR-MTP and BGP/ECMP/BFD.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/auditor.hpp"
+#include "harness/deploy.hpp"
+#include "harness/experiment.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/chaos.hpp"
+#include "topo/failure.hpp"
+#include "traffic/host.hpp"
+
+namespace mrmtp {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(ShardBus, DrainsInTimeOrderKeyOrder) {
+  sim::ShardBus bus(3);
+  std::vector<int> order;
+  const Time t1 = Time::from_ns(100);
+  const Time t2 = Time::from_ns(200);
+  // Same timestamp from two sources, posted in "wrong" wall-clock order: the
+  // drain must honor (at, order key), never post order or source shard. Note
+  // the key that contradicts source order — src 2 carries a LOWER key than
+  // src 1 at the same instant.
+  bus.post(1, 0, t2, /*order=*/10, [&] { order.push_back(4); });
+  bus.post(1, 0, t1, /*order=*/30, [&] { order.push_back(2); });
+  bus.post(2, 0, t1, /*order=*/20, [&] { order.push_back(1); });
+  bus.post(2, 0, t1, /*order=*/40, [&] { order.push_back(3); });
+
+  sim::Scheduler sched;
+  EXPECT_EQ(bus.drain(0, sched), 4u);
+  sched.run_until(t2);
+  // (t1, key 20) before (t1, key 30) before (t1, key 40), then t2.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(bus.posted(), 4u);
+  EXPECT_EQ(bus.cross_posted(), 4u);
+}
+
+TEST(ShardBus, PostBelowSafeFloorThrows) {
+  sim::ShardBus bus(2);
+  bus.set_safe_floor(Time::from_ns(1000));
+  EXPECT_THROW(bus.post(0, 1, Time::from_ns(999), 0, [] {}),
+               std::logic_error);
+  EXPECT_NO_THROW(bus.post(0, 1, Time::from_ns(1000), 0, [] {}));
+}
+
+TEST(ShardedEngine, SingleShardRunsInline) {
+  sim::Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(Time::from_ns(50), [&] { ++fired; });
+  sim::ShardedEngine engine({&sched}, {});
+  engine.run_until(Time::from_ns(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), Time::from_ns(100));
+}
+
+TEST(ShardedEngine, CrossShardPingPongRespectsLookahead) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::ShardedEngine engine({&a, &b},
+                            {.lookahead = Duration::micros(5)});
+  std::vector<std::pair<int, std::int64_t>> log;  // (shard, fired at ns)
+
+  // a -> b -> a -> ... each hop one lookahead later, like frames bouncing
+  // across a cross-shard link.
+  std::function<void(int, Time)> hop = [&](int on, Time at) {
+    log.emplace_back(on, at.ns());
+    if (log.size() >= 6) return;
+    int next = 1 - on;
+    Time when = at + Duration::micros(5);
+    engine.bus().post(static_cast<std::uint32_t>(on),
+                      static_cast<std::uint32_t>(next), when,
+                      /*order=*/log.size(),
+                      [&, next, when] { hop(next, when); });
+  };
+  a.schedule_at(Time::from_ns(0), [&] { hop(0, Time::from_ns(0)); });
+
+  engine.run_until(Time::zero() + Duration::micros(100));
+  ASSERT_EQ(log.size(), 6u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].first, static_cast<int>(i % 2));
+    EXPECT_EQ(log[i].second, static_cast<std::int64_t>(i) * 5000);
+  }
+  EXPECT_GT(engine.stats().windows, 0u);
+  EXPECT_EQ(engine.stats().cross_events, 5u);
+  EXPECT_EQ(a.now(), Time::zero() + Duration::micros(100));
+  EXPECT_EQ(b.now(), Time::zero() + Duration::micros(100));
+}
+
+TEST(ShardedEngine, RepeatedRunUntilResumes) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::ShardedEngine engine({&a, &b}, {});
+  int fired = 0;
+  a.schedule_at(Time::from_ns(10), [&] { ++fired; });
+  b.schedule_at(Time::from_ns(2000), [&] { ++fired; });
+  engine.run_until(Time::from_ns(1000));
+  EXPECT_EQ(fired, 1);
+  engine.run_until(Time::from_ns(3000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardPlan, PodAffineAndClamped) {
+  topo::ClosBlueprint bp(topo::ClosParams{8, 2, 2, 4, 1});
+  topo::ShardPlan plan = topo::make_shard_plan(bp, 64);
+  EXPECT_EQ(plan.shards, 8u);  // clamped to the PoD count
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    if (spec.pod == 0) continue;  // top spines round-robin
+    // Every device of one PoD shares a shard.
+    EXPECT_EQ(plan.shard_of(d),
+              plan.shard_of(bp.leaf(spec.pod, 1)))
+        << spec.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract. One scenario, run at different shard counts,
+// snapshotting every counter the fabric exposes.
+
+struct FabricSnapshot {
+  std::vector<std::vector<std::uint64_t>> link_stats;  // per link, flattened
+  std::vector<std::vector<std::pair<std::string, std::uint32_t>>> vid_tables;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t duplicates = 0;
+  std::size_t final_violations = 0;
+  bool converged_before_fail = false;
+
+  bool operator==(const FabricSnapshot&) const = default;
+};
+
+std::vector<std::uint64_t> flatten(const net::Link::Stats& s) {
+  std::vector<std::uint64_t> out;
+  for (const net::Link::DirStats* d : {&s.ab, &s.ba}) {
+    out.insert(out.end(),
+               {d->delivered, d->dropped_link_down, d->dropped_dst_down,
+                d->dropped_impairment, d->dropped_blackhole,
+                d->dropped_queue_full, d->duplicated,
+                d->dropped_queue_control});
+  }
+  return out;
+}
+
+FabricSnapshot run_chaotic_scenario(harness::Proto proto,
+                                    std::uint32_t threads) {
+  topo::ClosBlueprint blueprint(topo::ClosParams{8, 2, 2, 4, 1});
+  harness::ShardedFabric fabric(blueprint, threads, /*seed=*/11);
+  harness::Deployment dep(fabric, proto);
+  sim::ShardedEngine& engine = fabric.engine();
+
+  const Time t_traffic = Time::zero() + Duration::seconds(3);
+  const Time t_fail = t_traffic + Duration::millis(500);
+  const Time t_end = t_fail + Duration::seconds(3);
+
+  dep.start();
+
+  traffic::Host& sender = dep.host(0);
+  traffic::Host& receiver =
+      dep.host(static_cast<std::uint32_t>(dep.host_count() - 1));
+  receiver.listen();
+  sender.ctx().sched.schedule_at(t_traffic, [&] {
+    traffic::FlowConfig flow;
+    flow.dst = receiver.addr();
+    flow.gap = Duration::millis(3);
+    sender.start_flow(flow);
+  });
+  sender.ctx().sched.schedule_at(t_end, [&] { sender.stop_flow(); });
+
+  // Chaos: a 40% gray loss toward the TC1 device plus a clean TC3
+  // interface-down — cross-shard state churn under impaired links.
+  topo::ChaosEngine chaos(dep.network(), blueprint, /*seed=*/11);
+  chaos.loss_one_way(blueprint.failure_point(topo::TestCase::kTC1),
+                     /*toward_device=*/true, 0.4, t_fail);
+  topo::FailureInjector injector(dep.network(), blueprint);
+  injector.schedule_failure(topo::TestCase::kTC3, t_fail);
+
+  FabricSnapshot snap;
+  engine.run_until(t_fail - Duration::nanos(1));
+  snap.converged_before_fail = dep.converged();
+  engine.run_until(t_end + Duration::millis(200));
+
+  for (const auto& link : dep.network().links()) {
+    snap.link_stats.push_back(flatten(link->stats()));
+  }
+  if (proto == harness::Proto::kMtp) {
+    for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+      auto entries = dep.mtp(d).vid_table().entries();
+      std::sort(entries.begin(), entries.end());
+      std::vector<std::pair<std::string, std::uint32_t>> table;
+      for (const auto& e : entries) table.emplace_back(e.vid.str(), e.port);
+      snap.vid_tables.push_back(std::move(table));
+    }
+  }
+  snap.packets_sent = sender.packets_sent();
+  snap.packets_received = receiver.sink_stats().received;
+  snap.duplicates = receiver.sink_stats().duplicates;
+
+  harness::FabricAuditor auditor(dep);
+  snap.final_violations = auditor.sweep();
+  return snap;
+}
+
+void expect_snapshots_equal(const FabricSnapshot& one,
+                            const FabricSnapshot& four) {
+  ASSERT_EQ(one.link_stats.size(), four.link_stats.size());
+  for (std::size_t li = 0; li < one.link_stats.size(); ++li) {
+    EXPECT_EQ(one.link_stats[li], four.link_stats[li]) << "link " << li;
+  }
+  ASSERT_EQ(one.vid_tables.size(), four.vid_tables.size());
+  for (std::size_t d = 0; d < one.vid_tables.size(); ++d) {
+    EXPECT_EQ(one.vid_tables[d], four.vid_tables[d]) << "router " << d;
+  }
+  EXPECT_EQ(one.packets_sent, four.packets_sent);
+  EXPECT_EQ(one.packets_received, four.packets_received);
+  EXPECT_EQ(one.duplicates, four.duplicates);
+  EXPECT_EQ(one.final_violations, four.final_violations);
+  EXPECT_EQ(one.converged_before_fail, four.converged_before_fail);
+}
+
+TEST(ParallelDeterminism, MtpFourShardsMatchOneShard) {
+  FabricSnapshot one = run_chaotic_scenario(harness::Proto::kMtp, 1);
+  FabricSnapshot four = run_chaotic_scenario(harness::Proto::kMtp, 4);
+  EXPECT_TRUE(one.converged_before_fail);
+  EXPECT_GT(one.packets_sent, 0u);
+  expect_snapshots_equal(one, four);
+}
+
+TEST(ParallelDeterminism, MtpFourShardsAreRepeatable) {
+  FabricSnapshot a = run_chaotic_scenario(harness::Proto::kMtp, 4);
+  FabricSnapshot b = run_chaotic_scenario(harness::Proto::kMtp, 4);
+  expect_snapshots_equal(a, b);
+}
+
+TEST(ParallelDeterminism, BgpBfdFourShardsMatchOneShard) {
+  FabricSnapshot one = run_chaotic_scenario(harness::Proto::kBgpBfd, 1);
+  FabricSnapshot four = run_chaotic_scenario(harness::Proto::kBgpBfd, 4);
+  EXPECT_TRUE(one.converged_before_fail);
+  EXPECT_GT(one.packets_sent, 0u);
+  expect_snapshots_equal(one, four);
+}
+
+// The experiment runner's sharded path must agree with itself across shard
+// counts on every merged metric (the per-shard instrumentation slots).
+TEST(ParallelDeterminism, ExperimentRunnerMergesIdentically) {
+  harness::ExperimentSpec spec;
+  spec.topo = topo::ClosParams{8, 2, 2, 4, 1};
+  spec.proto = harness::Proto::kMtp;
+  spec.tc = topo::TestCase::kTC2;
+  spec.seed = 23;
+  spec.gray.kind = harness::ExperimentSpec::GraySpec::Kind::kUnidirLoss;
+  spec.gray.loss = 0.5;
+  spec.audit = true;
+  spec.force_parallel_engine = true;
+
+  spec.threads = 1;
+  harness::ExperimentResult one = harness::run_failure_experiment(spec);
+  spec.threads = 4;
+  harness::ExperimentResult four = harness::run_failure_experiment(spec);
+
+  EXPECT_EQ(one.threads_used, 1u);
+  EXPECT_EQ(four.threads_used, 4u);
+  EXPECT_TRUE(one.initial_converged);
+  EXPECT_EQ(one.convergence.ns(), four.convergence.ns());
+  EXPECT_EQ(one.update_events, four.update_events);
+  EXPECT_EQ(one.blast_any, four.blast_any);
+  EXPECT_EQ(one.blast_remote, four.blast_remote);
+  EXPECT_EQ(one.ctrl_bytes_raw, four.ctrl_bytes_raw);
+  EXPECT_EQ(one.packets_sent, four.packets_sent);
+  EXPECT_EQ(one.packets_lost, four.packets_lost);
+  EXPECT_EQ(one.failure_detected, four.failure_detected);
+  EXPECT_EQ(one.detection_latency.ns(), four.detection_latency.ns());
+  EXPECT_EQ(one.final_sweep_violations, four.final_sweep_violations);
+  EXPECT_EQ(one.events_fired, four.events_fired);
+}
+
+}  // namespace
+}  // namespace mrmtp
