@@ -25,6 +25,7 @@ int main() {
 
   util::Json doc;
   doc["bench"] = "buffer_pipeline";
+  stamp_campaign(doc, {11, 23, 37});
 
   // --- 1. steady-state forwarding window on a converged 2-pod MTP fabric ---
   {

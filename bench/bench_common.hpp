@@ -13,6 +13,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "util/json.hpp"
 
 namespace mrmtp::bench {
 
@@ -51,6 +52,17 @@ struct BenchFlags {
 inline const std::vector<std::uint64_t>& default_seeds() {
   static const std::vector<std::uint64_t> seeds{11, 23, 37, 51, 73};
   return seeds;
+}
+
+/// Stamps the seed campaign into a bench artifact: every committed
+/// BENCH_*.json records exactly which seeds produced it, so a regenerated
+/// artifact that silently ran a different campaign fails review (and
+/// scripts/check.sh) instead of drifting.
+inline void stamp_campaign(
+    util::Json& doc, const std::vector<std::uint64_t>& seeds = default_seeds()) {
+  util::JsonArray arr;
+  for (std::uint64_t s : seeds) arr.push_back(static_cast<std::int64_t>(s));
+  doc["campaign_seeds"] = std::move(arr);
 }
 
 struct GridPoint {

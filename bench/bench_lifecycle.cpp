@@ -1,0 +1,381 @@
+// Lifecycle bench — the disruption budget of planned maintenance.
+//
+// Scripts production fabric lifecycle on live 8-PoD deployments (symmetric
+// and asymmetric rack counts / link speeds) under MR-MTP and BGP/ECMP/BFD,
+// with continuous inter-rack probe traffic and the FabricAuditor sweeping
+// forwarding invariants throughout:
+//
+//   1. rolling_upgrade_all_spines — every pod/top spine is drained, powered
+//      off (full control-plane state wipe), cold-booted, and re-audited,
+//      serially. Headline metrics: frames lost across the whole campaign,
+//      per-phase reconvergence time, and the disruption budget (frames lost
+//      per router upgraded).
+//   2. live_expansion — a dark-wired PoD (deferred at deploy time) is
+//      powered into the running fabric while traffic flows.
+//   3. misconfig_asymmetric_down — a one-sided "shutdown" on a ToR uplink;
+//      the far end must notice via its own dead timer and reroute.
+//   4. misconfig_duplicate_subnet (MR-MTP) — a ToR deployed with another
+//      rack's subnet; the fabric must reject the duplicate root without
+//      disturbing other trees.
+//   5. misconfig_miswired_stripe (MR-MTP) — two seeded cabling swaps that
+//      violate the stripe rule at build time; the fabric must still
+//      converge and the auditor stay clean.
+//
+// scripts/check.sh gates BENCH_lifecycle.json: zero out-of-window auditor
+// violations and zero drain-interval violations for MR-MTP, and an MR-MTP
+// disruption budget no worse than BGP+BFD's on both fabrics.
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "harness/auditor.hpp"
+#include "harness/lifecycle.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+constexpr auto kSettle = sim::Duration::seconds(3);
+constexpr auto kSweep = sim::Duration::millis(100);
+
+struct Fixture {
+  net::SimContext ctx;
+  topo::ClosBlueprint bp;
+  harness::Deployment dep;
+  std::vector<std::uint32_t> leaves;
+
+  Fixture(const topo::ClosParams& params, harness::Proto proto,
+          std::uint64_t seed, harness::DeployOptions opts = {})
+      : ctx(seed), bp(params), dep(ctx, bp, proto, std::move(opts)) {
+    for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+      if (bp.device(d).role == topo::Role::kLeaf) leaves.push_back(d);
+    }
+    dep.start();
+    ctx.sched.run_until(sim::Time::zero() + kSettle);
+    if (!dep.converged()) {
+      throw std::runtime_error("fixture failed to converge");
+    }
+  }
+
+  /// Ring of probe flows over the powered racks: host on leaf i sends to
+  /// the host on the next powered leaf. Every host gets exactly one inbound
+  /// flow, so fabric-wide lost = sum(sent) - sum(unique_received).
+  void start_ring_traffic() {
+    std::vector<std::uint32_t> on;
+    for (std::uint32_t h = 0; h < dep.host_count(); ++h) {
+      if (dep.router_active(bp.hosts()[h].leaf)) on.push_back(h);
+    }
+    for (std::uint32_t h : on) dep.host(h).listen();
+    for (std::size_t i = 0; i < on.size(); ++i) {
+      traffic::FlowConfig flow;
+      flow.dst = dep.host(on[(i + 1) % on.size()]).addr();
+      dep.host(on[i]).start_flow(flow);
+    }
+  }
+
+  void stop_traffic() {
+    for (std::uint32_t h = 0; h < dep.host_count(); ++h) {
+      dep.host(h).stop_flow();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t frames_sent() {
+    std::uint64_t n = 0;
+    for (std::uint32_t h = 0; h < dep.host_count(); ++h) {
+      n += dep.host(h).packets_sent();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t frames_lost() {
+    std::uint64_t sent = frames_sent();
+    std::uint64_t unique = 0;
+    for (std::uint32_t h = 0; h < dep.host_count(); ++h) {
+      unique += dep.host(h).sink_stats().unique_received;
+    }
+    return sent > unique ? sent - unique : 0;
+  }
+};
+
+struct ScenarioRow {
+  std::string scenario;
+  std::string topology;
+  std::string protocol;
+  util::Json extra;
+};
+
+util::Json lifecycle_json(const harness::LifecycleEngine& engine,
+                          const harness::FabricAuditor& auditor) {
+  util::Json j;
+  double sum_ms = 0;
+  double max_ms = 0;
+  int reconverged = 0;
+  for (const harness::LifecyclePhase& ph : engine.phases()) {
+    if (!ph.saw_reconverge) continue;
+    // Phase-start to first converged() poll: for upgrades this covers
+    // drain + grace + reboot + rejoin, the full operator-visible outage.
+    double ms = (ph.reconverged - ph.start).to_millis();
+    sum_ms = sum_ms + ms;
+    max_ms = std::max(max_ms, ms);
+    ++reconverged;
+  }
+  j["phases"] = static_cast<std::int64_t>(engine.phases().size());
+  j["phases_reconverged"] = static_cast<std::int64_t>(reconverged);
+  j["all_reconverged"] = engine.all_reconverged();
+  j["avg_reconverge_ms"] =
+      reconverged > 0 ? sum_ms / reconverged : 0.0;
+  j["max_reconverge_ms"] = max_ms;
+  j["out_of_window_violations"] =
+      static_cast<std::int64_t>(engine.out_of_window_violations().size());
+  j["drain_violations"] =
+      static_cast<std::int64_t>(engine.drain_violations().size());
+  j["auditor_sweeps"] = static_cast<std::int64_t>(auditor.sweeps());
+  return j;
+}
+
+util::Json run_rolling_upgrade(const topo::ClosParams& params,
+                               harness::Proto proto, std::uint64_t seed) {
+  Fixture f(params, proto, seed);
+  f.start_ring_traffic();
+
+  harness::FabricAuditor auditor(f.dep);
+  auditor.start(kSweep);
+  harness::LifecycleEngine::Options lopts;
+  harness::LifecycleEngine engine(f.dep, auditor, lopts);
+
+  std::vector<std::uint32_t> targets = engine.all_spines();
+  sim::Time t0 = f.ctx.now() + sim::Duration::millis(100);
+  engine.rolling_upgrade(targets, t0);
+
+  sim::Time end = t0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    end = end + lopts.drain_grace + lopts.reboot_hold + lopts.reconverge_window;
+  }
+  f.ctx.sched.run_until(end + sim::Duration::millis(100));
+  f.stop_traffic();
+  f.ctx.sched.run_until(end + sim::Duration::millis(200));
+  auditor.stop();
+
+  util::Json j = lifecycle_json(engine, auditor);
+  std::uint64_t sent = f.frames_sent();
+  std::uint64_t lost = f.frames_lost();
+  j["routers_upgraded"] = static_cast<std::int64_t>(targets.size());
+  j["frames_sent"] = static_cast<std::int64_t>(sent);
+  j["frames_lost"] = static_cast<std::int64_t>(lost);
+  j["disruption_budget"] =
+      static_cast<double>(lost) / static_cast<double>(targets.size());
+  j["final_converged"] = f.dep.converged();
+  return j;
+}
+
+util::Json run_expansion(const topo::ClosParams& params, harness::Proto proto,
+                         std::uint64_t seed) {
+  const std::uint32_t new_pod = params.clusters * params.pods;  // the last one
+  harness::DeployOptions opts;
+  opts.deferred_pods = {new_pod};
+  Fixture f(params, proto, seed, opts);
+  f.start_ring_traffic();
+
+  harness::FabricAuditor auditor(f.dep);
+  auditor.start(kSweep);
+  harness::LifecycleEngine::Options lopts;
+  harness::LifecycleEngine engine(f.dep, auditor, lopts);
+
+  sim::Time t0 = f.ctx.now() + sim::Duration::millis(100);
+  engine.expand_pod(new_pod, t0);
+  sim::Time end = t0 + lopts.reconverge_window;
+  f.ctx.sched.run_until(end + sim::Duration::millis(100));
+  f.stop_traffic();
+  f.ctx.sched.run_until(end + sim::Duration::millis(200));
+  auditor.stop();
+
+  util::Json j = lifecycle_json(engine, auditor);
+  std::uint64_t sent = f.frames_sent();
+  std::uint64_t lost = f.frames_lost();
+  j["expanded_pod"] = static_cast<std::int64_t>(new_pod);
+  j["frames_sent"] = static_cast<std::int64_t>(sent);
+  j["frames_lost"] = static_cast<std::int64_t>(lost);
+  j["final_converged"] = f.dep.converged();
+  return j;
+}
+
+util::Json run_asym_down(const topo::ClosParams& params, harness::Proto proto,
+                         std::uint64_t seed) {
+  Fixture f(params, proto, seed);
+  f.start_ring_traffic();
+
+  harness::FabricAuditor auditor(f.dep);
+  auditor.start(kSweep);
+  harness::LifecycleEngine::Options lopts;
+  harness::LifecycleEngine engine(f.dep, auditor, lopts);
+
+  // One-sided shutdown of the first leaf's first uplink: the pod spine is
+  // never told and must notice via its own dead timer.
+  sim::Time t0 = f.ctx.now() + sim::Duration::millis(100);
+  engine.misconfig_asymmetric_down(f.leaves.front(), 1, t0);
+  sim::Time end = t0 + lopts.reconverge_window;
+  f.ctx.sched.run_until(end + sim::Duration::millis(100));
+  f.stop_traffic();
+  f.ctx.sched.run_until(end + sim::Duration::millis(200));
+  auditor.stop();
+
+  util::Json j = lifecycle_json(engine, auditor);
+  j["frames_sent"] = static_cast<std::int64_t>(f.frames_sent());
+  j["frames_lost"] = static_cast<std::int64_t>(f.frames_lost());
+  j["final_converged"] = f.dep.converged();
+  return j;
+}
+
+util::Json run_duplicate_subnet(const topo::ClosParams& params,
+                                std::uint64_t seed) {
+  // Victim: first leaf of the second pod, deployed with the first pod's
+  // first leaf's subnet. Convergence is asserted by the fixture (the victim
+  // is excluded from every scope); the fabric must have rejected the
+  // duplicate root and the auditor must stay clean.
+  topo::ClosBlueprint probe(params);
+  std::uint32_t source = 0;
+  std::uint32_t victim = 0;
+  bool have_source = false;
+  bool have_victim = false;
+  for (std::uint32_t d = 0; d < probe.devices().size(); ++d) {
+    const auto& spec = probe.device(d);
+    if (spec.role != topo::Role::kLeaf || spec.index != 1) continue;
+    if (spec.pod == 1 && !have_source) {
+      source = d;
+      have_source = true;
+    } else if (spec.pod == 2 && !have_victim) {
+      victim = d;
+      have_victim = true;
+    }
+    if (have_source && have_victim) break;
+  }
+  if (!have_source || !have_victim) {
+    throw std::runtime_error("duplicate-subnet scenario needs two pods");
+  }
+  harness::DeployOptions opts;
+  opts.duplicate_subnet_of = std::make_pair(victim, source);
+  Fixture f(params, harness::Proto::kMtp, seed, opts);
+
+  harness::FabricAuditor auditor(f.dep);
+  std::uint64_t rejected = 0;
+  for (std::uint32_t d = 0; d < f.dep.router_count(); ++d) {
+    rejected += f.dep.mtp(d).mtp_stats().duplicate_roots_rejected;
+  }
+  util::Json j;
+  j["victim"] = f.dep.router(victim).name();
+  j["source"] = f.dep.router(source).name();
+  j["duplicates_rejected"] = static_cast<std::int64_t>(rejected);
+  j["sweep_violations"] = static_cast<std::int64_t>(auditor.sweep());
+  j["final_converged"] = f.dep.converged();
+  return j;
+}
+
+util::Json run_miswired_stripe(topo::ClosParams params, std::uint64_t seed) {
+  params.miswires = 2;
+  params.miswire_seed = seed;
+  Fixture f(params, harness::Proto::kMtp, seed);
+
+  harness::FabricAuditor auditor(f.dep);
+  util::Json j;
+  j["miswired_links"] =
+      static_cast<std::int64_t>(f.bp.miswired_links().size());
+  j["sweep_violations"] = static_cast<std::int64_t>(auditor.sweep());
+  j["final_converged"] = f.dep.converged();
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  BenchFlags flags = BenchFlags::parse(argc, argv, "BENCH_lifecycle.json");
+  constexpr std::uint64_t kSeed = 11;
+
+  print_header(
+      "Fabric lifecycle — rolling upgrades, live expansion, misconfigs",
+      "robustness beyond the paper's clean failures (ROADMAP north star)");
+
+  const std::pair<std::string, topo::ClosParams> topologies[] = {
+      {"8-PoD", topo::ClosParams{8, 2, 2, 4, 1}},
+      {"8-PoD-asym", topo::ClosParams::asymmetric_8pod()},
+  };
+  const harness::Proto protos[] = {harness::Proto::kMtp,
+                                   harness::Proto::kBgpBfd};
+
+  util::Json doc;
+  doc["bench"] = "lifecycle";
+  stamp_campaign(doc, {kSeed});
+  util::JsonArray scenarios;
+
+  harness::Table table({"scenario", "topology", "protocol", "lost", "budget",
+                        "avg reconv (ms)", "out-of-window", "drain viol"});
+  auto emit = [&](const std::string& scenario, const std::string& topo_name,
+                  const std::string& proto_name, util::Json j) {
+    const util::Json* lost = j.find("frames_lost");
+    const util::Json* budget = j.find("disruption_budget");
+    const util::Json* avg = j.find("avg_reconverge_ms");
+    const util::Json* oow = j.find("out_of_window_violations");
+    const util::Json* dv = j.find("drain_violations");
+    table.add_row(
+        {scenario, topo_name, proto_name,
+         lost != nullptr ? std::to_string(lost->as_int()) : "-",
+         budget != nullptr ? harness::fmt(budget->as_double(), 2) : "-",
+         avg != nullptr ? harness::fmt(avg->as_double(), 1) : "-",
+         oow != nullptr ? std::to_string(oow->as_int()) : "-",
+         dv != nullptr ? std::to_string(dv->as_int()) : "-"});
+    j["scenario"] = scenario;
+    j["topology"] = topo_name;
+    j["protocol"] = proto_name;
+    scenarios.push_back(std::move(j));
+  };
+
+  for (const auto& [topo_name, params] : topologies) {
+    for (harness::Proto proto : protos) {
+      std::printf("rolling upgrade of every spine: %s under %s...\n",
+                  topo_name.c_str(), std::string(to_string(proto)).c_str());
+      emit("rolling_upgrade_all_spines", topo_name,
+           std::string(to_string(proto)),
+           run_rolling_upgrade(params, proto, kSeed));
+    }
+  }
+  for (harness::Proto proto : protos) {
+    std::printf("live expansion: 8-PoD under %s...\n",
+                std::string(to_string(proto)).c_str());
+    emit("live_expansion", "8-PoD", std::string(to_string(proto)),
+         run_expansion(topo::ClosParams{8, 2, 2, 4, 1}, proto, kSeed));
+  }
+  for (harness::Proto proto : protos) {
+    std::printf("asymmetric admin-down: 8-PoD-asym under %s...\n",
+                std::string(to_string(proto)).c_str());
+    emit("misconfig_asymmetric_down", "8-PoD-asym",
+         std::string(to_string(proto)),
+         run_asym_down(topo::ClosParams::asymmetric_8pod(), proto, kSeed));
+  }
+  std::printf("duplicate rack subnet: 8-PoD under MR-MTP...\n");
+  emit("misconfig_duplicate_subnet", "8-PoD", "MR-MTP",
+       run_duplicate_subnet(topo::ClosParams{8, 2, 2, 4, 1}, kSeed));
+  std::printf("miswired stripe: 8-PoD under MR-MTP...\n\n");
+  emit("misconfig_miswired_stripe", "8-PoD", "MR-MTP",
+       run_miswired_stripe(topo::ClosParams{8, 2, 2, 4, 1}, kSeed));
+
+  doc["scenarios"] = std::move(scenarios);
+  table.print(/*with_csv=*/true);
+
+  std::ofstream out(flags.json_out);
+  out << doc.dump(/*pretty=*/true) << "\n";
+  std::printf("\nWrote %s (%zu scenarios).\n", flags.json_out.c_str(),
+              doc["scenarios"].as_array().size());
+
+  std::printf(
+      "\nShape check: planned maintenance must be invisible outside its\n"
+      "declared windows — zero out-of-window auditor violations and zero\n"
+      "violations attributed to a router while it drains. The disruption\n"
+      "budget (frames lost per router upgraded) under MR-MTP must be no\n"
+      "worse than under BGP+BFD on both the symmetric and the asymmetric\n"
+      "fabric.\n");
+  return 0;
+}

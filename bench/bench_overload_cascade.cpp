@@ -173,6 +173,7 @@ int main() {
 
   util::Json doc;
   doc["bench"] = "overload_cascade";
+  stamp_campaign(doc, {11, 23, 37});
 
   // --- 1. the seeded incast storm, {MTP, BGP} x {shared, priority} ---
   harness::Table table({"protocol", "queue mode", "downs", "false_dead",

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
                         "cross frames", "pkts lost"});
   util::Json doc;
   doc["bench"] = "parallel_sweep";
+  stamp_campaign(doc, {11});
   doc["hardware_concurrency"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
   util::JsonArray points;

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
                         "heap high-water"});
   util::Json doc;
   doc["bench"] = "scalability_sweep";
+  stamp_campaign(doc, seeds);
   util::JsonArray seed_arr;
   for (std::uint64_t s : seeds) {
     seed_arr.emplace_back(static_cast<std::int64_t>(s));

@@ -14,6 +14,7 @@ BgpRouter::BgpRouter(net::SimContext& ctx, std::string name, std::uint32_t tier,
     : transport::L3Node(ctx, std::move(name), tier), config_(std::move(config)) {}
 
 void BgpRouter::start() {
+  draining_ = false;
   // Passive side of every session: accept on port 179 and bind the incoming
   // connection to the neighbor configured with that source address.
   tcp().listen(kBgpPort, [this](transport::TcpConnection& conn) {
@@ -82,6 +83,55 @@ void BgpRouter::start() {
   for (const auto& prefix : config_.originate) run_decision(prefix);
 
   for (auto& p : peers_) start_peer(*p);
+}
+
+void BgpRouter::stop() {
+  draining_ = false;
+  // Detach connections from peers first so nothing re-enters session logic
+  // while the stack resets, then let peers_.clear() cancel every timer.
+  for (auto& peer : peers_) {
+    if (peer->conn != nullptr) {
+      peer->conn->set_callbacks({});
+      peer->conn = nullptr;
+    }
+  }
+  peers_.clear();
+  bfd_.reset();
+  // The BFD demux handler captured the manager just destroyed; park a sink
+  // in its place so a late BFD frame from a still-transmitting peer cannot
+  // reach it (the next start() binds a fresh manager).
+  if (config_.enable_bfd) {
+    bind_udp(bfd::kBfdPort,
+             [](ip::Ipv4Addr, ip::Ipv4Addr, const transport::UdpHeader&,
+                std::span<const std::uint8_t>) {});
+  }
+  adj_rib_in_.clear();
+  loc_rib_.clear();
+  tcp().shutdown();
+  // Learned routes die with the control plane; connected routes are
+  // interface configuration and survive the reboot.
+  std::vector<ip::Ipv4Prefix> learned;
+  for (const ip::Route* r : routes().sorted_routes()) {
+    if (r->proto == ip::RouteProto::kBgp) learned.push_back(r->prefix);
+  }
+  for (const auto& prefix : learned) routes().remove(prefix);
+}
+
+void BgpRouter::drain() {
+  if (draining_) return;
+  draining_ = true;
+  log(sim::LogLevel::kInfo, "draining for maintenance");
+  // Withdraw the world: advertisement_for() now returns nothing, so marking
+  // every advertised prefix pending makes flush_peer() emit pure withdrawals.
+  // Neighbors drop this router from their ECMP sets and re-route; our own
+  // RIB is untouched so in-flight traffic keeps forwarding until the reboot.
+  for (auto& peer : peers_) {
+    if (peer->state != SessionState::kEstablished) continue;
+    for (const auto& [prefix, path] : peer->advertised) {
+      peer->pending.insert(prefix);
+    }
+    flush_peer(*peer);
+  }
 }
 
 void BgpRouter::start_peer(Peer& peer) {
@@ -440,6 +490,7 @@ void BgpRouter::flush_peer(Peer& peer) {
 
 std::optional<BgpRouter::PathInfo> BgpRouter::advertisement_for(
     const Peer& peer, ip::Ipv4Prefix prefix) const {
+  if (draining_) return std::nullopt;  // cost-out: withdraw everything
   PathInfo out;
   if (originates(prefix)) {
     out.as_path = {config_.asn};
@@ -493,7 +544,7 @@ void BgpRouter::on_port_down(net::Port& port) {
   if (!addr.has_value()) return;
   for (auto& peer : peers_) {
     if (peer->cfg.local_addr == *addr) {
-      if (config_.enable_bfd) {
+      if (config_.enable_bfd && bfd_ != nullptr) {
         if (auto* s = bfd_->find(peer->cfg.peer_addr)) s->stop();
       }
       drop_session(*peer, "interface down");
@@ -507,7 +558,7 @@ void BgpRouter::on_port_up(net::Port& port) {
   if (!addr.has_value()) return;
   for (auto& peer : peers_) {
     if (peer->cfg.local_addr == *addr) {
-      if (config_.enable_bfd) {
+      if (config_.enable_bfd && bfd_ != nullptr) {
         if (auto* s = bfd_->find(peer->cfg.peer_addr)) s->start();
       }
       schedule_retry(*peer);

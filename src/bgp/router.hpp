@@ -77,8 +77,20 @@ class BgpRouter : public transport::L3Node {
             BgpConfig config);
 
   void start() override;
+  /// Reboot step: RSTs every TCP session (established peers learn at once;
+  /// half-open peers exhaust their own SYN retransmits instead of wedging),
+  /// stops BFD, and wipes peers, RIBs, and learned routes. A later start()
+  /// is a cold rejoin with fresh sessions.
+  void stop() override;
   void on_port_down(net::Port& port) override;
   void on_port_up(net::Port& port) override;
+
+  /// Graceful cost-out before a planned reboot: withdraws every advertised
+  /// prefix from every established peer and suppresses re-advertisement, so
+  /// neighbors shift traffic to their remaining ECMP members while this
+  /// router keeps forwarding in-flight packets through the grace period.
+  void drain();
+  [[nodiscard]] bool draining() const { return draining_; }
 
   /// Moves every timer-jitter draw (keepalive, retry, BFD tx) onto private
   /// per-peer streams derived from `seed`. Sharded deployments enable this
@@ -190,6 +202,7 @@ class BgpRouter : public transport::L3Node {
 
   BgpConfig config_;
   std::optional<std::uint64_t> stream_seed_;
+  bool draining_ = false;
   std::vector<std::unique_ptr<Peer>> peers_;
   /// Adj-RIB-In: prefix -> (peer index -> path).
   std::map<ip::Ipv4Prefix, std::map<std::size_t, PathInfo>> adj_rib_in_;

@@ -35,8 +35,41 @@ FabricAuditor::FabricAuditor(Deployment& dep) : dep_(dep) {
   }
   const auto& devices = dep_.blueprint().devices();
   for (std::uint32_t d = 0; d < devices.size(); ++d) {
-    if (devices[d].vid != 0) leaf_of_root_[devices[d].vid] = d;
+    if (devices[d].vid == 0) continue;
+    if (dep_.proto() == Proto::kMtp) {
+      // Deployed truth, not blueprint intent: under the duplicate-subnet
+      // misconfig a ToR announces another rack's VID, so the blueprint VID
+      // has no advertiser and the collided VID must map to its legitimate
+      // owner (the leaf whose blueprint and deployed VIDs agree).
+      std::uint16_t vid = dep_.mtp(d).own_vid();
+      if (!leaf_of_root_.contains(vid) || devices[d].vid == vid) {
+        leaf_of_root_[vid] = d;
+      }
+    } else {
+      leaf_of_root_[devices[d].vid] = d;
+    }
   }
+}
+
+std::vector<Violation> FabricAuditor::violations_outside_windows() const {
+  std::vector<Violation> out;
+  for (const Violation& v : log_) {
+    bool inside = false;
+    for (const auto& [from, until] : windows_) {
+      if (v.at >= from && v.at <= until) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) out.push_back(v);
+  }
+  return out;
+}
+
+bool FabricAuditor::leaf_probeable(std::uint32_t leaf) const {
+  if (!dep_.router_active(leaf)) return false;
+  if (dep_.proto() == Proto::kMtp) return !dep_.mtp(leaf).draining();
+  return !dep_.bgp(leaf).draining();
 }
 
 std::size_t FabricAuditor::sweep() {
@@ -219,7 +252,9 @@ bool FabricAuditor::physically_reachable(std::uint32_t from,
 
 void FabricAuditor::audit_mtp(std::vector<Violation>& out) {
   // Invariant 1: every VID-table entry points at a usable, accepted port.
+  // Powered-off routers hold no state worth auditing.
   for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    if (!dep_.router_active(d)) continue;
     mtp::MtpRouter& r = dep_.mtp(d);
     const net::Node& node = dep_.router(d);
     for (const mtp::VidEntry& e : r.vid_table().entries()) {
@@ -243,8 +278,9 @@ void FabricAuditor::audit_mtp(std::vector<Violation>& out) {
   // Invariants 2+3: probes from every leaf toward every other ToR tree must
   // neither loop nor die while a live path exists.
   for (const auto& [root, dst_leaf] : leaf_of_root_) {
+    if (!leaf_probeable(dst_leaf)) continue;
     for (const auto& [src_root, src_leaf] : leaf_of_root_) {
-      if (src_leaf == dst_leaf) continue;
+      if (src_leaf == dst_leaf || !leaf_probeable(src_leaf)) continue;
       std::set<std::pair<std::uint32_t, bool>> on_path;
       walk_mtp(src_leaf, root, dst_leaf, false, on_path, 0, out);
     }
@@ -335,7 +371,9 @@ void FabricAuditor::walk_mtp(std::uint32_t device, std::uint16_t dst_root,
 
 void FabricAuditor::audit_bgp(std::vector<Violation>& out) {
   // Invariant 1: every installed BGP next-hop egresses a usable port.
+  // Powered-off routers hold no state worth auditing.
   for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    if (!dep_.router_active(d)) continue;
     bgp::BgpRouter& r = dep_.bgp(d);
     const net::Node& node = dep_.router(d);
     for (const ip::Route* route : r.routes().sorted_routes()) {
@@ -359,8 +397,9 @@ void FabricAuditor::audit_bgp(std::vector<Violation>& out) {
 
   // Invariants 2+3: probe every host address from every other leaf.
   for (const topo::HostSpec& hs : dep_.blueprint().hosts()) {
+    if (!leaf_probeable(hs.leaf)) continue;
     for (const auto& [src_root, src_leaf] : leaf_of_root_) {
-      if (src_leaf == hs.leaf) continue;
+      if (src_leaf == hs.leaf || !leaf_probeable(src_leaf)) continue;
       std::set<std::uint32_t> on_path;
       walk_bgp(src_leaf, hs.addr, hs.leaf, on_path, 0, out);
     }

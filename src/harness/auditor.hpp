@@ -84,6 +84,20 @@ class FabricAuditor {
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return log_;
   }
+
+  /// Declares [from, until] a reconvergence window: a lifecycle phase
+  /// (drain/reboot/rejoin, pod power-on) is allowed to trip invariants while
+  /// the fabric re-converges. violations_outside_windows() is the hard
+  /// assertion — planned maintenance must never leak violations past its
+  /// declared window.
+  void declare_window(sim::Time from, sim::Time until) {
+    windows_.emplace_back(from, until);
+  }
+  [[nodiscard]] const std::vector<std::pair<sim::Time, sim::Time>>& windows()
+      const {
+    return windows_;
+  }
+  [[nodiscard]] std::vector<Violation> violations_outside_windows() const;
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
   [[nodiscard]] std::size_t last_sweep_violations() const { return last_; }
   [[nodiscard]] std::uint64_t sweeps_with_violations() const {
@@ -99,6 +113,11 @@ class FabricAuditor {
 
   void audit_mtp(std::vector<Violation>& out);
   void audit_bgp(std::vector<Violation>& out);
+
+  /// A leaf worth probing from/to: powered, and not deliberately costed out
+  /// (a draining ToR has withdrawn its own prefix/root — probes toward it
+  /// dying is policy, not a fabric fault).
+  [[nodiscard]] bool leaf_probeable(std::uint32_t leaf) const;
 
   void walk_mtp(std::uint32_t device, std::uint16_t dst_root,
                 std::uint32_t dst_leaf, bool came_down,
@@ -141,6 +160,8 @@ class FabricAuditor {
   /// ToR root VID -> leaf device index.
   std::map<std::uint16_t, std::uint32_t> leaf_of_root_;
   std::vector<Violation> log_;
+  /// Declared reconvergence windows (lifecycle phases).
+  std::vector<std::pair<sim::Time, sim::Time>> windows_;
   /// Dedup within the current sweep (many probes hit the same bad hop).
   std::set<std::string> seen_this_sweep_;
   std::unique_ptr<sim::Timer> timer_;

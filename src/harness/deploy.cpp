@@ -82,6 +82,7 @@ Deployment::Deployment(net::SimContext& ctx,
                        const topo::ClosBlueprint& blueprint, Proto proto,
                        DeployOptions options)
     : ctx_(ctx), blueprint_(&blueprint), proto_(proto), network_(ctx) {
+  init_lifecycle(options);
   if (proto_ == Proto::kMtp) {
     deploy_mtp(options);
   } else {
@@ -96,6 +97,7 @@ Deployment::Deployment(ShardedFabric& fabric, Proto proto,
       proto_(proto),
       fabric_(&fabric),
       network_(fabric.ctx(0)) {
+  init_lifecycle(options);
   if (proto_ == Proto::kMtp) {
     deploy_mtp(options);
   } else {
@@ -125,6 +127,13 @@ void Deployment::deploy_mtp(const DeployOptions& options) {
     cfg.timers = options.mtp_timers;
     if (spec.role == topo::Role::kLeaf) {
       cfg.server_subnet = spec.server_subnet;
+      if (options.duplicate_subnet_of.has_value() &&
+          options.duplicate_subnet_of->first == d) {
+        // The operator pasted another rack's subnet into this ToR's config:
+        // it now announces a root VID that already exists elsewhere.
+        cfg.server_subnet =
+            bp.device(options.duplicate_subnet_of->second).server_subnet;
+      }
       std::uint32_t base_port = bp.leaf_host_port(d);
       std::uint32_t offset = 0;
       for (const auto& hs : bp.hosts()) {
@@ -141,6 +150,11 @@ void Deployment::deploy_mtp(const DeployOptions& options) {
 
 void Deployment::deploy_bgp(const DeployOptions& options) {
   const auto& bp = *blueprint_;
+  if (options.duplicate_subnet_of.has_value()) {
+    throw std::invalid_argument(
+        "Deployment: duplicate_subnet_of models an MR-MTP VID collision; "
+        "deploy it under Proto::kMtp");
+  }
 
   for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
     const auto& spec = bp.device(d);
@@ -210,13 +224,143 @@ traffic::VtepHost& Deployment::vtep(std::uint32_t host_index) {
 
 void Deployment::wire(const DeployOptions& options) {
   const auto& bp = *blueprint_;
-  for (const auto& link : bp.links()) {
-    network_.connect(*routers_[link.upper], *routers_[link.lower], options.link);
+  const auto& params = bp.params();
+  auto deferred_pod_of = [&](std::uint32_t d) -> std::uint32_t {
+    const auto& spec = bp.device(d);
+    if (spec.role != topo::Role::kLeaf && spec.role != topo::Role::kPodSpine) {
+      return 0;
+    }
+    std::uint32_t g = (spec.cluster - 1) * params.pods + spec.pod;
+    return options.deferred_pods.count(g) != 0 ? g : 0;
+  };
+  auto defer = [&](std::uint32_t g, net::Node& node, std::uint32_t port) {
+    node.set_interface_down(port);
+    deferred_ifaces_[g].emplace_back(&node, port);
+  };
+  for (std::uint32_t li = 0; li < bp.links().size(); ++li) {
+    const auto& link = bp.links()[li];
+    net::Link::Params lp = options.link;
+    // Mixed-speed fabric: the blueprint scales individual links (asymmetric
+    // oversubscription); delay is untouched so sharded lookahead holds.
+    lp.bandwidth_bps = static_cast<std::uint64_t>(
+        static_cast<double>(lp.bandwidth_bps) * link.rate);
+    network_.connect(*routers_[link.upper], *routers_[link.lower], lp);
+    // Links into a deferred pod are wired dark: admin-down on both ends
+    // until activate_pod() powers the expansion in.
+    std::uint32_t g = deferred_pod_of(link.upper);
+    if (g == 0) g = deferred_pod_of(link.lower);
+    if (g != 0) {
+      defer(g, *routers_[link.upper], bp.port_on(link.upper, li));
+      defer(g, *routers_[link.lower], bp.port_on(link.lower, li));
+    }
+  }
+  std::vector<std::uint32_t> next_rack_port(bp.devices().size(), 0);
+  for (std::uint32_t h = 0; h < bp.hosts().size(); ++h) {
+    std::uint32_t leaf = bp.hosts()[h].leaf;
+    network_.connect(*routers_[leaf], *hosts_[h], options.host_link);
+    std::uint32_t leaf_port = bp.leaf_host_port(leaf) + next_rack_port[leaf]++;
+    std::uint32_t g = deferred_pod_of(leaf);
+    if (g != 0) {
+      defer(g, *routers_[leaf], leaf_port);
+      defer(g, *hosts_[h], 1);  // a host's only port
+    }
+  }
+}
+
+void Deployment::init_lifecycle(const DeployOptions& options) {
+  options_ = options;
+  const auto& bp = *blueprint_;
+  const auto& params = bp.params();
+  active_.assign(bp.devices().size(), true);
+  host_active_.assign(bp.hosts().size(), true);
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    if (spec.role != topo::Role::kLeaf && spec.role != topo::Role::kPodSpine) {
+      continue;
+    }
+    std::uint32_t g = (spec.cluster - 1) * params.pods + spec.pod;
+    if (options.deferred_pods.count(g) != 0) active_[d] = false;
   }
   for (std::uint32_t h = 0; h < bp.hosts().size(); ++h) {
-    network_.connect(*routers_[bp.hosts()[h].leaf], *hosts_[h],
-                     options.host_link);
+    if (!active_[bp.hosts()[h].leaf]) host_active_[h] = false;
   }
+}
+
+void Deployment::start() {
+  for (std::uint32_t d = 0; d < routers_.size(); ++d) {
+    if (active_[d]) routers_[d]->start();
+  }
+  for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
+    if (host_active_[h]) hosts_[h]->start();
+  }
+}
+
+void Deployment::drain_router(std::uint32_t device_index) {
+  if (proto_ == Proto::kMtp) {
+    mtp(device_index).drain();
+  } else {
+    bgp(device_index).drain();
+  }
+}
+
+void Deployment::stop_router(std::uint32_t device_index) {
+  net::Node& r = *routers_[device_index];
+  // Protocol teardown first: BGP's RSTs must ride the still-up ports so
+  // established and half-open peers learn of the death immediately.
+  r.stop();
+  std::vector<std::uint32_t>& downed = rebooting_ports_[device_index];
+  downed.clear();
+  for (std::uint32_t p = 1; p <= r.port_count(); ++p) {
+    if (!r.port(p).admin_up()) continue;  // deferred/failed ports stay down
+    r.set_interface_down(p);
+    downed.push_back(p);
+  }
+  active_[device_index] = false;
+}
+
+void Deployment::restart_router(std::uint32_t device_index) {
+  net::Node& r = *routers_[device_index];
+  auto it = rebooting_ports_.find(device_index);
+  if (it != rebooting_ports_.end()) {
+    // Interfaces first: start() advertises / opens sessions on them.
+    for (std::uint32_t p : it->second) r.set_interface_up(p);
+    rebooting_ports_.erase(it);
+  }
+  active_[device_index] = true;
+  r.start();
+}
+
+void Deployment::activate_pod(std::uint32_t global_pod) {
+  auto it = deferred_ifaces_.find(global_pod);
+  if (it == deferred_ifaces_.end()) {
+    throw std::logic_error("Deployment: pod was not deferred");
+  }
+  for (auto& [node, port] : it->second) node->set_interface_up(port);
+  deferred_ifaces_.erase(it);
+  const auto& bp = *blueprint_;
+  const auto& params = bp.params();
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    if (spec.role != topo::Role::kLeaf && spec.role != topo::Role::kPodSpine) {
+      continue;
+    }
+    if ((spec.cluster - 1) * params.pods + spec.pod != global_pod) continue;
+    active_[d] = true;
+    routers_[d]->start();
+  }
+  for (std::uint32_t h = 0; h < bp.hosts().size(); ++h) {
+    if (host_active_[h]) continue;
+    const auto& spec = bp.device(bp.hosts()[h].leaf);
+    if ((spec.cluster - 1) * params.pods + spec.pod != global_pod) continue;
+    host_active_[h] = true;
+    hosts_[h]->start();
+  }
+}
+
+void Deployment::admin_down_port(std::uint32_t device_index,
+                                 std::uint32_t port) {
+  operator_down_[device_index].insert(port);
+  routers_[device_index]->set_interface_down(port);
 }
 
 mtp::MtpRouter& Deployment::mtp(std::uint32_t device_index) {
@@ -241,40 +385,113 @@ std::vector<std::uint16_t> Deployment::all_vids() const {
 
 bool Deployment::converged() const {
   const auto& bp = *blueprint_;
+  const auto& links = bp.links();
+  const std::uint32_t n = static_cast<std::uint32_t>(bp.devices().size());
+
+  // Expected state is derived from the links the *operator* still intends
+  // to carry traffic: both endpoint routers powered and neither interface
+  // deliberately shut down via admin_down_port(). Dark deferred pods,
+  // reboots in flight, and one-sided maintenance downs all shrink the
+  // expectation; an injected fault records no intent, so the fabric keeps
+  // reading as unconverged until the wiring is whole again.
+  auto intended_down = [&](std::uint32_t d, std::uint32_t p) {
+    auto it = operator_down_.find(d);
+    return it != operator_down_.end() && it->second.count(p) != 0;
+  };
+  std::vector<bool> usable(links.size(), false);
+  for (std::uint32_t li = 0; li < links.size(); ++li) {
+    const auto& l = links[li];
+    usable[li] = active_[l.upper] && active_[l.lower] &&
+                 !intended_down(l.upper, bp.port_on(l.upper, li)) &&
+                 !intended_down(l.lower, bp.port_on(l.lower, li));
+  }
+  auto draining = [&](std::uint32_t d) {
+    if (proto_ == Proto::kMtp) {
+      return dynamic_cast<const mtp::MtpRouter&>(*routers_[d]).draining();
+    }
+    return dynamic_cast<const bgp::BgpRouter&>(*routers_[d]).draining();
+  };
 
   if (proto_ == Proto::kMtp) {
-    std::vector<std::uint16_t> all = all_vids();
-    for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
-      const auto& spec = bp.device(d);
-      const auto& router = dynamic_cast<const mtp::MtpRouter&>(*routers_[d]);
-      std::vector<std::uint16_t> scope;
-      if (spec.role == topo::Role::kSuperSpine) {
-        scope = all;  // supers mesh every cluster's trees
-      } else if (spec.role == topo::Role::kTopSpine) {
-        // A top spine joins every tree of its own cluster.
-        for (std::uint32_t pod = 1; pod <= bp.params().pods; ++pod) {
-          for (std::uint32_t t = 1; t <= bp.params().tors_per_pod; ++t) {
-            scope.push_back(bp.tor_vid_in(spec.cluster, pod, t));
-          }
-        }
-      } else if (spec.role == topo::Role::kPodSpine) {
-        for (std::uint32_t t = 1; t <= bp.params().tors_per_pod; ++t) {
-          scope.push_back(bp.tor_vid_in(spec.cluster, spec.pod, t));
-        }
+    // A router's convergence scope is the set of leaf VIDs it can still
+    // reach downward over usable links. A draining child has withdrawn its
+    // subtree on purpose — in a striped fabric a top spine may reach a pod
+    // through exactly one pod spine, so costing that spine out legitimately
+    // removes the pod's trees from the top; that must not read as
+    // "unconverged". The duplicate-subnet victim is excluded too: its
+    // blueprint VID has no advertiser. Children always carry smaller device
+    // indices than their parents (leaves < pod spines < tops < supers), so
+    // one pass in index order sees every child's scope before its parents.
+    const std::uint32_t victim = options_.duplicate_subnet_of.has_value()
+                                     ? options_.duplicate_subnet_of->first
+                                     : n;
+    std::vector<std::set<std::uint16_t>> scope(n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (bp.device(d).role == topo::Role::kLeaf) {
+        if (d != victim) scope[d].insert(bp.device(d).vid);
+        continue;
       }
-      if (!router.joined_all(scope)) return false;
+      for (std::uint32_t li = 0; li < links.size(); ++li) {
+        if (!usable[li] || links[li].upper != d) continue;
+        if (draining(links[li].lower)) continue;
+        scope[d].insert(scope[links[li].lower].begin(),
+                        scope[links[li].lower].end());
+      }
+    }
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (!active_[d]) continue;
+      const auto& router = dynamic_cast<const mtp::MtpRouter&>(*routers_[d]);
+      std::vector<std::uint16_t> want;
+      if (bp.device(d).role != topo::Role::kLeaf) {
+        want.assign(scope[d].begin(), scope[d].end());
+      }
+      if (!router.joined_all(want)) return false;
     }
     return true;
   }
 
-  // BGP: all sessions up and a route (or origination) for every subnet.
-  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
-    const auto& router = dynamic_cast<const bgp::BgpRouter&>(*routers_[d]);
-    if (router.established_sessions() != router.config().neighbors.size()) {
-      return false;
+  // BGP: every session riding a usable link is Established, and every
+  // powered router holds a route (or origination) for each powered,
+  // non-draining leaf subnet that BGP's valley-free flood can actually
+  // deliver to it: advertisements climb from the leaf through non-draining
+  // routers, then descend the same way. A draining router stops exporting
+  // but keeps receiving, so a drained spine still carries a full RIB.
+  std::vector<std::size_t> expected(n, 0);
+  for (std::uint32_t li = 0; li < links.size(); ++li) {
+    if (!usable[li]) continue;
+    ++expected[links[li].upper];
+    ++expected[links[li].lower];
+  }
+  std::vector<std::set<std::uint32_t>> reach(n);  // leaves advertised up to d
+  for (std::uint32_t d = 0; d < n; ++d) {
+    if (bp.device(d).role == topo::Role::kLeaf) {
+      reach[d].insert(d);
+      continue;
     }
-    for (const auto& spec : bp.devices()) {
-      if (spec.role != topo::Role::kLeaf) continue;
+    for (std::uint32_t li = 0; li < links.size(); ++li) {
+      if (!usable[li] || links[li].upper != d) continue;
+      if (draining(links[li].lower)) continue;
+      reach[d].insert(reach[links[li].lower].begin(),
+                      reach[links[li].lower].end());
+    }
+  }
+  // Downward pass, parents before children (descending index order).
+  std::vector<std::set<std::uint32_t>> full(reach);
+  for (std::uint32_t d = n; d-- > 0;) {
+    for (std::uint32_t li = 0; li < links.size(); ++li) {
+      if (!usable[li] || links[li].lower != d) continue;
+      if (draining(links[li].upper)) continue;
+      full[d].insert(full[links[li].upper].begin(),
+                     full[links[li].upper].end());
+    }
+  }
+  for (std::uint32_t d = 0; d < n; ++d) {
+    if (!active_[d]) continue;
+    const auto& router = dynamic_cast<const bgp::BgpRouter&>(*routers_[d]);
+    if (router.established_sessions() != expected[d]) return false;
+    for (std::uint32_t l : full[d]) {
+      const auto& spec = bp.device(l);
+      if (draining(l)) continue;  // the leaf withdrew its prefix on purpose
       if (router.routes().exact(*spec.server_subnet) == nullptr) return false;
     }
   }

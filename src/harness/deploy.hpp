@@ -4,7 +4,10 @@
 // slices per protocol).
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 
 #include "bgp/router.hpp"
 #include "mtp/router.hpp"
@@ -79,6 +82,17 @@ struct DeployOptions {
   bfd::BfdSession::Config bfd;          // paper: tx 100 ms, mult 3
   net::Link::Params link;               // fabric links
   net::Link::Params host_link;          // server-to-ToR links
+
+  /// Global pod numbers (1-based, (cluster-1)*pods + pod) wired dark for a
+  /// later live expansion: their links exist but start admin-down on both
+  /// ends and their routers/hosts are not started. activate_pod() powers
+  /// them into the running fabric.
+  std::set<std::uint32_t> deferred_pods;
+  /// Misconfiguration: the first leaf (victim, blueprint device index) is
+  /// deployed with the second leaf's server subnet — the classic wrong-VID-
+  /// byte copy-paste error. MR-MTP only; the victim announces a duplicate
+  /// root that the fabric must reject without disturbing other trees.
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> duplicate_subnet_of;
 };
 
 /// A deployed network; indices mirror the blueprint's device/host vectors.
@@ -112,13 +126,39 @@ class Deployment {
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
 
-  /// Calls start() on every node.
-  void start() { network_.start_all(); }
+  /// Calls start() on every active node (deferred pods stay dark).
+  void start();
 
-  /// True once every router reached its converged steady state: MTP routers
-  /// joined all trees in their scope; BGP routers established all sessions
-  /// and hold full routing tables.
+  /// True once every active router reached its converged steady state: MTP
+  /// routers joined all trees in their scope; BGP routers established all
+  /// sessions over active links and hold full routing tables. Scope is
+  /// derived per device by walking the wired topology, so asymmetric
+  /// fabrics, deferred pods, and drained/offline routers are all handled.
   [[nodiscard]] bool converged() const;
+
+  // --- lifecycle primitives (harness::LifecycleEngine drives these) ---
+  /// Whether `device_index` is powered and part of the running fabric.
+  [[nodiscard]] bool router_active(std::uint32_t device_index) const {
+    return active_[device_index];
+  }
+  /// Graceful cost-out: the router withdraws everything it advertises but
+  /// keeps forwarding in-flight traffic (protocol-dispatched).
+  void drain_router(std::uint32_t device_index);
+  /// Power-off: wipes the router's control-plane state (RSTs BGP sessions
+  /// first, while ports still carry frames), then admin-downs every
+  /// interface so neighbors see link-down.
+  void stop_router(std::uint32_t device_index);
+  /// Cold rejoin: interfaces come back up, then start() rebuilds state from
+  /// scratch — a reboot, not a resume.
+  void restart_router(std::uint32_t device_index);
+  /// Powers a deferred pod into the running fabric: every link touching it
+  /// comes admin-up, then its routers and hosts start cold.
+  void activate_pod(std::uint32_t global_pod);
+  /// Operator-intended interface shutdown (maintenance or seeded
+  /// misconfiguration). Unlike a raw set_interface_down, the intent is
+  /// recorded so converged() stops expecting state across the dead link;
+  /// an injected fault leaves no record and keeps reading as unconverged.
+  void admin_down_port(std::uint32_t device_index, std::uint32_t port);
 
   /// All ToR VIDs in the fabric.
   [[nodiscard]] std::vector<std::uint16_t> all_vids() const;
@@ -128,6 +168,9 @@ class Deployment {
   void deploy_bgp(const DeployOptions& options);
   void add_hosts(const DeployOptions& options);
   void wire(const DeployOptions& options);
+  /// Fills active_ / host_active_ from options.deferred_pods and computes
+  /// each device's leaf scope by walking up the wired hierarchy.
+  void init_lifecycle(const DeployOptions& options);
   /// The context device `d` lives on: its shard's in a sharded deployment,
   /// the single shared one otherwise.
   [[nodiscard]] net::SimContext& device_ctx(std::uint32_t d);
@@ -139,6 +182,18 @@ class Deployment {
   net::Network network_;
   std::vector<net::Node*> routers_;
   std::vector<traffic::Host*> hosts_;
+  DeployOptions options_;
+  /// Per blueprint device / host: powered and participating.
+  std::vector<bool> active_;
+  std::vector<bool> host_active_;
+  /// Interfaces admin-downed at wiring time, per deferred global pod.
+  std::map<std::uint32_t, std::vector<std::pair<net::Node*, std::uint32_t>>>
+      deferred_ifaces_;
+  /// Ports stop_router() took down, restored verbatim by restart_router()
+  /// (ports already down — deferred or failed — are left alone).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> rebooting_ports_;
+  /// Ports the operator shut down on purpose via admin_down_port().
+  std::map<std::uint32_t, std::set<std::uint32_t>> operator_down_;
 };
 
 }  // namespace mrmtp::harness

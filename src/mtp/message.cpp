@@ -93,6 +93,7 @@ net::Buffer encode(MtpMessage msg) {
           // Nothing: the keep-alive is the single type byte 0x06.
         } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
           w.u8(m.tier);
+          w.u32(m.seq);
           write_vids(w, m.vids);
         } else if constexpr (std::is_same_v<T, JoinRequestMsg>) {
           write_vids(w, m.vids);
@@ -125,6 +126,7 @@ MtpMessage decode(net::Buffer payload) {
     case MsgType::kAdvertise: {
       AdvertiseMsg m;
       m.tier = r.u8();
+      m.seq = r.u32();
       m.vids = read_vids(r);
       return m;
     }

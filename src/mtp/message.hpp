@@ -43,6 +43,12 @@ struct HelloMsg {};
 /// respond with join requests for trees they have not joined on this link.
 struct AdvertiseMsg {
   std::uint8_t tier = 0;
+  /// Monotonic per-sender statement number (OSPF-LSA style). Links may
+  /// duplicate frames and deliver the copy late; without an ordering mark a
+  /// stale full statement can arrive after a newer one and falsely prune
+  /// assignments made in between. Receivers discard seq <= last seen;
+  /// seq 0 (hand-crafted frames) is always accepted.
+  std::uint32_t seq = 0;
   std::vector<Vid> vids;
 };
 

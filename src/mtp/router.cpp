@@ -23,6 +23,8 @@ MtpRouter::MtpRouter(net::SimContext& ctx, std::string name, MtpConfig config)
 }
 
 void MtpRouter::start() {
+  started_ = true;
+  draining_ = false;
   ports_state_.resize(port_count());
   std::set<std::uint32_t> rack_ports;
   for (const auto& [addr, port] : config_.rack_hosts) rack_ports.insert(port);
@@ -47,6 +49,52 @@ void MtpRouter::start() {
     s.hello_timer->start_periodic(config_.timers.hello);
     send_advertise(p);
   }
+}
+
+void MtpRouter::stop() {
+  started_ = false;
+  draining_ = false;
+  // Destroying each PortState cancels its timers (sim::Timer stops in its
+  // destructor); start() re-creates everything from defaults.
+  ports_state_.clear();
+  outstanding_.clear();
+  vid_table_.clear();
+  exclusions_.clear_all();
+  advertised_unreach_.clear();
+  invalidate_up_cache();
+}
+
+void MtpRouter::drain() {
+  if (!started_ || draining_) return;
+  draining_ = true;
+  log(sim::LogLevel::kInfo, "draining for maintenance");
+  // Cost-out upward: withdraw every child VID assigned to each upstream so
+  // it leaves our trees and stops steering tree traffic down through us.
+  for (std::uint32_t up : alive_ports(/*upstream=*/true)) {
+    PortState& s = pstate(up);
+    if (s.assigned.empty()) continue;
+    std::vector<Vid> gone;
+    gone.reserve(s.assigned.size());
+    for (const auto& [child, base] : s.assigned) gone.push_back(child);
+    s.assigned.clear();
+    queue_withdraw(up, gone);
+  }
+  // Cost-out downward: declare every root (and the wildcard default route)
+  // unreachable so downstream load balancers exclude our ports. Deliberately
+  // NOT recorded in advertised_unreach_ — these are an operational fiction,
+  // and update_reachability() must not "correct" them with DEST_CLEARs
+  // while the grace period runs.
+  std::set<std::uint16_t> roots;
+  for (const auto& e : vid_table_.entries()) roots.insert(e.vid.root());
+  roots.insert(kWildcardRoot);
+  std::vector<std::uint16_t> all(roots.begin(), roots.end());
+  for (std::uint32_t down : alive_ports(/*upstream=*/false)) {
+    queue_reach_update(down, all, /*unreach=*/true);
+  }
+  // The VID table is kept: in-flight downstream traffic during the grace
+  // period still delivers. advertisable_vids()/handle_join_request() are
+  // suppressed while draining_, so hellos stay plain and neighbors cannot
+  // re-join us into trees before the reboot.
 }
 
 // ---------------------------------------------------------------- frame I/O
@@ -131,6 +179,7 @@ void MtpRouter::send_reliable(std::uint32_t port_number, MtpMessage msg) {
 }
 
 void MtpRouter::handle_frame(net::Port& in, net::Frame frame) {
+  if (!started_) return;  // powered off: no per-port state exists
   PortState& s = pstate(in.number());
   if (!s.mtp) {
     if (frame.ethertype == net::EtherType::kIpv4) {
@@ -283,6 +332,11 @@ void MtpRouter::neighbor_down(std::uint32_t p, bool local_detect) {
   if (!s.alive) return;
   s.alive = false;
   s.streak = 0;
+  // The neighbor may come back from a cold reboot holding nothing; its
+  // capability statement must be re-earned, not remembered, and its
+  // statement counter restarts from zero.
+  s.advertised_roots.clear();
+  s.last_adv_seq = 0;
   invalidate_up_cache();
   ++stats_.neighbors_lost;
   s.dead_timer->stop();
@@ -356,6 +410,7 @@ bool MtpRouter::fully_assigned(std::uint32_t p) const {
 }
 
 void MtpRouter::on_port_down(net::Port& p) {
+  if (!started_) return;
   PortState& s = pstate(p.number());
   if (!s.mtp) return;
   invalidate_up_cache();
@@ -364,6 +419,7 @@ void MtpRouter::on_port_down(net::Port& p) {
 }
 
 void MtpRouter::on_port_up(net::Port& p) {
+  if (!started_) return;
   PortState& s = pstate(p.number());
   if (!s.mtp) return;
   invalidate_up_cache();
@@ -373,6 +429,7 @@ void MtpRouter::on_port_up(net::Port& p) {
 // ------------------------------------------------------- tree establishment
 
 std::vector<Vid> MtpRouter::advertisable_vids() const {
+  if (draining_) return {};  // cost-out: offer nothing, upstreams stay away
   if (is_leaf()) return {Vid(own_vid_)};
   std::vector<Vid> out;
   out.reserve(vid_table_.size());
@@ -383,19 +440,35 @@ std::vector<Vid> MtpRouter::advertisable_vids() const {
 void MtpRouter::send_advertise(std::uint32_t p) {
   AdvertiseMsg m;
   m.tier = static_cast<std::uint8_t>(config_.tier);
+  m.seq = ++adv_seq_;
   m.vids = advertisable_vids();
   send_msg(p, m);
 }
 
 void MtpRouter::handle_advertise(std::uint32_t p, const AdvertiseMsg& msg) {
   PortState& s = pstate(p);
+  // Links can duplicate a frame and deliver the copy late — after newer
+  // statements (and even after join handshakes the original triggered). A
+  // re-delivered stale statement is not merely redundant: treating it as
+  // current would prune assignments made since. Drop anything not newer
+  // than the last statement accepted from this neighbor.
+  if (msg.seq != 0 && msg.seq <= s.last_adv_seq) return;
+  if (msg.seq != 0) s.last_adv_seq = msg.seq;
   bool first_contact = !s.neighbor_tier.has_value();
   if (first_contact || *s.neighbor_tier != msg.tier) invalidate_up_cache();
   s.neighbor_tier = msg.tier;
   if (first_contact) send_advertise(p);  // let the neighbor learn our tier
 
   if (msg.tier >= config_.tier) {
-    // An upstream's advertisement is a full statement of the trees it holds.
+    // An upstream's advertisement is a full statement of the trees it
+    // holds: remember the roots so the uplink load balancer can steer tree
+    // traffic toward uplinks that can actually deliver it.
+    std::set<std::uint16_t> roots;
+    for (const Vid& v : msg.vids) roots.insert(v.root());
+    if (roots != s.advertised_roots) {
+      s.advertised_roots = std::move(roots);
+      invalidate_up_cache();
+    }
     // Any child VID we once assigned on this port that it no longer lists
     // was pruned on its side — e.g. a one-way gray episode starved the
     // upstream into declaring us dead while we kept seeing its frames and
@@ -404,12 +477,25 @@ void MtpRouter::handle_advertise(std::uint32_t p, const AdvertiseMsg& msg) {
     // and the join handshake restarts.
     if (msg.tier > config_.tier && !s.assigned.empty()) {
       std::set<Vid> held(msg.vids.begin(), msg.vids.end());
+      // A JOIN_OFFER still awaiting its ack names a VID the neighbor has
+      // not processed yet, so its absence from this statement is expected —
+      // pruning it here would orphan the tree on our side while the
+      // neighbor goes on to join it.
+      for (const auto& [id, o] : outstanding_) {
+        if (o.port != p) continue;
+        if (const auto* offer = std::get_if<JoinOfferMsg>(&o.msg)) {
+          held.insert(offer->vids.begin(), offer->vids.end());
+        }
+      }
       for (auto it = s.assigned.begin(); it != s.assigned.end();) {
         it = held.contains(it->first) ? std::next(it) : s.assigned.erase(it);
       }
     }
     return;  // we only join trees from below
   }
+
+  // A draining router joins no new trees; it is leaving the ones it has.
+  if (draining_) return;
 
   bool added = false;
   for (const Vid& base : msg.vids) {
@@ -457,6 +543,7 @@ void MtpRouter::retry_joins(std::uint32_t p) {
 }
 
 void MtpRouter::handle_join_request(std::uint32_t p, const JoinRequestMsg& msg) {
+  if (draining_) return;  // no offers while costing out
   PortState& s = pstate(p);
   JoinOfferMsg offer;
   for (const Vid& base : msg.vids) {
@@ -502,8 +589,14 @@ void MtpRouter::handle_join_offer(std::uint32_t p, const JoinOfferMsg& msg) {
   log(sim::LogLevel::kDebug,
       "acquired " + std::to_string(msg.vids.size()) + " VID(s) on port " +
           std::to_string(p));
-  // New VIDs mean new trees to offer upward.
+  // New VIDs mean new trees to offer upward — and a fresher capability
+  // statement downward, so children steering tree traffic up learn we can
+  // now deliver for these roots (a cold-rejoined router earns traffic back
+  // root by root instead of blackholing on the first hash).
   for (std::uint32_t up : alive_ports(/*upstream=*/true)) send_advertise(up);
+  for (std::uint32_t down : alive_ports(/*upstream=*/false)) {
+    send_advertise(down);
+  }
   update_reachability(new_roots);
 }
 
@@ -863,14 +956,25 @@ const std::vector<std::uint32_t>& MtpRouter::eligible_up_ports(
   }
   ++stats_.up_cache_misses;
   std::vector<std::uint32_t>& out = up_cache_[dst_root];
+  std::vector<std::uint32_t> fallback;
   for (std::uint32_t p = 1; p <= port_count(); ++p) {
     const PortState& s = pstate(p);
     if (!s.mtp || !s.alive || !is_upstream(p)) continue;
     if (!port(p).admin_up()) continue;
     if (exclusions_.is_excluded(kWildcardRoot, p)) continue;
     if (exclusions_.is_excluded(dst_root, p)) continue;
-    out.push_back(p);
+    // Prefer uplinks whose neighbor advertised a tree for this root: a
+    // freshly rebooted upstream is alive well before it has re-joined its
+    // trees, and hashing tree traffic onto it blackholes at the turn. When
+    // no uplink advertises the root (a remote pod's root never shows up in
+    // a pod spine's statement), every alive uplink is fair game as before.
+    if (s.advertised_roots.contains(dst_root)) {
+      out.push_back(p);
+    } else {
+      fallback.push_back(p);
+    }
   }
+  if (out.empty()) out = std::move(fallback);
   return out;
 }
 

@@ -86,9 +86,22 @@ class MtpRouter : public net::Node {
   MtpRouter(net::SimContext& ctx, std::string name, MtpConfig config);
 
   void start() override;
+  /// Reboot step: cancels every timer and wipes the VID table, exclusions,
+  /// reliable-delivery bookkeeping, and advertised failure state. A later
+  /// start() is a cold rejoin indistinguishable from first power-on.
+  void stop() override;
   void handle_frame(net::Port& in, net::Frame frame) override;
   void on_port_down(net::Port& port) override;
   void on_port_up(net::Port& port) override;
+
+  /// Graceful cost-out before a planned reboot: withdraws every child VID
+  /// assigned upstream and declares every known root (plus the wildcard
+  /// default route) unreachable downstream, then suppresses re-advertisement
+  /// and join offers so neighbors do not pull this router back into trees
+  /// during the grace period. The VID table is kept so in-flight downstream
+  /// traffic still delivers while neighbors shift load away.
+  void drain();
+  [[nodiscard]] bool draining() const { return draining_; }
 
   [[nodiscard]] bool is_leaf() const { return config_.server_subnet.has_value(); }
   /// Leaf root VID (0 on spines).
@@ -194,6 +207,15 @@ class MtpRouter : public net::Node {
     std::set<Vid> join_pending;
     /// Child VIDs we assigned to the neighbor on this port -> their base.
     std::map<Vid, Vid> assigned;
+    /// Roots an *upstream* neighbor listed in its last ADVERTISE — a full
+    /// statement of the trees it holds. The uplink load balancer prefers
+    /// uplinks that advertised the destination root, so a cold-rejoining
+    /// neighbor draws no tree traffic until it has actually re-joined.
+    std::set<std::uint16_t> advertised_roots;
+    /// Highest ADVERTISE seq seen from this neighbor; older statements are
+    /// duplicates the link re-delivered late and must not prune anything.
+    /// Reset when the neighbor dies so a rebooted sender restarts cleanly.
+    std::uint32_t last_adv_seq = 0;
 
     // --- flap damping (lazy exponential decay) ---
     double damp_penalty = 0;
@@ -283,6 +305,11 @@ class MtpRouter : public net::Node {
 
   MtpConfig config_;
   std::uint16_t own_vid_ = 0;
+  /// False until start() and after stop(): interface events and frames that
+  /// arrive while powered off (e.g. a deferred PoD being wired dark) must
+  /// not touch per-port state that does not exist yet.
+  bool started_ = false;
+  bool draining_ = false;
   VidTable vid_table_;
   ExclusionTable exclusions_;
   /// Roots we have told downstream neighbors we cannot reach.
@@ -290,6 +317,9 @@ class MtpRouter : public net::Node {
   std::vector<PortState> ports_state_;
   std::unordered_map<std::uint16_t, Outstanding> outstanding_;
   std::uint16_t next_msg_id_ = 1;
+  /// Statement counter stamped into every ADVERTISE (shared across ports;
+  /// still strictly increasing per port, which is all receivers need).
+  std::uint32_t adv_seq_ = 0;
   /// Eligible-uplink sets keyed by destination root (lazy, see
   /// eligible_up_ports); mutable because lookups are logically const.
   mutable std::unordered_map<std::uint16_t, std::vector<std::uint32_t>>

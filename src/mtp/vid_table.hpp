@@ -75,6 +75,8 @@ class ExclusionTable {
   bool clear(std::uint16_t root, std::uint32_t port);
   /// Drops every exclusion referencing `port` (port came back / was pruned).
   void clear_port(std::uint32_t port);
+  /// Drops everything (node reboot).
+  void clear_all() { excluded_.clear(); }
 
   [[nodiscard]] bool is_excluded(std::uint16_t root, std::uint32_t port) const;
   [[nodiscard]] std::size_t size() const;

@@ -118,6 +118,11 @@ class Node {
   /// state machines (advertisements, session establishment) here.
   virtual void start() {}
 
+  /// Powers the node off: protocols must tear down sessions and wipe all
+  /// control-plane state so a later start() is a cold rejoin, not a resume.
+  /// The lifecycle engine's reboot primitive; default is stateless no-op.
+  virtual void stop() {}
+
   /// A frame arrived on `in`.
   virtual void handle_frame(Port& in, Frame frame) = 0;
 

@@ -25,6 +25,9 @@ std::string_view to_string(GrayKind kind) {
     case GrayKind::kFlapStorm: return "flap-storm";
     case GrayKind::kCorrelatedBlackhole: return "correlated-blackhole";
     case GrayKind::kCongestionStorm: return "congestion-storm";
+    case GrayKind::kMaintenance: return "maintenance";
+    case GrayKind::kExpansion: return "expansion";
+    case GrayKind::kMisconfig: return "misconfig";
   }
   return "?";
 }

@@ -31,6 +31,11 @@ enum class GrayKind : std::uint8_t {
   kFlapStorm,         // admin down/up toggles faster than damping
   kCorrelatedBlackhole,  // several links of one device fail together
   kCongestionStorm,   // seeded incast burst from N hosts toward one rack
+
+  // --- lifecycle events (harness::LifecycleEngine shares this timeline) ---
+  kMaintenance,  // planned drain / reboot / rejoin of one router
+  kExpansion,    // a dark-wired PoD powered into the running fabric
+  kMisconfig,    // operator error: asymmetric admin-down, duplicate subnet
 };
 
 [[nodiscard]] std::string_view to_string(GrayKind kind);
@@ -141,6 +146,12 @@ class ChaosEngine {
   /// Everything injected so far (scheduled, in onset order).
   [[nodiscard]] const std::vector<ChaosEventRecord>& log() const {
     return log_;
+  }
+  /// Appends an externally produced record (the lifecycle engine logs its
+  /// maintenance/expansion/misconfig events into the same timeline so a run
+  /// mixing chaos and lifecycle reads as one chronology).
+  void append_event(ChaosEventRecord event) {
+    log_.push_back(std::move(event));
   }
   /// Onset of the first scheduled event (the detection-latency start mark).
   [[nodiscard]] std::optional<sim::Time> first_onset() const;

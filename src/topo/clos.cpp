@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/random.hpp"
+
 namespace mrmtp::topo {
 
 std::string_view to_string(TestCase tc) {
@@ -34,6 +36,38 @@ ClosBlueprint::ClosBlueprint(ClosParams params) : params_(params) {
     throw std::invalid_argument(
         "ClosBlueprint: super_spines must be a multiple of top_spines");
   }
+  std::uint32_t global_pods = params_.clusters * params_.pods;
+  if (!params_.pod_tors.empty() && params_.pod_tors.size() != global_pods) {
+    throw std::invalid_argument(
+        "ClosBlueprint: pod_tors must name every global PoD or be empty");
+  }
+  for (std::uint32_t t : params_.pod_tors) {
+    if (t < 1) throw std::invalid_argument("ClosBlueprint: empty PoD");
+  }
+  if (!params_.pod_uplink_rate.empty() &&
+      params_.pod_uplink_rate.size() != global_pods) {
+    throw std::invalid_argument(
+        "ClosBlueprint: pod_uplink_rate must name every global PoD or be empty");
+  }
+  for (double r : params_.pod_uplink_rate) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("ClosBlueprint: uplink rate must be > 0");
+    }
+  }
+  if (params_.miswires > 0 && params_.spines_per_pod < 2) {
+    throw std::invalid_argument(
+        "ClosBlueprint: miswiring swaps uplinks of two spines in one PoD");
+  }
+  leaf_base_.resize(global_pods, 0);
+  for (std::uint32_t g = 0; g < global_pods; ++g) {
+    leaf_base_[g] = total_tors_;
+    total_tors_ += params_.tors_in_global_pod(g);
+  }
+  // VIDs are the third octet of the 192.168.V.0/24 rack subnet, so the VID
+  // plan (sequential from 11) must fit a byte with room for the host field.
+  if (11 + total_tors_ - 1 > 250) {
+    throw std::invalid_argument("ClosBlueprint: VID plan overflows an octet");
+  }
   build();
 }
 
@@ -48,7 +82,7 @@ void ClosBlueprint::build() {
   std::uint32_t leaf_counter = 0;
   for (std::uint32_t c = 1; c <= p.clusters; ++c) {
     for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
-      for (std::uint32_t t = 1; t <= p.tors_per_pod; ++t) {
+      for (std::uint32_t t = 1; t <= tors_in(c, pod); ++t) {
         ++leaf_counter;
         DeviceSpec d;
         d.name = cluster_prefix(c) + "L-" + std::to_string(pod) + "-" +
@@ -114,7 +148,8 @@ void ClosBlueprint::build() {
 
   port_order_.assign(devices_.size(), {});
 
-  auto add_link = [this](std::uint32_t upper, std::uint32_t lower) {
+  auto add_link = [this](std::uint32_t upper, std::uint32_t lower,
+                         double rate = 1.0) {
     auto link_index = static_cast<std::uint32_t>(links_.size());
     LinkSpec l;
     l.upper = upper;
@@ -123,6 +158,7 @@ void ClosBlueprint::build() {
     std::uint32_t base = ip::Ipv4Addr(172, 16, 0, 0).value() + 2 * link_index;
     l.upper_addr = ip::Ipv4Addr(base);
     l.lower_addr = ip::Ipv4Addr(base + 1);
+    l.rate = rate;
     links_.push_back(l);
     port_order_[upper].push_back(link_index);
     port_order_[lower].push_back(link_index);
@@ -145,23 +181,56 @@ void ClosBlueprint::build() {
   }
   // 1) Pod-spine uplinks. Pod spine s wires to every top spine t with
   //    (t-1) % spines_per_pod == s-1 (Fig. 2 wiring: S1_1 -> {S2_1, S2_3}).
-  for (std::uint32_t c = 1; c <= p.clusters; ++c) {
-    for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
-      for (std::uint32_t s = 1; s <= p.spines_per_pod; ++s) {
-        for (std::uint32_t t = 1; t <= p.top_spines; ++t) {
-          if ((t - 1) % p.spines_per_pod == s - 1) {
-            add_link(top_spine_in(c, t), pod_spine_in(c, pod, s));
+  //    The whole batch is staged first so seeded miswiring can swap the
+  //    top-spine endpoints of two same-PoD, cross-spine uplinks before any
+  //    port number is assigned — a cabling error baked in at build time.
+  //    Keeping both swapped cables inside the PoD preserves reachability
+  //    (every top spine still reaches the PoD), which is what makes this a
+  //    *mis*configuration rather than a partition.
+  {
+    struct StagedUplink {
+      std::uint32_t top, spine, cluster, pod;
+    };
+    std::vector<StagedUplink> uplinks;
+    for (std::uint32_t c = 1; c <= p.clusters; ++c) {
+      for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
+        for (std::uint32_t s = 1; s <= p.spines_per_pod; ++s) {
+          for (std::uint32_t t = 1; t <= p.top_spines; ++t) {
+            if ((t - 1) % p.spines_per_pod == s - 1) {
+              uplinks.push_back({top_spine_in(c, t), pod_spine_in(c, pod, s),
+                                 c, pod});
+            }
           }
         }
       }
     }
+    if (p.miswires > 0) {
+      sim::Rng rng(p.miswire_seed);
+      std::uint32_t crossed = 0;
+      for (std::uint32_t attempt = 0;
+           crossed < p.miswires && attempt < p.miswires * 256; ++attempt) {
+        auto i = static_cast<std::size_t>(rng.below(uplinks.size()));
+        auto j = static_cast<std::size_t>(rng.below(uplinks.size()));
+        if (uplinks[i].cluster != uplinks[j].cluster ||
+            uplinks[i].pod != uplinks[j].pod ||
+            uplinks[i].spine == uplinks[j].spine ||
+            uplinks[i].top == uplinks[j].top) {
+          continue;
+        }
+        std::swap(uplinks[i].top, uplinks[j].top);
+        ++crossed;
+      }
+    }
+    for (const StagedUplink& u : uplinks) add_link(u.top, u.spine);
   }
   // 2) ToR uplinks: every leaf wires to every spine of its pod, spine order.
+  //    Asymmetric mode scales these links' bandwidth per PoD.
   for (std::uint32_t c = 1; c <= p.clusters; ++c) {
     for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
-      for (std::uint32_t t = 1; t <= p.tors_per_pod; ++t) {
+      double rate = p.uplink_rate_of((c - 1) * p.pods + (pod - 1));
+      for (std::uint32_t t = 1; t <= tors_in(c, pod); ++t) {
         for (std::uint32_t s = 1; s <= p.spines_per_pod; ++s) {
-          add_link(pod_spine_in(c, pod, s), leaf_in(c, pod, t));
+          add_link(pod_spine_in(c, pod, s), leaf_in(c, pod, t), rate);
         }
       }
     }
@@ -169,7 +238,7 @@ void ClosBlueprint::build() {
   // 3) Hosts (server racks). Ports for these follow all router links.
   for (std::uint32_t c = 1; c <= p.clusters; ++c) {
     for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
-      for (std::uint32_t t = 1; t <= p.tors_per_pod; ++t) {
+      for (std::uint32_t t = 1; t <= tors_in(c, pod); ++t) {
         std::uint32_t leaf_idx = leaf_in(c, pod, t);
         const auto& subnet = *devices_[leaf_idx].server_subnet;
         for (std::uint32_t h = 1; h <= p.hosts_per_tor; ++h) {
@@ -194,30 +263,34 @@ std::uint32_t ClosBlueprint::device_index(std::string_view name) const {
   throw std::out_of_range("ClosBlueprint: no device " + std::string(name));
 }
 
+std::uint32_t ClosBlueprint::tors_in(std::uint32_t cluster,
+                                     std::uint32_t pod) const {
+  return params_.tors_in_global_pod((cluster - 1) * params_.pods + (pod - 1));
+}
+
 std::uint32_t ClosBlueprint::leaf_in(std::uint32_t cluster, std::uint32_t pod,
                                      std::uint32_t tor) const {
-  return (cluster - 1) * params_.pods * params_.tors_per_pod +
-         (pod - 1) * params_.tors_per_pod + (tor - 1);
+  return leaf_base_[(cluster - 1) * params_.pods + (pod - 1)] + (tor - 1);
 }
 
 std::uint32_t ClosBlueprint::pod_spine_in(std::uint32_t cluster,
                                           std::uint32_t pod,
                                           std::uint32_t s) const {
-  return params_.clusters * params_.pods * params_.tors_per_pod +
+  return total_tors_ +
          (cluster - 1) * params_.pods * params_.spines_per_pod +
          (pod - 1) * params_.spines_per_pod + (s - 1);
 }
 
 std::uint32_t ClosBlueprint::top_spine_in(std::uint32_t cluster,
                                           std::uint32_t t) const {
-  return params_.clusters * params_.pods *
-             (params_.tors_per_pod + params_.spines_per_pod) +
+  return total_tors_ +
+         params_.clusters * params_.pods * params_.spines_per_pod +
          (cluster - 1) * params_.top_spines + (t - 1);
 }
 
 std::uint32_t ClosBlueprint::super_spine(std::uint32_t q) const {
-  return params_.clusters * (params_.pods * (params_.tors_per_pod +
-                                             params_.spines_per_pod) +
+  return total_tors_ +
+         params_.clusters * (params_.pods * params_.spines_per_pod +
                              params_.top_spines) +
          (q - 1);
 }
@@ -237,9 +310,8 @@ std::uint32_t ClosBlueprint::top_spine(std::uint32_t t) const {
 std::uint16_t ClosBlueprint::tor_vid_in(std::uint32_t cluster,
                                         std::uint32_t pod,
                                         std::uint32_t tor) const {
-  return static_cast<std::uint16_t>(
-      11 + (cluster - 1) * params_.pods * params_.tors_per_pod +
-      (pod - 1) * params_.tors_per_pod + (tor - 1));
+  // Sequential from 11 in leaf device order — i.e. 11 + leaf index.
+  return static_cast<std::uint16_t>(11 + leaf_in(cluster, pod, tor));
 }
 
 std::uint16_t ClosBlueprint::tor_vid(std::uint32_t pod, std::uint32_t tor) const {
@@ -253,6 +325,19 @@ std::uint32_t ClosBlueprint::port_on(std::uint32_t device,
     if (order[i] == link_index) return i + 1;
   }
   throw std::out_of_range("ClosBlueprint: device not on link");
+}
+
+std::vector<std::uint32_t> ClosBlueprint::miswired_links() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < links_.size(); ++i) {
+    const DeviceSpec& up = devices_[links_[i].upper];
+    const DeviceSpec& low = devices_[links_[i].lower];
+    if (up.role != Role::kTopSpine || low.role != Role::kPodSpine) continue;
+    if ((up.index - 1) % params_.spines_per_pod != low.index - 1) {
+      out.push_back(i);
+    }
+  }
+  return out;
 }
 
 std::uint32_t ClosBlueprint::leaf_host_port(std::uint32_t leaf_index) const {
@@ -343,13 +428,30 @@ ShardPlan make_shard_plan(const ClosBlueprint& blueprint,
                                           std::max<std::uint32_t>(global_pods, 1));
   plan.device_shard.resize(blueprint.devices().size(), 0);
 
+  // Weigh each PoD by the devices it pins to its shard (ToRs + their hosts +
+  // pod spines) and place PoDs, in order, on the currently lightest shard
+  // (ties to the lowest index). With uniform PoD weights this degenerates to
+  // the former global_pod % shards round-robin, so existing plans are
+  // unchanged; asymmetric fabrics get balanced by router count instead of
+  // whatever the PoD order happens to dictate.
+  std::vector<std::uint64_t> load(plan.shards, 0);
+  std::vector<std::uint32_t> pod_shard(global_pods, 0);
+  for (std::uint32_t g = 0; g < global_pods; ++g) {
+    std::uint32_t lightest = 0;
+    for (std::uint32_t s = 1; s < plan.shards; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    pod_shard[g] = lightest;
+    load[lightest] += p.tors_in_global_pod(g) * (1ull + p.hosts_per_tor) +
+                      p.spines_per_pod;
+  }
+
   std::uint32_t spine_rr = 0;  // round-robin cursor for pod-less tiers
   for (std::uint32_t d = 0; d < blueprint.devices().size(); ++d) {
     const DeviceSpec& spec = blueprint.device(d);
     if (spec.pod > 0) {
       std::uint32_t cluster = std::max<std::uint32_t>(spec.cluster, 1);
-      std::uint32_t global_pod = (cluster - 1) * p.pods + (spec.pod - 1);
-      plan.device_shard[d] = global_pod % plan.shards;
+      plan.device_shard[d] = pod_shard[(cluster - 1) * p.pods + (spec.pod - 1)];
     } else {
       plan.device_shard[d] = spine_rr++ % plan.shards;
     }

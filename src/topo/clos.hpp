@@ -49,10 +49,51 @@ struct ClosParams {
   }
   [[nodiscard]] bool four_tier() const { return super_spines > 0; }
 
+  // --- asymmetric mode (heterogeneous fat-trees per Solnushkin; FatPaths-
+  // style asymmetry). Real fabrics grow unevenly: PoDs differ in rack count
+  // and uplink speed, and expansions leave cabling mistakes behind. ---
+  /// Per-global-PoD ToR counts, cluster-major PoD order. Empty = uniform
+  /// `tors_per_pod` everywhere. Only rack counts vary; `spines_per_pod`
+  /// stays uniform because the top-spine stripe wiring rule constrains it.
+  std::vector<std::uint32_t> pod_tors = {};
+  /// Per-global-PoD relative bandwidth of the PoD's ToR uplinks (1.0 = the
+  /// deployment's base link rate; < 1 oversubscribes the PoD). Empty =
+  /// uniform. Latency is untouched, so the parallel engine's link-delay
+  /// lookahead is unaffected by mixed speeds.
+  std::vector<double> pod_uplink_rate = {};
+  /// Build-time cabling errors: this many seeded swaps of the top-spine
+  /// endpoints of two uplinks from *different* spines of the *same* PoD.
+  /// Reachability is preserved (both cables stay inside the PoD) but the
+  /// stripe rule is violated; ClosBlueprint::miswired_links() finds them.
+  std::uint32_t miswires = 0;
+  std::uint64_t miswire_seed = 1;
+
+  [[nodiscard]] bool asymmetric() const { return !pod_tors.empty(); }
+  /// ToR count of 0-based global PoD `g` ((cluster-1)*pods + pod-1).
+  [[nodiscard]] std::uint32_t tors_in_global_pod(std::uint32_t g) const {
+    return g < pod_tors.size() ? pod_tors[g] : tors_per_pod;
+  }
+  [[nodiscard]] std::uint32_t total_tors() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t g = 0; g < clusters * pods; ++g) n += tors_in_global_pod(g);
+    return n;
+  }
+  [[nodiscard]] double uplink_rate_of(std::uint32_t g) const {
+    return g < pod_uplink_rate.size() ? pod_uplink_rate[g] : 1.0;
+  }
+
   /// The paper's 2-PoD topology (Figs 2/3): 4 ToRs, 4 pod spines, 4 tops.
   static ClosParams paper_2pod() { return ClosParams{2, 2, 2, 4, 1}; }
   /// The paper's 4-PoD topology: 8 ToRs, 8 pod spines, 4 tops.
   static ClosParams paper_4pod() { return ClosParams{4, 2, 2, 4, 1}; }
+  /// An 8-PoD fabric with non-uniform rack counts and oversubscribed PoDs:
+  /// the lifecycle bench's asymmetric topology.
+  static ClosParams asymmetric_8pod() {
+    ClosParams p{8, 2, 2, 4, 1};
+    p.pod_tors = {2, 3, 1, 2, 3, 1, 2, 2};
+    p.pod_uplink_rate = {1.0, 0.5, 1.0, 0.25, 1.0, 0.5, 1.0, 1.0};
+    return p;
+  }
   /// A 4-tier fabric: `clusters` copies of the 4-PoD design joined by
   /// `supers` super spines.
   static ClosParams four_tier_clusters(std::uint32_t clusters,
@@ -64,7 +105,7 @@ struct ClosParams {
   }
 
   [[nodiscard]] std::uint32_t router_count() const {
-    return clusters * (pods * (tors_per_pod + spines_per_pod) + top_spines) +
+    return total_tors() + clusters * (pods * spines_per_pod + top_spines) +
            super_spines;
   }
 };
@@ -90,6 +131,9 @@ struct LinkSpec {
   /// /31 point-to-point addresses for the BGP deployment.
   ip::Ipv4Addr upper_addr;
   ip::Ipv4Addr lower_addr;
+  /// Relative bandwidth (1.0 = deployment base rate); the asymmetric
+  /// generator's mixed-speed / oversubscription knob.
+  double rate = 1.0;
 };
 
 struct HostSpec {
@@ -132,6 +176,9 @@ struct ShardPlan {
 
 /// Builds the PoD-affine plan; `shards` is clamped to [1, pod count] so no
 /// shard is left without a PoD (an idle shard only adds barrier latency).
+/// PoDs are placed on the currently lightest shard by router+host weight —
+/// for uniform fabrics this reduces to round-robin (global_pod % shards),
+/// for asymmetric fabrics it balances shard load by actual device count.
 [[nodiscard]] ShardPlan make_shard_plan(const ClosBlueprint& blueprint,
                                         std::uint32_t shards);
 
@@ -168,6 +215,15 @@ class ClosBlueprint {
   [[nodiscard]] std::uint16_t tor_vid_in(std::uint32_t cluster, std::uint32_t pod,
                                          std::uint32_t tor) const;
 
+  /// ToR count of (cluster, pod) — per-PoD in asymmetric mode.
+  [[nodiscard]] std::uint32_t tors_in(std::uint32_t cluster,
+                                      std::uint32_t pod) const;
+
+  /// Link indices whose cabling violates the stripe rule (top spine t must
+  /// serve pod spine s iff (t-1) % spines_per_pod == s-1) — i.e. the cables
+  /// crossed by ClosParams::miswires. Empty on a correctly built fabric.
+  [[nodiscard]] std::vector<std::uint32_t> miswired_links() const;
+
   /// Maps a test case to the interface to fail. All four are anchored on the
   /// first traffic path (L-1-1 / S-1-1 / T-1), matching Fig. 3:
   ///   TC1: ToR-side interface of link L-1-1 <-> S-1-1
@@ -192,6 +248,10 @@ class ClosBlueprint {
   void build();
 
   ClosParams params_;
+  /// leaf_base_[g] = leaves in global PoDs before g (prefix sums); the
+  /// uniform closed-form indexing generalized to non-uniform PoD sizes.
+  std::vector<std::uint32_t> leaf_base_;
+  std::uint32_t total_tors_ = 0;
   std::vector<DeviceSpec> devices_;
   std::vector<LinkSpec> links_;
   std::vector<HostSpec> hosts_;

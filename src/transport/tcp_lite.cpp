@@ -412,6 +412,17 @@ void TcpStack::destroy(TcpConnection& conn) {
   });
 }
 
+void TcpStack::shutdown() {
+  // Silence callbacks first: resetting must not re-enter protocol code on a
+  // node that is mid-poweroff.
+  for (auto& c : conns_) {
+    c->set_callbacks({});
+    c->reset();
+  }
+  conns_.clear();
+  listeners_.clear();
+}
+
 TcpConnection* TcpStack::find(ip::Ipv4Addr local, std::uint16_t local_port,
                               ip::Ipv4Addr remote, std::uint16_t remote_port) {
   for (auto& c : conns_) {

@@ -200,6 +200,12 @@ class TcpStack {
   /// Destroys a connection (its callbacks must not run afterwards).
   void destroy(TcpConnection& conn);
 
+  /// Node-reboot teardown: RSTs every connection (established peers learn
+  /// immediately; half-open peers exhaust their own retransmits) and drops
+  /// all listeners, so a later listen() starts from a clean stack instead
+  /// of accumulating duplicate acceptors.
+  void shutdown();
+
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
  private:

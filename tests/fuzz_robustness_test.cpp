@@ -192,6 +192,179 @@ TEST_P(FuzzSeeds, ChaosCampaignKeepsForwardingInvariants) {
   EXPECT_TRUE(dep.converged());
 }
 
+// --- systematic truncation / bit-flip round-trips -------------------------
+// Exhaustive prefixes and dense single-byte corruption of every control
+// message type. The decoders must reject or parse — never crash or read
+// past the supplied bytes (the sanitized variant enforces the over-read
+// half) — and anything that does parse must re-encode stably.
+
+std::vector<std::vector<std::uint8_t>> mtp_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  auto add = [&](mtp::MtpMessage msg) {
+    net::Buffer enc = mtp::encode(std::move(msg));
+    corpus.emplace_back(enc.begin(), enc.end());
+  };
+  add(mtp::HelloMsg{});
+  add(mtp::AdvertiseMsg{.tier = 2,
+                        .vids = {mtp::Vid::parse("11"),
+                                 mtp::Vid::parse("12.3")}});
+  add(mtp::JoinRequestMsg{.vids = {mtp::Vid::parse("11.1")}});
+  add(mtp::JoinOfferMsg{.msg_id = 42,
+                        .vids = {mtp::Vid::parse("11.1.2"),
+                                 mtp::Vid::parse("12.1")}});
+  add(mtp::CtrlAckMsg{.msg_id = 7});
+  add(mtp::VidWithdrawMsg{.msg_id = 9, .vids = {mtp::Vid::parse("13.2")}});
+  add(mtp::DestUnreachMsg{.msg_id = 3, .roots = {11, 12, 14}});
+  add(mtp::DestClearMsg{.msg_id = 4, .roots = {11}});
+  mtp::DataMsg data;
+  data.src_root = 11;
+  data.dst_root = 14;
+  data.ttl = 12;
+  const std::uint8_t ip_bytes[] = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  data.ip_packet = net::Buffer::copy_of(ip_bytes);
+  add(mtp::MtpMessage{std::move(data)});
+  return corpus;
+}
+
+// If a truncated or corrupted MTP payload still decodes (DataMsg prefixes
+// legitimately can — the tail is the opaque IP packet), the parse must be
+// self-consistent: re-encoding cannot invent bytes beyond the input, and a
+// second decode/encode cycle must be byte-for-byte stable.
+void expect_parse_or_reject(const std::vector<std::uint8_t>& bytes) {
+  try {
+    mtp::MtpMessage msg = mtp::decode(bytes);
+    net::Buffer reenc = mtp::encode(std::move(msg));
+    std::vector<std::uint8_t> first(reenc.begin(), reenc.end());
+    ASSERT_LE(first.size(), bytes.size());
+    mtp::MtpMessage again = mtp::decode(first);
+    net::Buffer reenc2 = mtp::encode(std::move(again));
+    std::vector<std::uint8_t> second(reenc2.begin(), reenc2.end());
+    EXPECT_EQ(first, second);
+  } catch (const util::CodecError&) {
+    // Reject is always acceptable.
+  }
+}
+
+TEST(DecodeRoundTrip, MtpEveryTruncationRejectsOrParses) {
+  for (const auto& valid : mtp_corpus()) {
+    // The untruncated message must round-trip exactly.
+    mtp::MtpMessage msg = mtp::decode(valid);
+    net::Buffer reenc = mtp::encode(std::move(msg));
+    EXPECT_EQ(std::vector<std::uint8_t>(reenc.begin(), reenc.end()), valid);
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      expect_parse_or_reject(
+          std::vector<std::uint8_t>(valid.begin(), valid.begin() + len));
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MtpBitFlipsRejectOrParse) {
+  sim::Rng rng(GetParam() * 131);
+  for (const auto& valid : mtp_corpus()) {
+    // Dense pass: every byte position, every bit.
+    for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = valid;
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+        expect_parse_or_reject(mutated);
+      }
+    }
+    // Random pass: multi-byte corruption plus truncation.
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::uint8_t> mutated = valid;
+      int flips = static_cast<int>(rng.range(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<std::uint8_t>(rng.next());
+      }
+      if (rng.chance(0.5)) mutated.resize(rng.below(mutated.size() + 1));
+      expect_parse_or_reject(mutated);
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> bgp_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back(bgp::encode(
+      bgp::OpenMessage{.asn = 64601, .hold_time_s = 3, .bgp_id = 0x0a000101}));
+  bgp::UpdateMessage reachable;
+  reachable.as_path = {64601, 64512};
+  reachable.next_hop = ip::Ipv4Addr::parse("172.16.0.1");
+  reachable.nlri = {ip::Ipv4Prefix::parse("192.168.11.0/24"),
+                    ip::Ipv4Prefix::parse("192.168.12.0/24")};
+  corpus.push_back(bgp::encode(reachable));
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn = {ip::Ipv4Prefix::parse("192.168.13.0/24")};
+  corpus.push_back(bgp::encode(withdraw));
+  corpus.push_back(bgp::encode(bgp::NotificationMessage{.code = 6}));
+  corpus.push_back(bgp::encode(bgp::KeepaliveMessage{}));
+  return corpus;
+}
+
+// A strict prefix of a BGP message can never complete (the header carries
+// the full length): the reader must wait for more bytes or throw — it must
+// never fabricate a message from a partial one.
+TEST(DecodeRoundTrip, BgpEveryTruncationWaitsOrRejects) {
+  for (const auto& valid : bgp_corpus()) {
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      bgp::MessageReader reader;
+      reader.append(std::span(valid.data(), len));
+      try {
+        EXPECT_FALSE(reader.next().has_value()) << "prefix len " << len;
+      } catch (const util::CodecError&) {
+      }
+    }
+    // The full message parses, and appending the tail after a strict
+    // prefix completes the very same parse (stream reassembly).
+    for (std::size_t split : {std::size_t{1}, valid.size() / 2}) {
+      if (split >= valid.size()) continue;
+      bgp::MessageReader reader;
+      reader.append(std::span(valid.data(), split));
+      EXPECT_FALSE(reader.next().has_value());
+      reader.append(
+          std::span(valid.data() + split, valid.size() - split));
+      EXPECT_TRUE(reader.next().has_value());
+      EXPECT_EQ(reader.buffered(), 0u);
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, BgpBitFlipsRejectOrParse) {
+  sim::Rng rng(GetParam() * 173);
+  for (const auto& valid : bgp_corpus()) {
+    for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = valid;
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+        bgp::MessageReader reader;
+        reader.append(std::span(mutated));
+        try {
+          while (reader.next().has_value()) {
+          }
+        } catch (const util::CodecError&) {
+          // Session reset; the reader must simply stop.
+        }
+      }
+    }
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::uint8_t> mutated = valid;
+      int flips = static_cast<int>(rng.range(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<std::uint8_t>(rng.next());
+      }
+      if (rng.chance(0.5)) mutated.resize(rng.below(mutated.size() + 1));
+      bgp::MessageReader reader;
+      reader.append(std::span(mutated));
+      try {
+        while (reader.next().has_value()) {
+        }
+      } catch (const util::CodecError&) {
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace

@@ -183,14 +183,19 @@ TEST(GoldenFabric, MtpTwoPodRun) {
 
   EXPECT_EQ(g.sent, 200u);
   EXPECT_EQ(g.unique_received, 200u);
-  EXPECT_EQ(g.pcap_hash, 0xe7b45bc32661be5full);
-  EXPECT_EQ(g.pcap_records, 361u);
+  // Control-plane constants re-captured for the lifecycle work: ADVERTISE
+  // carries a 4-byte statement sequence number (stale-duplicate guard) and
+  // routers re-advertise downward on tree acquisition so children can gate
+  // uplink ECMP on advertised capability. Both are deliberate wire-format
+  // changes; hello/data/IP classes are untouched.
+  EXPECT_EQ(g.pcap_hash, 0xcf1c4b9d00ea3767ull);
+  EXPECT_EQ(g.pcap_records, 363u);
 
   using TC = net::TrafficClass;
   auto idx = [](TC tc) { return static_cast<std::size_t>(tc); };
-  EXPECT_EQ(g.frames[idx(TC::kMtpControl)], 184u);
-  EXPECT_EQ(g.bytes[idx(TC::kMtpControl)], 3672u);
-  EXPECT_EQ(g.padded[idx(TC::kMtpControl)], 11040u);
+  EXPECT_EQ(g.frames[idx(TC::kMtpControl)], 232u);
+  EXPECT_EQ(g.bytes[idx(TC::kMtpControl)], 5808u);
+  EXPECT_EQ(g.padded[idx(TC::kMtpControl)], 13920u);
   EXPECT_EQ(g.frames[idx(TC::kMtpHello)], 2480u);
   EXPECT_EQ(g.bytes[idx(TC::kMtpHello)], 37200u);
   EXPECT_EQ(g.padded[idx(TC::kMtpHello)], 148800u);

@@ -126,6 +126,51 @@ TEST(ShardPlan, PodAffineAndClamped) {
   }
 }
 
+// On an asymmetric fabric the planner must balance by device weight, not
+// PoD count: pods with 3 ToRs weigh more than pods with 1. Pod affinity
+// still holds, and the heaviest shard can exceed the lightest by at most
+// one pod's weight (the greedy bound).
+TEST(ShardPlan, WeightBalancedOnAsymmetricFabric) {
+  topo::ClosBlueprint bp(topo::ClosParams::asymmetric_8pod());
+  topo::ShardPlan plan = topo::make_shard_plan(bp, 4);
+  ASSERT_EQ(plan.shards, 4u);
+
+  std::vector<std::uint32_t> load(plan.shards, 0);
+  std::uint32_t heaviest_pod = 0;
+  std::vector<std::uint32_t> pod_weight(9, 0);  // 1-based global pods
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    const auto& spec = bp.device(d);
+    ++load[plan.shard_of(d)];
+    if (spec.pod != 0) {
+      ++pod_weight[spec.pod];
+      EXPECT_EQ(plan.shard_of(d), plan.shard_of(bp.leaf(spec.pod, 1)))
+          << spec.name;
+    }
+  }
+  for (std::uint32_t w : pod_weight) heaviest_pod = std::max(heaviest_pod, w);
+  auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  EXPECT_GT(*lo, 0u) << "no shard may sit idle";
+  EXPECT_LE(*hi - *lo, heaviest_pod)
+      << "greedy balance bound violated: " << *hi << " vs " << *lo;
+}
+
+// Identical inputs must yield an identical plan (the engine relies on this
+// for resumable runs), and 1 shard degenerates to everything-on-shard-0.
+TEST(ShardPlan, DeterministicAndSingleShardDegenerate) {
+  topo::ClosBlueprint bp(topo::ClosParams::asymmetric_8pod());
+  topo::ShardPlan a = topo::make_shard_plan(bp, 4);
+  topo::ShardPlan b = topo::make_shard_plan(bp, 4);
+  ASSERT_EQ(a.shards, b.shards);
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    EXPECT_EQ(a.shard_of(d), b.shard_of(d)) << bp.device(d).name;
+  }
+  topo::ShardPlan one = topo::make_shard_plan(bp, 1);
+  EXPECT_EQ(one.shards, 1u);
+  for (std::uint32_t d = 0; d < bp.devices().size(); ++d) {
+    EXPECT_EQ(one.shard_of(d), 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The determinism contract. One scenario, run at different shard counts,
 // snapshotting every counter the fabric exposes.
@@ -154,9 +199,10 @@ std::vector<std::uint64_t> flatten(const net::Link::Stats& s) {
   return out;
 }
 
-FabricSnapshot run_chaotic_scenario(harness::Proto proto,
-                                    std::uint32_t threads) {
-  topo::ClosBlueprint blueprint(topo::ClosParams{8, 2, 2, 4, 1});
+FabricSnapshot run_chaotic_scenario(
+    harness::Proto proto, std::uint32_t threads,
+    topo::ClosParams params = topo::ClosParams{8, 2, 2, 4, 1}) {
+  topo::ClosBlueprint blueprint(params);
   harness::ShardedFabric fabric(blueprint, threads, /*seed=*/11);
   harness::Deployment dep(fabric, proto);
   sim::ShardedEngine& engine = fabric.engine();
@@ -242,6 +288,19 @@ TEST(ParallelDeterminism, MtpFourShardsAreRepeatable) {
   FabricSnapshot a = run_chaotic_scenario(harness::Proto::kMtp, 4);
   FabricSnapshot b = run_chaotic_scenario(harness::Proto::kMtp, 4);
   expect_snapshots_equal(a, b);
+}
+
+// Non-uniform shards (asymmetric PoD sizes and mixed uplink speeds) must
+// not break the determinism contract: the weight-balanced plan gives
+// shards different event loads, which stresses the barrier/lookahead logic
+// far harder than the uniform fabric.
+TEST(ParallelDeterminism, AsymmetricFourShardsMatchOneShard) {
+  topo::ClosParams params = topo::ClosParams::asymmetric_8pod();
+  FabricSnapshot one = run_chaotic_scenario(harness::Proto::kMtp, 1, params);
+  FabricSnapshot four = run_chaotic_scenario(harness::Proto::kMtp, 4, params);
+  EXPECT_TRUE(one.converged_before_fail);
+  EXPECT_GT(one.packets_sent, 0u);
+  expect_snapshots_equal(one, four);
 }
 
 TEST(ParallelDeterminism, BgpBfdFourShardsMatchOneShard) {

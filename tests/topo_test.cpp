@@ -179,5 +179,93 @@ TEST(ClosBlueprintTest, ScalesToSixteenPods) {
   EXPECT_EQ(bp.tor_vid(16, 4), 11 + 63);
 }
 
+TEST(AsymmetricClos, CountsAndLeafIndexingFollowPrefixSums) {
+  ClosParams p = ClosParams::asymmetric_8pod();
+  ASSERT_TRUE(p.asymmetric());
+  EXPECT_EQ(p.total_tors(), 16u);  // 2+3+1+2+3+1+2+2
+  EXPECT_EQ(p.router_count(), 16u + 8 * 2 + 4);
+
+  ClosBlueprint bp(p);
+  // Leaf indices are prefix sums over the per-PoD rack counts, so pod 2
+  // (3 ToRs) starts right after pod 1's 2 and pod 3 after 2+3.
+  EXPECT_EQ(bp.leaf(1, 1), 0u);
+  EXPECT_EQ(bp.leaf(2, 1), 2u);
+  EXPECT_EQ(bp.leaf(2, 3), 4u);
+  EXPECT_EQ(bp.leaf(3, 1), 5u);
+  EXPECT_EQ(bp.device(bp.leaf(3, 1)).name, "L-3-1");
+  // VIDs stay sequential from 11 across the uneven PoDs.
+  EXPECT_EQ(bp.device(bp.leaf(1, 1)).vid, 11);
+  EXPECT_EQ(bp.device(bp.leaf(2, 3)).vid, 11 + 4);
+  EXPECT_EQ(bp.device(bp.leaf(8, 2)).vid, 11 + 15);
+  // Every PoD holds exactly its configured rack count.
+  std::vector<std::uint32_t> per_pod(9, 0);
+  for (const DeviceSpec& d : bp.devices()) {
+    if (d.role == Role::kLeaf) ++per_pod[d.pod];
+  }
+  for (std::uint32_t g = 0; g < 8; ++g) {
+    EXPECT_EQ(per_pod[g + 1], p.pod_tors[g]) << "pod " << g + 1;
+  }
+}
+
+TEST(AsymmetricClos, UplinkRatesLandOnTorUplinksOnly) {
+  ClosParams p = ClosParams::asymmetric_8pod();
+  ClosBlueprint bp(p);
+  for (std::size_t li = 0; li < bp.links().size(); ++li) {
+    const LinkSpec& l = bp.links()[li];
+    if (bp.device(l.lower).role == Role::kLeaf) {
+      EXPECT_DOUBLE_EQ(l.rate,
+                       p.uplink_rate_of(bp.device(l.lower).pod - 1));
+    } else {
+      EXPECT_DOUBLE_EQ(l.rate, 1.0) << "spine tiers keep the base rate";
+    }
+  }
+}
+
+TEST(AsymmetricClos, ValidationRejectsBadShapes) {
+  ClosParams wrong_size{8, 2, 2, 4, 1};
+  wrong_size.pod_tors = {2, 3};  // must name all 8 global PoDs
+  EXPECT_THROW(ClosBlueprint{wrong_size}, std::invalid_argument);
+
+  ClosParams empty_pod{8, 2, 2, 4, 1};
+  empty_pod.pod_tors = {2, 0, 1, 2, 3, 1, 2, 2};
+  EXPECT_THROW(ClosBlueprint{empty_pod}, std::invalid_argument);
+
+  ClosParams bad_rate{8, 2, 2, 4, 1};
+  bad_rate.pod_uplink_rate = {1.0, -0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(ClosBlueprint{bad_rate}, std::invalid_argument);
+
+  ClosParams vid_overflow{8, 2, 2, 4, 1};
+  vid_overflow.pod_tors = {40, 40, 40, 40, 40, 40, 40, 1};  // 281 racks
+  EXPECT_THROW(ClosBlueprint{vid_overflow}, std::invalid_argument);
+
+  ClosParams single_spine{2, 2, 1, 1, 1};
+  single_spine.miswires = 1;  // swaps need two spines in a PoD
+  EXPECT_THROW(ClosBlueprint{single_spine}, std::invalid_argument);
+}
+
+TEST(AsymmetricClos, MiswiresViolateStripeRuleWithinThePod) {
+  ClosParams p{8, 2, 2, 4, 1};
+  p.miswires = 2;
+  p.miswire_seed = 7;
+  ClosBlueprint bp(p);
+  std::vector<std::uint32_t> bad = bp.miswired_links();
+  ASSERT_EQ(bad.size(), 2u * 2);  // each swap miswires both cables
+  for (std::uint32_t li : bad) {
+    const LinkSpec& l = bp.links()[li];
+    const DeviceSpec& top = bp.device(l.upper);
+    const DeviceSpec& spine = bp.device(l.lower);
+    ASSERT_EQ(top.role, Role::kTopSpine);
+    ASSERT_EQ(spine.role, Role::kPodSpine);
+    // The defining property: the stripe rule does not hold on this cable.
+    EXPECT_NE((top.index - 1) % p.spines_per_pod, spine.index - 1)
+        << top.name << " <-> " << spine.name;
+  }
+  // Determinism: same seed, same swaps; a clean build reports none.
+  ClosBlueprint again(p);
+  EXPECT_EQ(again.miswired_links(), bad);
+  EXPECT_TRUE(ClosBlueprint(ClosParams{8, 2, 2, 4, 1}).miswired_links()
+                  .empty());
+}
+
 }  // namespace
 }  // namespace mrmtp::topo
