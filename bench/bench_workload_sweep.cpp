@@ -1,0 +1,158 @@
+// Production-workload FCT sweep: the WorkloadEngine drives empirical
+// flow-size traffic (websearch / hadoop CDFs) at 30/50/70% offered load over
+// the 8-PoD symmetric and asymmetric fabrics while a TC1 link fails
+// mid-campaign, and records the per-flow completion-time quantiles for
+// MR-MTP vs BGP/ECMP — the user-visible cost of slow reroute. BGP's 3 s
+// hold timer strands every flow hashed onto the dead path until it expires;
+// MR-MTP's fast local reroute keeps the p99 close to the no-failure
+// baseline. Incast (N->1) and all-to-all (shuffle) rows complete the
+// scenario matrix. Everything lands in BENCH_workload.json.
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "harness/workload.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace mrmtp;
+
+struct Row {
+  std::string topology;
+  harness::WorkloadRunSpec spec;
+};
+
+util::Json run_point(const Row& row, harness::Table& table) {
+  harness::WorkloadRunResult r = harness::run_workload(row.spec);
+  const traffic::FlowStats& f = r.flows;
+  const auto scenario = std::string(to_string(row.spec.workload.scenario));
+  const auto proto = std::string(to_string(row.spec.proto));
+
+  table.add_row({row.topology, proto, scenario,
+                 harness::fmt(row.spec.workload.load, 2),
+                 std::to_string(f.flows_started),
+                 std::to_string(f.flows_completed),
+                 std::to_string(f.flows_incomplete),
+                 harness::fmt(f.fct_p50_ms, 2), harness::fmt(f.fct_p99_ms, 2),
+                 harness::fmt(f.fct_p999_ms, 2),
+                 std::to_string(r.data_queue_drops)});
+
+  util::Json point;
+  point["topology"] = row.topology;
+  point["protocol"] = proto;
+  point["scenario"] = scenario;
+  point["cdf"] = row.spec.workload.cdf.name();
+  point["load"] = row.spec.workload.load;
+  point["failure"] = row.spec.inject_failure;
+  point["initial_converged"] = r.initial_converged;
+  point["flows_started"] = static_cast<std::int64_t>(f.flows_started);
+  point["flows_completed"] = static_cast<std::int64_t>(f.flows_completed);
+  point["flows_incomplete"] = static_cast<std::int64_t>(f.flows_incomplete);
+  point["packets_sent"] = static_cast<std::int64_t>(f.packets_sent);
+  point["unique_delivered"] = static_cast<std::int64_t>(f.unique_delivered);
+  point["duplicates"] = static_cast<std::int64_t>(f.duplicates);
+  point["out_of_order"] = static_cast<std::int64_t>(f.out_of_order);
+  point["bytes_delivered"] = static_cast<std::int64_t>(f.bytes_delivered);
+  point["fct_p50_ms"] = f.fct_p50_ms;
+  point["fct_p99_ms"] = f.fct_p99_ms;
+  point["fct_p999_ms"] = f.fct_p999_ms;
+  point["fct_mean_ms"] = f.fct_mean_ms;
+  point["fct_max_ms"] = f.fct_max_ms;
+  point["fct_samples"] = static_cast<std::int64_t>(f.fct_samples);
+  point["data_queue_drops"] = static_cast<std::int64_t>(r.data_queue_drops);
+  point["events_fired"] = static_cast<std::int64_t>(r.events_fired);
+  point["wall_seconds"] = r.wall_seconds;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrmtp;
+  using namespace mrmtp::bench;
+
+  BenchFlags flags = BenchFlags::parse(argc, argv, "BENCH_workload.json");
+
+  print_header("Production workload sweep — per-flow FCT under failure",
+               "workload extension; paper Section VI 'Traffic Tests'");
+
+  // 100 Mb/s server edges keep per-point runtime ~seconds while the deeper
+  // 10G fabric stays uncongested except where the sweep intends it; flow
+  // sizes are scaled down to match (the distribution was measured on 10G
+  // edges). Edge buffers are provisioned deep on purpose: probe flows never
+  // retransmit, so a congestion tail-drop censors a flow for every protocol
+  // identically and would swamp the FCT signal — with queueing instead of
+  // loss at the edge, the only packets that die are the ones routing kills,
+  // which is exactly what the sweep measures.
+  harness::WorkloadRunSpec base;
+  base.seed = 11;
+  base.options.host_link.bandwidth_bps = 100'000'000ull;
+  base.options.host_link.max_queue = sim::Duration::seconds(1);
+  base.workload.cdf = traffic::FlowSizeCdf::websearch();
+  base.workload.size_scale = 0.02;
+  base.workload.payload_size = 1000;
+
+  const std::pair<std::string, topo::ClosParams> fabrics[] = {
+      {"8-PoD", {8, 2, 2, 4, 1}},
+      {"8-PoD-asym", topo::ClosParams::asymmetric_8pod()},
+  };
+  const double loads[] = {0.3, 0.5, 0.7};
+
+  harness::Table table({"topology", "protocol", "scenario", "load", "flows",
+                        "complete", "incomplete", "p50 ms", "p99 ms",
+                        "p999 ms", "drops"});
+  util::Json doc;
+  doc["bench"] = "workload_sweep";
+  stamp_campaign(doc, {11});
+  util::JsonArray points;
+
+  // --- the headline sweep: Poisson random-pairs under a TC1 failure ---
+  for (const auto& [name, params] : fabrics) {
+    for (harness::Proto proto : {harness::Proto::kMtp, harness::Proto::kBgp}) {
+      for (double load : loads) {
+        Row row{name, base};
+        row.spec.topo = params;
+        row.spec.proto = proto;
+        row.spec.workload.scenario = traffic::Scenario::kRandomPairs;
+        row.spec.workload.load = load;
+        row.spec.inject_failure = true;
+        points.push_back(run_point(row, table));
+      }
+    }
+  }
+
+  // --- scenario rows: incast fan-in and all-to-all shuffle, no failure ---
+  for (harness::Proto proto : {harness::Proto::kMtp, harness::Proto::kBgp}) {
+    Row incast{"8-PoD", base};
+    incast.spec.topo = fabrics[0].second;
+    incast.spec.proto = proto;
+    incast.spec.workload.cdf = traffic::FlowSizeCdf::hadoop();
+    incast.spec.workload.size_scale = 1.0;
+    incast.spec.workload.scenario = traffic::Scenario::kIncast;
+    incast.spec.workload.incast_fanin = 8;
+    incast.spec.workload.load = 0.5;
+    points.push_back(run_point(incast, table));
+
+    Row shuffle{"8-PoD", base};
+    shuffle.spec.topo = fabrics[0].second;
+    shuffle.spec.proto = proto;
+    shuffle.spec.workload.scenario = traffic::Scenario::kAllToAll;
+    points.push_back(run_point(shuffle, table));
+  }
+
+  doc["points"] = std::move(points);
+  table.print(/*with_csv=*/true);
+
+  std::ofstream out(flags.json_out);
+  out << doc.dump(/*pretty=*/true) << "\n";
+  std::printf("\nWrote %s (%zu points).\n", flags.json_out.c_str(),
+              doc["points"].as_array().size());
+
+  std::printf(
+      "\nShape check: on every failure row BGP/ECMP's p99 FCT should sit\n"
+      "near its 3 s hold timer (flows stranded on the dead path are censored\n"
+      "at the horizon) while MR-MTP's stays within an RTT-scale factor of\n"
+      "its p50 — fast local reroute turns a control-plane outage into a\n"
+      "data-plane blip. Incomplete counts tell the same story as quantiles.\n");
+  return 0;
+}

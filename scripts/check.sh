@@ -9,8 +9,11 @@
 # throughput), and the lifecycle gate (rolling upgrades must leak zero
 # auditor violations outside their declared windows, drained routers must
 # stay violation-free, and MR-MTP's disruption budget must not exceed
-# BGP+BFD's). Run from anywhere; the build trees live under the repo root
-# (build/, build-asan/, build-tsan/).
+# BGP+BFD's), and the workload gate (under a production flow mix with a
+# mid-campaign link failure, MR-MTP's p99 flow completion time must not
+# exceed BGP/ECMP's, and it must strand no more flows). Run from anywhere;
+# the build trees live under the repo root (build/, build-asan/,
+# build-tsan/).
 #
 #   scripts/check.sh            # tier-1 + sanitizers + both bench gates
 #   scripts/check.sh --tier1    # tier-1 only (fast loop)
@@ -199,6 +202,51 @@ if fails:
     sys.exit(1)
 print("  zero out-of-window and zero drain violations for MR-MTP ok")
 print("  misconfiguration suite contained ok")
+EOF
+
+  echo
+  echo "== workload gate (bench_workload_sweep) =="
+  # Pure simulated-time metrics: deterministic on any host, no perf retries.
+  (cd build && ./bench/bench_workload_sweep > /dev/null)
+  python3 - <<'EOF'
+import json, sys
+doc = json.load(open("build/BENCH_workload.json"))
+points = doc["points"]
+fails = []
+def pick(**kv):
+    for p in points:
+        if all(p.get(k) == v for k, v in kv.items()):
+            return p
+    return None
+for topo in ("8-PoD", "8-PoD-asym"):
+    mtp = pick(topology=topo, protocol="MR-MTP", scenario="random_pairs",
+               load=0.5, failure=True)
+    bgp = pick(topology=topo, protocol="BGP/ECMP", scenario="random_pairs",
+               load=0.5, failure=True)
+    if mtp is None or bgp is None:
+        fails.append(f"{topo}: missing the 50%-load failure rows")
+        continue
+    if not (mtp["initial_converged"] and bgp["initial_converged"]):
+        fails.append(f"{topo}: fabric failed to converge before launch")
+    if mtp["fct_p99_ms"] > bgp["fct_p99_ms"]:
+        fails.append(f'{topo}: MR-MTP p99 FCT {mtp["fct_p99_ms"]:.1f} ms '
+                     f'exceeds BGP/ECMP {bgp["fct_p99_ms"]:.1f} ms under '
+                     "failure at 50% load")
+    if mtp["flows_incomplete"] > bgp["flows_incomplete"]:
+        fails.append(f'{topo}: MR-MTP strands {mtp["flows_incomplete"]} '
+                     f'flows vs BGP/ECMP {bgp["flows_incomplete"]}')
+    print(f'  {topo}: p99 FCT MR-MTP {mtp["fct_p99_ms"]:.1f} ms <= '
+          f'BGP/ECMP {bgp["fct_p99_ms"]:.1f} ms, incomplete '
+          f'{mtp["flows_incomplete"]} <= {bgp["flows_incomplete"]} ok')
+for scenario in ("incast", "all_to_all"):
+    row = pick(scenario=scenario, protocol="MR-MTP")
+    if row is None or row["flows_completed"] < 1:
+        fails.append(f"{scenario}: scenario row missing or completed no flows")
+    else:
+        print(f'  {scenario}: {row["flows_completed"]} flows completed ok')
+if fails:
+    for f in fails: print("FAIL:", f)
+    sys.exit(1)
 EOF
 
   echo

@@ -47,6 +47,47 @@ ByteSnapshot update_bytes(Deployment& dep) {
                                     : bgp_update_bytes(dep);
 }
 
+/// Per-flow roll-up of the probe traffic between one sender/receiver pair.
+/// The probe stream is open-ended (no total-count header), so instead of a
+/// schedule join the FCT samples are delivery spans: first to last arrival.
+traffic::FlowStats probe_flow_stats(const traffic::Host& sender,
+                                    const traffic::Host& receiver) {
+  traffic::FlowStats st;
+  st.flows_started = sender.flows_started();
+  st.packets_sent = sender.packets_sent();
+  std::vector<double> spans;
+  spans.reserve(receiver.flow_records().size());
+  double sum = 0;
+  for (const auto& [id, rec] : receiver.flow_records()) {
+    ++st.flows_delivered;
+    st.packets_delivered += rec.received;
+    st.unique_delivered += rec.unique;
+    st.duplicates += rec.duplicates;
+    st.out_of_order += rec.out_of_order;
+    st.ancient += rec.ancient;
+    st.bytes_delivered += rec.bytes;
+    if (rec.complete()) {
+      ++st.flows_completed;
+    } else {
+      ++st.flows_incomplete;
+    }
+    const double ms = (rec.last_arrival - rec.first_arrival).to_millis();
+    spans.push_back(ms);
+    sum += ms;
+  }
+  std::sort(spans.begin(), spans.end());
+  st.fct_samples = spans.size();
+  if (!spans.empty()) {
+    st.fct_p50_ms = traffic::quantile_sorted(spans, 0.50);
+    st.fct_p99_ms = traffic::quantile_sorted(spans, 0.99);
+    st.fct_p999_ms = traffic::quantile_sorted(spans, 0.999);
+    st.fct_mean_ms = sum / static_cast<double>(spans.size());
+    st.fct_min_ms = spans.front();
+    st.fct_max_ms = spans.back();
+  }
+  return st;
+}
+
 /// The sharded twin of run_failure_experiment. Structure and event timeline
 /// are identical; the differences are exactly the ones thread-safety forces:
 ///
@@ -288,6 +329,7 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
     result.duplicates = sink.duplicates;
     result.out_of_order = sink.out_of_order;
     result.outage = sink.max_gap;
+    result.flow_stats = probe_flow_stats(*sender, *receiver);
   }
 
   const sim::ShardedEngine::Stats& es = engine.stats();
@@ -506,6 +548,7 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
     result.duplicates = sink.duplicates;
     result.out_of_order = sink.out_of_order;
     result.outage = sink.max_gap;
+    result.flow_stats = probe_flow_stats(*sender, *receiver);
   }
   return result;
 }

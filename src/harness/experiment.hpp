@@ -8,6 +8,7 @@
 #include "harness/deploy.hpp"
 #include "harness/stats.hpp"
 #include "topo/failure.hpp"
+#include "traffic/workload.hpp"
 
 namespace mrmtp::harness {
 
@@ -94,6 +95,10 @@ struct ExperimentResult {
   std::uint64_t duplicates = 0;
   std::uint64_t out_of_order = 0;
   sim::Duration outage{};  // longest inter-arrival gap at the receiver
+
+  /// Per-flow view of the same probe traffic, from the receiver's flow
+  /// records (delivery spans stand in for FCT on the open-ended probe).
+  traffic::FlowStats flow_stats;
 
   /// Gray-failure detection: onset -> first neighbor/session declared down
   /// anywhere in the fabric (MTP counts local dead-timer/interface detection

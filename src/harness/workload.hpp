@@ -1,0 +1,60 @@
+// The workload-experiment runner: deploy a fabric under one protocol stack,
+// converge, drive a traffic::WorkloadEngine campaign (empirical flow sizes,
+// Poisson arrivals at a load fraction, incast / all-to-all scripts),
+// optionally fail a link mid-campaign, and collect the per-flow completion
+// time table — the user-visible metric every routing-scheme claim is now
+// scored in. One code path serves both the classic single-context engine
+// and the PoD-sharded parallel engine; results are identical by the
+// determinism contract.
+#pragma once
+
+#include "harness/deploy.hpp"
+#include "topo/failure.hpp"
+#include "traffic/workload.hpp"
+
+namespace mrmtp::harness {
+
+struct WorkloadRunSpec {
+  topo::ClosParams topo{8, 2, 2, 4, 1};
+  Proto proto = Proto::kMtp;
+  std::uint64_t seed = 1;
+  DeployOptions options;
+  traffic::WorkloadSpec workload;
+
+  /// Worker shards, as in ExperimentSpec: 0/1 = classic engine,
+  /// >= 2 = sharded; force_parallel_engine runs the sharded machinery even
+  /// at one shard (the determinism reference).
+  std::uint32_t threads = 0;
+  bool force_parallel_engine = false;
+
+  /// Initial convergence allowance before flows launch.
+  sim::Duration settle = sim::Duration::seconds(3);
+  /// Flow arrivals span [settle, settle + launch_window).
+  sim::Duration launch_window = sim::Duration::millis(1500);
+  /// Post-launch observation so in-flight flows can finish; incomplete
+  /// flows are censored at settle + launch_window + drain.
+  sim::Duration drain = sim::Duration::seconds(2);
+
+  /// Fail one of the paper's TC links mid-campaign (the scenario where
+  /// routing schemes separate: reroute fast or strand every flow on the
+  /// dead path until the hold timer fires).
+  bool inject_failure = false;
+  topo::TestCase tc = topo::TestCase::kTC1;
+  sim::Duration failure_after = sim::Duration::millis(300);  // after launch
+};
+
+struct WorkloadRunResult {
+  bool initial_converged = false;
+  traffic::FlowStats flows;
+
+  std::uint64_t events_fired = 0;
+  double wall_seconds = 0;
+  std::uint32_t threads_used = 1;
+  /// Data-class egress tail drops over every link direction — the
+  /// congestion context behind an FCT tail.
+  std::uint64_t data_queue_drops = 0;
+};
+
+[[nodiscard]] WorkloadRunResult run_workload(const WorkloadRunSpec& spec);
+
+}  // namespace mrmtp::harness

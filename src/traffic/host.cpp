@@ -5,8 +5,10 @@ namespace mrmtp::traffic {
 net::Buffer ProbePacket::serialize(std::size_t pad_to) const {
   net::BufferWriter w(std::max(pad_to, kMinSize));
   w.u32(kMagic);
+  w.u64(flow_id);
   w.u64(seq);
   w.u64(static_cast<std::uint64_t>(sent_ns));
+  w.u32(flow_packets);
   if (w.size() < pad_to) w.zeros(pad_to - w.size());
   return w.take();
 }
@@ -17,8 +19,10 @@ std::optional<ProbePacket> ProbePacket::parse(
   util::BufReader r(data);
   if (r.u32() != kMagic) return std::nullopt;
   ProbePacket p;
+  p.flow_id = r.u64();
   p.seq = r.u64();
   p.sent_ns = static_cast<std::int64_t>(r.u64());
+  p.flow_packets = r.u32();
   return p;
 }
 
@@ -35,71 +39,142 @@ void Host::start() {
                {ip::NextHop{gateway_, 1}}, 0);
 }
 
-void Host::start_flow(const FlowConfig& flow) {
-  flow_ = flow;
-  flow_active_ = true;
-  sent_ = 0;
-  if (!send_timer_) {
-    send_timer_ = std::make_unique<sim::Timer>(ctx_.sched, [this] { send_next(); });
+std::uint64_t Host::start_flow(const FlowConfig& flow) {
+  std::uint64_t id = flow.flow_id;
+  if (id == 0) {
+    id = (static_cast<std::uint64_t>(addr_.value()) << 32) |
+         ++next_local_flow_;
   }
-  send_next();
+  auto [it, inserted] = gen_flows_.try_emplace(id);
+  GenFlow& g = it->second;
+  if (!inserted) {
+    // Explicit restart: the old incarnation's pending send is cancelled and
+    // its emitted packets remain in total_sent_; the sequence starts over.
+    ++flow_restarts_;
+    if (g.next.valid()) ctx_.sched.cancel(g.next);
+    g.next = {};
+  }
+  g.cfg = flow;
+  g.cfg.flow_id = id;
+  g.sent = 0;
+  ++flows_started_;
+  send_next(id);
+  return id;
+}
+
+void Host::stop_flow(std::uint64_t flow_id) {
+  auto it = gen_flows_.find(flow_id);
+  if (it == gen_flows_.end()) return;
+  if (it->second.next.valid()) ctx_.sched.cancel(it->second.next);
+  gen_flows_.erase(it);
 }
 
 void Host::stop_flow() {
-  flow_active_ = false;
-  if (send_timer_) send_timer_->stop();
+  for (auto& [id, g] : gen_flows_) {
+    if (g.next.valid()) ctx_.sched.cancel(g.next);
+  }
+  gen_flows_.clear();
 }
 
-void Host::send_next() {
-  if (!flow_active_) return;
-  if (flow_.count != 0 && sent_ >= flow_.count) {
-    flow_active_ = false;
+void Host::send_next(std::uint64_t flow_id) {
+  auto it = gen_flows_.find(flow_id);
+  if (it == gen_flows_.end()) return;
+  GenFlow& g = it->second;
+  g.next = {};
+  if (g.cfg.count != 0 && g.sent >= g.cfg.count) {
+    ++flows_finished_;
+    gen_flows_.erase(it);
     return;
   }
   ProbePacket p;
-  p.seq = sent_++;
+  p.flow_id = flow_id;
+  p.seq = g.sent++;
   p.sent_ns = ctx_.now().ns();
-  send_udp(addr_, flow_.dst, flow_.src_port, flow_.dst_port,
-           p.serialize(flow_.payload_size), net::TrafficClass::kIpData);
-  send_timer_->start(flow_.gap);
+  p.flow_packets = static_cast<std::uint32_t>(g.cfg.count);
+  ++total_sent_;
+  send_udp(addr_, g.cfg.dst, g.cfg.src_port, g.cfg.dst_port,
+           p.serialize(g.cfg.payload_size), net::TrafficClass::kIpData);
+  g.next = ctx_.sched.schedule_after(
+      g.cfg.gap, [this, flow_id] { send_next(flow_id); });
 }
 
 void Host::listen(std::uint16_t port_number) {
   bind_udp(port_number, [this](ip::Ipv4Addr src, ip::Ipv4Addr dst,
                                const transport::UdpHeader& hdr,
                                std::span<const std::uint8_t> payload) {
-    (void)src;
     (void)dst;
-    (void)hdr;
     auto probe = ProbePacket::parse(payload);
     if (!probe.has_value()) return;
 
     sim::Time now = ctx_.now();
-    if (any_arrival_) {
-      sim::Duration gap = now - last_arrival_;
+    auto [rit, fresh] = records_.try_emplace(probe->flow_id);
+    FlowRecord& rec = rit->second;
+    if (fresh) {
+      ++sink_.flows_seen;
+      rec.src = src;
+      rec.src_port = hdr.src_port;
+      rec.dst_port = hdr.dst_port;
+      rec.first_arrival = now;
+      windows_.emplace(probe->flow_id, SeqWindow{});
+      sink_.tracker_windows_hw =
+          std::max(sink_.tracker_windows_hw,
+                   static_cast<std::uint64_t>(windows_.size()));
+    } else {
+      sim::Duration gap = now - rec.last_arrival;
+      if (gap > rec.max_gap) rec.max_gap = gap;
       if (gap > sink_.max_gap) sink_.max_gap = gap;
     }
-    any_arrival_ = true;
-    last_arrival_ = now;
-
+    rec.last_arrival = now;
+    if (probe->flow_packets != 0) rec.expected_packets = probe->flow_packets;
+    ++rec.received;
     ++sink_.received;
-    if (seen_.contains(probe->seq)) {
+    sink_.max_seq_seen = std::max(sink_.max_seq_seen, probe->seq);
+
+    auto wit = windows_.find(probe->flow_id);
+    if (wit == windows_.end()) {
+      // The flow already completed and dropped its window; stragglers can
+      // only be duplicates of delivered packets.
+      ++rec.duplicates;
       ++sink_.duplicates;
       return;
     }
-    seen_.insert(probe->seq);
+    SeqWindow& win = wit->second;
+    const bool below_max = win.any() && probe->seq < win.max_seq();
+    switch (win.observe(probe->seq)) {
+      case SeqWindow::Verdict::kDuplicate:
+        ++rec.duplicates;
+        ++sink_.duplicates;
+        return;
+      case SeqWindow::Verdict::kAncient:
+        ++rec.ancient;
+        ++sink_.ancient;
+        return;
+      case SeqWindow::Verdict::kNew:
+        break;
+    }
+    ++rec.unique;
     ++sink_.unique_received;
-    if (sink_.unique_received > 1 && probe->seq < sink_.max_seq_seen) {
+    rec.bytes += payload.size();
+    if (below_max) {
+      ++rec.out_of_order;
       ++sink_.out_of_order;
     }
-    sink_.max_seq_seen = std::max(sink_.max_seq_seen, probe->seq);
+    if (rec.complete()) {
+      windows_.erase(wit);
+      ++sink_.flows_complete;
+    }
   });
+}
+
+const FlowRecord* Host::flow_record(std::uint64_t flow_id) const {
+  auto it = records_.find(flow_id);
+  return it == records_.end() ? nullptr : &it->second;
 }
 
 void Host::reset_sink() {
   sink_ = SinkStats{};
-  seen_.clear();
-  any_arrival_ = false;
+  records_.clear();
+  windows_.clear();
 }
 
 }  // namespace mrmtp::traffic

@@ -1,24 +1,37 @@
 // Server hosts and the sequenced traffic generator / receiver analyzer —
 // the simulator's version of the paper's custom Basic-Traffic-Generator
-// (reference [28]): back-to-back UDP datagrams carrying sequence numbers and
-// timestamps; the receiver counts lost, duplicated, and out-of-sequence
-// packets across an injected failure.
+// (reference [28]), grown into a multi-flow engine: a host can generate any
+// number of concurrent probe flows (each a stream of sequenced UDP datagrams
+// keyed by a fabric-unique flow id) and its sink demuxes arrivals into
+// per-flow records — bytes, first/last packet, duplicates, reordering, and
+// the inter-arrival gap — from which flow completion times are derived.
+//
+// Sequence tracking is windowed (SeqWindow): duplicate / out-of-order
+// detection needs only the most recent kSpan sequence numbers, so sink
+// memory stays constant per active flow no matter how many packets a flow
+// carries — million-flow campaigns do not accumulate an unbounded seen-set.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "transport/l3_node.hpp"
 
 namespace mrmtp::traffic {
 
-/// Generator packet: magic, 64-bit sequence, send timestamp, padding.
+/// Generator packet: magic, flow id, 64-bit sequence, send timestamp, the
+/// flow's total packet count (0 = open-ended stream), padding.
 struct ProbePacket {
   static constexpr std::uint32_t kMagic = 0x4d545047;  // "MTPG"
-  static constexpr std::size_t kMinSize = 20;
+  static constexpr std::size_t kMinSize = 32;
 
+  std::uint64_t flow_id = 0;
   std::uint64_t seq = 0;
   std::int64_t sent_ns = 0;
+  /// Total packets this flow will send; lets the sink detect completion
+  /// without out-of-band state. 0 for run-until-stopped probe streams.
+  std::uint32_t flow_packets = 0;
 
   /// Serializes into a pooled buffer with headroom for the UDP/IP headers,
   /// so the generator's steady state never copies payload bytes.
@@ -36,16 +49,100 @@ struct FlowConfig {
   std::uint64_t count = 0;
   /// UDP payload size in bytes (>= ProbePacket::kMinSize).
   std::size_t payload_size = 64;
+  /// Fabric-unique flow identity carried in every probe. 0 = the host
+  /// assigns one ((host address << 32) | local counter, unique across the
+  /// fabric). The workload engine passes its own globally sequenced ids.
+  std::uint64_t flow_id = 0;
 };
 
-/// Receiver-side tally, per paper §VI.D.
+/// Bounded sliding-window duplicate / out-of-order classifier: a kSpan-bit
+/// circular bitmap anchored at the highest sequence seen. Sequences that
+/// fall off the back of the window are "ancient" — unclassifiable without
+/// unbounded memory — and are counted instead of stored. sizeof(SeqWindow)
+/// is the whole per-flow tracking cost, packet count notwithstanding.
+class SeqWindow {
+ public:
+  static constexpr std::uint64_t kSpan = 1024;
+
+  enum class Verdict : std::uint8_t { kNew, kDuplicate, kAncient };
+
+  Verdict observe(std::uint64_t seq) {
+    if (!any_) {
+      any_ = true;
+      max_ = seq;
+      set(seq);
+      return Verdict::kNew;
+    }
+    if (seq > max_) {
+      if (seq - max_ >= kSpan) {
+        bits_.fill(0);
+      } else {
+        for (std::uint64_t s = max_ + 1; s < seq; ++s) clear(s);
+      }
+      set(seq);
+      max_ = seq;
+      return Verdict::kNew;
+    }
+    if (max_ - seq >= kSpan) return Verdict::kAncient;
+    if (test(seq)) return Verdict::kDuplicate;
+    set(seq);
+    return Verdict::kNew;
+  }
+
+  [[nodiscard]] std::uint64_t max_seq() const { return max_; }
+  [[nodiscard]] bool any() const { return any_; }
+
+ private:
+  [[nodiscard]] bool test(std::uint64_t s) const {
+    return (bits_[(s % kSpan) / 64] >> (s % 64)) & 1u;
+  }
+  void set(std::uint64_t s) { bits_[(s % kSpan) / 64] |= 1ull << (s % 64); }
+  void clear(std::uint64_t s) { bits_[(s % kSpan) / 64] &= ~(1ull << (s % 64)); }
+
+  std::array<std::uint64_t, kSpan / 64> bits_{};
+  std::uint64_t max_ = 0;
+  bool any_ = false;
+};
+
+/// One received flow's ledger at the sink. `max_gap` is per flow: silence
+/// between two different flows sharing this sink is not an outage and never
+/// pollutes either flow's gap (it used to, when the tally was per host).
+struct FlowRecord {
+  ip::Ipv4Addr src;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t received = 0;  // deliveries including duplicates
+  std::uint64_t unique = 0;    // distinct in-window sequences
+  std::uint64_t duplicates = 0;
+  std::uint64_t out_of_order = 0;  // first-seen seq below the flow max
+  std::uint64_t ancient = 0;       // fell off the tracking window
+  std::uint64_t bytes = 0;         // unique payload bytes
+  std::uint32_t expected_packets = 0;  // from the probe header (0 = open)
+  sim::Time first_arrival{};
+  sim::Time last_arrival{};
+  sim::Duration max_gap{};
+
+  [[nodiscard]] bool complete() const {
+    return expected_packets != 0 && unique >= expected_packets;
+  }
+};
+
+/// Receiver-side tally, per paper §VI.D — aggregated over every flow the
+/// sink has demuxed, so the single-probe-flow fields read exactly as before.
 struct SinkStats {
   std::uint64_t received = 0;         // all deliveries, including dups
   std::uint64_t unique_received = 0;  // distinct sequence numbers
   std::uint64_t duplicates = 0;
-  std::uint64_t out_of_order = 0;     // first-seen seq below the max seen
-  std::uint64_t max_seq_seen = 0;
-  sim::Duration max_gap{};            // longest inter-arrival gap (outage)
+  std::uint64_t out_of_order = 0;     // first-seen seq below the flow's max
+  std::uint64_t ancient = 0;          // beyond any flow's tracking window
+  std::uint64_t max_seq_seen = 0;     // max over flows
+  sim::Duration max_gap{};            // max per-flow inter-arrival gap
+  std::uint64_t flows_seen = 0;
+  std::uint64_t flows_complete = 0;
+  /// High-water count of live SeqWindows — the proof that tracker memory is
+  /// bounded by *concurrent* flows (windows are freed on completion), not by
+  /// flow or packet totals.
+  std::uint64_t tracker_windows_hw = 0;
 
   /// Lost = sent minus unique deliveries (the caller knows `sent`).
   [[nodiscard]] std::uint64_t lost(std::uint64_t sent) const {
@@ -65,33 +162,64 @@ class Host : public transport::L3Node {
   [[nodiscard]] ip::Ipv4Addr addr() const { return addr_; }
 
   // --- generator ---
-  /// Starts emitting probe packets per `flow` at the current sim time.
-  void start_flow(const FlowConfig& flow);
+  /// Starts emitting probe packets per `flow` at the current sim time and
+  /// returns the flow's id. Flows are concurrent: starting a second flow
+  /// never disturbs the first. Restart semantics are explicit: re-using an
+  /// *active* flow id abandons the old generator state (pending send
+  /// cancelled, its packets stay in packets_sent()) and begins a fresh
+  /// sequence from 0 under the same id — counted in flow_restarts().
+  std::uint64_t start_flow(const FlowConfig& flow);
+  /// Stops one active flow (no-op if unknown or already complete).
+  void stop_flow(std::uint64_t flow_id);
+  /// Stops every active flow.
   void stop_flow();
-  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  /// Cumulative probe packets emitted across all flows ever started.
+  [[nodiscard]] std::uint64_t packets_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+  [[nodiscard]] std::uint64_t flows_finished() const { return flows_finished_; }
+  [[nodiscard]] std::uint64_t flow_restarts() const { return flow_restarts_; }
+  [[nodiscard]] std::size_t active_flows() const { return gen_flows_.size(); }
 
   // --- analyzer ---
   /// Begins analyzing probes arriving on `port` (default flow dst port).
   void listen(std::uint16_t port = 7001);
   [[nodiscard]] const SinkStats& sink_stats() const { return sink_; }
+  /// Per-flow sink ledgers keyed by flow id.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, FlowRecord>&
+  flow_records() const {
+    return records_;
+  }
+  [[nodiscard]] const FlowRecord* flow_record(std::uint64_t flow_id) const;
+  /// Bytes of live sequence-tracking state (the bounded part; records are
+  /// compact PODs kept for telemetry).
+  [[nodiscard]] std::size_t tracker_bytes() const {
+    return windows_.size() * sizeof(SeqWindow);
+  }
   void reset_sink();
 
  private:
-  void send_next();
+  struct GenFlow {
+    FlowConfig cfg;
+    std::uint64_t sent = 0;
+    sim::EventId next{};
+  };
+
+  void send_next(std::uint64_t flow_id);
 
   ip::Ipv4Addr addr_;
   std::uint8_t prefix_len_;
   ip::Ipv4Addr gateway_;
 
-  FlowConfig flow_;
-  bool flow_active_ = false;
-  std::uint64_t sent_ = 0;
-  std::unique_ptr<sim::Timer> send_timer_;
+  std::unordered_map<std::uint64_t, GenFlow> gen_flows_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_finished_ = 0;
+  std::uint64_t flow_restarts_ = 0;
+  std::uint32_t next_local_flow_ = 0;
 
   SinkStats sink_;
-  std::unordered_set<std::uint64_t> seen_;
-  sim::Time last_arrival_{};
-  bool any_arrival_ = false;
+  std::unordered_map<std::uint64_t, FlowRecord> records_;
+  std::unordered_map<std::uint64_t, SeqWindow> windows_;
 };
 
 }  // namespace mrmtp::traffic

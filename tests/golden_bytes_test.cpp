@@ -183,12 +183,11 @@ TEST(GoldenFabric, MtpTwoPodRun) {
 
   EXPECT_EQ(g.sent, 200u);
   EXPECT_EQ(g.unique_received, 200u);
-  // Control-plane constants re-captured for the lifecycle work: ADVERTISE
-  // carries a 4-byte statement sequence number (stale-duplicate guard) and
-  // routers re-advertise downward on tree acquisition so children can gate
-  // uplink ECMP on advertised capability. Both are deliberate wire-format
-  // changes; hello/data/IP classes are untouched.
-  EXPECT_EQ(g.pcap_hash, 0xcf1c4b9d00ea3767ull);
+  // Hashes re-captured for the multi-flow traffic model: the probe header
+  // gained flow_id and flow_packets fields (a deliberate wire-format
+  // change). Probe payloads pad to the same size, so every frame/byte/record
+  // count below is unchanged — only the payload bits moved.
+  EXPECT_EQ(g.pcap_hash, 0xbb2d346a4ec227afull);
   EXPECT_EQ(g.pcap_records, 363u);
 
   using TC = net::TrafficClass;
@@ -213,7 +212,7 @@ TEST(GoldenFabric, BgpTwoPodRun) {
 
   EXPECT_EQ(g.sent, 200u);
   EXPECT_EQ(g.unique_received, 200u);
-  EXPECT_EQ(g.pcap_hash, 0xa4c0500b1d2a712eull);
+  EXPECT_EQ(g.pcap_hash, 0x90436520594eddceull);
   EXPECT_EQ(g.pcap_records, 228u);
 
   using TC = net::TrafficClass;
