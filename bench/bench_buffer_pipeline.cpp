@@ -112,16 +112,16 @@ int main() {
     double events_per_sec = (tc1.events_per_sec + tc2.events_per_sec) / 2;
     table.add_row({"8-PoD", std::string(to_string(proto)),
                    harness::fmt(events_per_sec, 0),
-                   harness::fmt(std::max(tc1.heap_high_water,
-                                         tc2.heap_high_water), 0),
+                   harness::fmt(std::max(tc1.queue_high_water,
+                                         tc2.queue_high_water), 0),
                    harness::fmt(tc1.allocs_avoided, 0)});
 
     util::Json point;
     point["topology"] = "8-PoD";
     point["protocol"] = std::string(to_string(proto));
     point["events_per_sec"] = events_per_sec;
-    point["heap_high_water"] = std::max(tc1.heap_high_water,
-                                        tc2.heap_high_water);
+    point["queue_high_water"] = std::max(tc1.queue_high_water,
+                                        tc2.queue_high_water);
     point["allocs_avoided"] = tc1.allocs_avoided;
     points.push_back(std::move(point));
   }

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
   const std::uint32_t thread_counts[] = {1, 2, 4, 8};
 
   harness::Table table({"topology", "protocol", "threads", "shards",
-                        "events/sec", "speedup", "windows", "stalls",
-                        "cross frames", "pkts lost"});
+                        "events/sec", "speedup", "windows", "coalesced",
+                        "stalls", "cross frames", "pkts lost"});
   util::Json doc;
   doc["bench"] = "parallel_sweep";
   stamp_campaign(doc, {11});
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
                        std::to_string(r.threads_used), harness::fmt(eps, 0),
                        harness::fmt(speedup, 2),
                        std::to_string(r.sync_windows),
+                       std::to_string(r.coalesced_windows),
                        std::to_string(r.horizon_stalls),
                        std::to_string(r.cross_shard_frames),
                        std::to_string(r.packets_lost)});
@@ -87,6 +88,12 @@ int main(int argc, char** argv) {
         point["wall_seconds"] = r.wall_seconds;
         point["events_fired"] = static_cast<std::int64_t>(r.events_fired);
         point["sync_windows"] = static_cast<std::int64_t>(r.sync_windows);
+        point["coalesced_windows"] =
+            static_cast<std::int64_t>(r.coalesced_windows);
+        point["pair_lookahead_min_ns"] =
+            static_cast<std::int64_t>(r.pair_lookahead_min_ns);
+        point["pair_lookahead_max_ns"] =
+            static_cast<std::int64_t>(r.pair_lookahead_max_ns);
         point["horizon_stalls"] =
             static_cast<std::int64_t>(r.horizon_stalls);
         point["cross_shard_frames"] =

@@ -1,10 +1,10 @@
 // Scalability sweep (paper §IX future work: "Scaling the DCN"): the paper's
-// metrics re-measured as the fabric grows from 2 to 16 PoDs, testing its
+// metrics re-measured as the fabric grows from 2 to 64 PoDs, testing its
 // claim that MR-MTP's advantages "increase multiplicatively as the DCN size
 // increases".
 //
 // Besides the paper metrics, the sweep doubles as the event-core scalability
-// gate: it records simulator throughput (events/sec) and the scheduler heap
+// gate: it records simulator throughput (events/sec) and the calendar-queue
 // high-water mark at each size, and writes everything to
 // BENCH_scalability.json so the perf trajectory is machine-tracked.
 #include <algorithm>
@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   BenchFlags flags =
       BenchFlags::parse(argc, argv, "BENCH_scalability.json");
 
-  print_header("Scalability sweep — PoDs 2..16 (paper Section IX)",
+  print_header("Scalability sweep — PoDs 2..64 (paper Section IX)",
                "future-work extension of Figs. 4-6");
 
   const std::pair<std::string, topo::ClosParams> sweeps[] = {
@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
       {"8-PoD", {8, 2, 2, 4, 1}},
       {"12-PoD", {12, 2, 4, 8, 1}},
       {"16-PoD", {16, 2, 4, 8, 1}},
+      {"32-PoD", {32, 2, 4, 8, 1}},
+      {"64-PoD", {64, 2, 4, 8, 1}},
       {"2x4-PoD 4-tier", topo::ClosParams::four_tier_clusters(2, 8)},
   };
   const std::vector<std::uint64_t> seeds{11, 23, 37};
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
   harness::Table table({"topology", "routers", "protocol",
                         "convergence TC1 (ms)", "ctrl bytes TC1",
                         "blast TC1 (any)", "loss TC2 (pkts)", "events/sec",
-                        "heap high-water"});
+                        "queue high-water"});
   util::Json doc;
   doc["bench"] = "scalability_sweep";
   stamp_campaign(doc, seeds);
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
       spec.tc = topo::TestCase::kTC2;
       auto tc2 = harness::run_averaged(spec, seeds);
       double events_per_sec = (tc1.events_per_sec + tc2.events_per_sec) / 2;
-      double heap_hw = std::max(tc1.heap_high_water, tc2.heap_high_water);
+      double queue_hw = std::max(tc1.queue_high_water, tc2.queue_high_water);
       table.add_row({name, std::to_string(params.router_count()),
                      std::string(to_string(proto)),
                      harness::fmt(tc1.convergence_ms, 1),
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
                      harness::fmt(tc1.blast_any, 1),
                      harness::fmt(tc2.packets_lost, 1),
                      harness::fmt(events_per_sec, 0),
-                     harness::fmt(heap_hw, 0)});
+                     harness::fmt(queue_hw, 0)});
 
       util::Json point;
       point["topology"] = name;
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
       point["blast_tc1_any"] = tc1.blast_any;
       point["loss_tc2_pkts"] = tc2.packets_lost;
       point["events_per_sec"] = events_per_sec;
-      point["heap_high_water"] = heap_hw;
+      point["queue_high_water"] = queue_hw;
       point["allocs_avoided"] = tc1.allocs_avoided;
       point["cache_hit_rate"] = tc1.cache_hit_rate;
       points.push_back(std::move(point));
@@ -99,9 +101,9 @@ int main(int argc, char** argv) {
       "\nShape check: MR-MTP convergence stays pinned at the dead timer and\n"
       "its control bytes grow mildly with fan-out, while BGP's overhead and\n"
       "blast radius grow with the router count — the paper's 'benefits\n"
-      "increase with DCN size' claim. Events/sec and the scheduler heap\n"
+      "increase with DCN size' claim. Events/sec and the calendar-queue\n"
       "high-water mark gate the event core: throughput should fall roughly\n"
-      "linearly with router count, not quadratically, and the heap must stay\n"
-      "within 4x the live-timer population.\n");
+      "linearly with router count, not quadratically, and the queue must\n"
+      "stay within 4x the live-timer population.\n");
   return 0;
 }

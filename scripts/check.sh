@@ -157,6 +157,27 @@ EOF
   else
     echo "  skipping 4-thread speedup gate: only $jobs hardware thread(s)"
   fi
+  # Barrier-elision gate: the async engine must coordinate through detection
+  # rendezvous only, not per-advance lock-step windows. The lock-step
+  # engine's committed baseline for the 4-shard 8-PoD MR-MTP chaos run was
+  # sync_windows=21455; the async engine needs a handful of detection
+  # rounds, so gate at a >= 10x reduction (<= 2145). sync_windows counts
+  # rendezvous, not wall time, so the gate holds on any host — thread
+  # timing moves it by single digits, not orders of magnitude.
+  windows="$(pgate 8-PoD 4 sync_windows)"
+  coalesced="$(pgate 8-PoD 4 coalesced_windows)"
+  if [[ -z "$windows" || -z "$coalesced" ]]; then
+    echo "FAIL: 8-PoD 4-thread sync_windows/coalesced_windows missing from" \
+         "BENCH_parallel.json — the async-engine telemetry regressed."
+    exit 1
+  fi
+  if [[ "$windows" -gt 2145 ]]; then
+    echo "FAIL: 8-PoD 4-thread run used $windows sync windows — less than a" \
+         "10x reduction over the lock-step baseline (21455)."
+    exit 1
+  fi
+  echo "  8-PoD 4-thread sync_windows=$windows (<= 2145, baseline 21455) ok"
+  echo "  8-PoD 4-thread coalesced_windows=$coalesced recorded ok"
 
   echo
   echo "== lifecycle gate (bench_lifecycle) =="
@@ -271,9 +292,9 @@ EOF
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
     --target buffer_test sim_test net_test util_test overload_damping_test \
-             parallel_engine_test lifecycle_test
+             parallel_engine_test lifecycle_test calendar_queue_property_test
   ctest --test-dir build-tsan \
-    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test)$' \
+    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test|calendar_queue_property_test)$' \
     --output-on-failure -j "$jobs"
 fi
 

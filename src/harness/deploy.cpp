@@ -27,6 +27,10 @@ ShardedFabric::ShardedFabric(const topo::ClosBlueprint& blueprint,
     // shard distinctly so any future draw is at least not correlated.
     ctxs_.push_back(
         std::make_unique<net::SimContext>(util::mix64(seed) + s));
+    // Assigned here (not in attach) so wiring-time consumers — notably
+    // Link::schedule_delivery's same-shard bypass and the cross-shard link
+    // classification below — can read endpoint shards.
+    ctxs_.back()->shard = s;
   }
 }
 
@@ -45,28 +49,40 @@ void ShardedFabric::attach(net::Network& network) {
     link->use_stream_rng(util::mix64(seed_ ^ 0x6c696e6b5347ull) + li++);
   }
 
-  // Lookahead = the minimum one-way propagation delay over ALL links, not
-  // just cross-shard ones: in a sharded run every frame delivery rides the
-  // ShardBus (the determinism tie-break, see Link::schedule_delivery), so a
-  // window must never out-run a same-shard delivery either. An event at time
-  // t can schedule a delivery no earlier than t + lookahead.
-  bool any = false;
-  sim::Duration lookahead = sim::Duration::micros(5);
+  // Per-directed-shard-pair lookahead from the links that actually cross
+  // that pair — same-shard deliveries bypass the bus entirely (see
+  // Link::schedule_delivery), so only shard-crossing links constrain the
+  // engine, and a pair wired only through fat cross-cluster links gets
+  // their full delay instead of the global minimum. The engine closes the
+  // matrix transitively so multi-hop chains stay bounded.
+  const std::uint32_t n = shard_count();
+  std::vector<sim::Duration> pair_la(static_cast<std::size_t>(n) * n,
+                                     sim::Duration{});
+  bool any_cross = false;
+  sim::Duration min_cross{};
   for (const auto& link : network.links()) {
-    if (!any || link->params().delay < lookahead) {
-      lookahead = link->params().delay;
+    const std::uint32_t sa = link->a().owner().ctx().shard;
+    const std::uint32_t sb = link->b().owner().ctx().shard;
+    if (sa == sb) continue;
+    const sim::Duration d = link->params().delay;
+    for (auto [src, dst] : {std::pair{sa, sb}, std::pair{sb, sa}}) {
+      sim::Duration& slot = pair_la[static_cast<std::size_t>(src) * n + dst];
+      if (slot <= sim::Duration{} || d < slot) slot = d;
     }
-    any = true;
+    if (!any_cross || d < min_cross) min_cross = d;
+    any_cross = true;
   }
-  lookahead_ = lookahead;
+  lookahead_ = any_cross ? min_cross : sim::Duration::micros(5);
 
   std::vector<sim::Scheduler*> scheds;
   scheds.reserve(ctxs_.size());
   for (auto& c : ctxs_) scheds.push_back(&c->sched);
-  engine_ = std::make_unique<sim::ShardedEngine>(
-      std::move(scheds), sim::ShardedEngine::Options{lookahead});
+  sim::ShardedEngine::Options opts;
+  opts.lookahead = lookahead_;
+  if (n > 1) opts.pair_lookahead = std::move(pair_la);
+  engine_ = std::make_unique<sim::ShardedEngine>(std::move(scheds),
+                                                 std::move(opts));
   for (std::uint32_t s = 0; s < ctxs_.size(); ++s) {
-    ctxs_[s]->shard = s;
     ctxs_[s]->bus = &engine_->bus();
   }
 }

@@ -22,9 +22,10 @@ class Deployment;
 
 /// The shard substrate of a parallel deployment: one SimContext per shard
 /// (PoD-affine assignment from topo::make_shard_plan) plus the conservative
-/// engine that advances them in lockstep windows. Construct the fabric first,
-/// hand it to Deployment's sharded constructor, then drive the simulation
-/// through engine().run_until() instead of a single Scheduler.
+/// engine that advances them under per-shard-pair lookahead horizons.
+/// Construct the fabric first, hand it to Deployment's sharded constructor,
+/// then drive the simulation through engine().run_until() instead of a
+/// single Scheduler.
 ///
 /// A one-shard fabric is the determinism reference: it runs the exact same
 /// per-entity RNG streams and event order as an N-shard run, inline on the
@@ -51,12 +52,14 @@ class ShardedFabric {
   }
 
   /// Called by Deployment once every link is wired: moves all RNG draws onto
-  /// per-entity streams, measures the lookahead (minimum propagation delay
-  /// over shard-crossing links), and builds the engine.
+  /// per-entity streams, measures per-directed-shard-pair lookahead from
+  /// the links that actually cross each pair, and builds the engine.
   void attach(net::Network& network);
 
   /// Valid after attach(); throws before.
   [[nodiscard]] sim::ShardedEngine& engine();
+  /// Minimum delay over shard-crossing links (the old global lookahead;
+  /// kept for reporting — the engine itself uses the per-pair matrix).
   [[nodiscard]] sim::Duration lookahead() const { return lookahead_; }
 
  private:

@@ -295,8 +295,8 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
   for (std::uint32_t s = 0; s < shards; ++s) {
     const sim::Scheduler& sched = fabric.ctx(s).sched;
     result.events_fired += sched.events_fired();
-    result.heap_high_water =
-        std::max(result.heap_high_water, sched.heap_high_water());
+    result.queue_high_water =
+        std::max(result.queue_high_water, sched.queue_high_water());
     result.sched_reschedules += sched.reschedules();
     result.sched_compactions += sched.compactions();
   }
@@ -338,6 +338,20 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
   result.horizon_stalls = es.horizon_stalls;
   result.cross_shard_frames = es.cross_events;
   result.mailbox_high_water = es.mailbox_high_water;
+  result.coalesced_windows = es.coalesced_windows;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    for (std::uint32_t j = 0; j < shards; ++j) {
+      if (i == j) continue;
+      const auto la = engine.pair_lookahead(i, j);
+      if (!la) continue;
+      const auto ns = static_cast<std::uint64_t>(la->ns());
+      if (result.pair_lookahead_min_ns == 0 ||
+          ns < result.pair_lookahead_min_ns) {
+        result.pair_lookahead_min_ns = ns;
+      }
+      result.pair_lookahead_max_ns = std::max(result.pair_lookahead_max_ns, ns);
+    }
+  }
   return result;
 }
 
@@ -516,7 +530,7 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
   result.ctrl_bytes_padded = after.padded - before.padded;
 
   result.events_fired = ctx.sched.events_fired();
-  result.heap_high_water = ctx.sched.heap_high_water();
+  result.queue_high_water = ctx.sched.queue_high_water();
   result.sched_reschedules = ctx.sched.reschedules();
   result.sched_compactions = ctx.sched.compactions();
   if (spec.proto == Proto::kMtp) {
@@ -577,8 +591,8 @@ AveragedResult run_averaged(ExperimentSpec spec,
       avg.events_per_sec +=
           static_cast<double>(r.events_fired) / r.wall_seconds;
     }
-    avg.heap_high_water = std::max(
-        avg.heap_high_water, static_cast<double>(r.heap_high_water));
+    avg.queue_high_water = std::max(
+        avg.queue_high_water, static_cast<double>(r.queue_high_water));
     avg.allocs_avoided += static_cast<double>(r.allocs_avoided);
     avg.ctrl_queue_drops += static_cast<double>(r.ctrl_queue_drops);
     avg.data_queue_drops += static_cast<double>(r.data_queue_drops);

@@ -115,7 +115,7 @@ struct ExperimentResult {
   /// Event-core / data-path health, the scalability gate's raw inputs.
   std::uint64_t events_fired = 0;
   double wall_seconds = 0;            // host time for the full run
-  std::uint64_t heap_high_water = 0;  // scheduler heap peak (entries)
+  std::uint64_t queue_high_water = 0;  // scheduler heap peak (entries)
   std::uint64_t sched_reschedules = 0;
   std::uint64_t sched_compactions = 0;
   /// MTP data-path counters summed over routers (0 under BGP).
@@ -140,6 +140,16 @@ struct ExperimentResult {
   std::uint64_t horizon_stalls = 0;
   std::uint64_t cross_shard_frames = 0;
   std::uint64_t mailbox_high_water = 0;
+  /// Horizon segments shards executed without any rendezvous — each one
+  /// would have been (at least) one barrier window under the lock-step
+  /// engine, so coalesced/sync is the barrier-elision ratio.
+  std::uint64_t coalesced_windows = 0;
+  /// Tightest and widest transitively-closed directed-pair lookahead (ns)
+  /// the engine derived from the actual shard-crossing links; 0/0 on the
+  /// classic path. The spread shows how much the per-pair matrix buys over
+  /// one global minimum.
+  std::uint64_t pair_lookahead_min_ns = 0;
+  std::uint64_t pair_lookahead_max_ns = 0;
 };
 
 [[nodiscard]] ExperimentResult run_failure_experiment(const ExperimentSpec& spec);
@@ -164,7 +174,7 @@ struct AveragedResult {
   /// max heap high-water across seeds, mean allocations avoided, and the
   /// pooled uplink-candidate-cache hit rate.
   double events_per_sec = 0;
-  double heap_high_water = 0;
+  double queue_high_water = 0;
   double allocs_avoided = 0;
   double cache_hit_rate = 0;
   /// Per-class egress-queue aggregates: mean drops per run, max high-water

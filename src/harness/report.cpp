@@ -130,7 +130,7 @@ Table hot_path_table(Deployment& dep, bool busy_only) {
   const sim::Scheduler& sched = dep.ctx().sched;
   table.add_row({"[scheduler]",
                  "events=" + std::to_string(sched.events_fired()),
-                 "heap_hw=" + std::to_string(sched.heap_high_water()),
+                 "queue_hw=" + std::to_string(sched.queue_high_water()),
                  "resched=" + std::to_string(sched.reschedules()),
                  "compact=" + std::to_string(sched.compactions()), ""});
   const net::BufferPoolStats& bp = net::BufferPool::instance().stats();

@@ -948,14 +948,17 @@ void MtpRouter::deliver_to_rack(DataMsg msg) {
 
 const std::vector<std::uint32_t>& MtpRouter::eligible_up_ports(
     std::uint16_t dst_root) const {
-  auto it = up_cache_.find(dst_root);
-  if (it != up_cache_.end()) {
+  if (dst_root >= up_cache_.size()) up_cache_.resize(dst_root + 1);
+  UpCacheSlot& slot = up_cache_[dst_root];
+  if (slot.epoch == up_cache_epoch_) {
     ++stats_.up_cache_hits;
     ++stats_.allocs_avoided;
-    return it->second;
+    return slot.ports;
   }
   ++stats_.up_cache_misses;
-  std::vector<std::uint32_t>& out = up_cache_[dst_root];
+  slot.epoch = up_cache_epoch_;
+  std::vector<std::uint32_t>& out = slot.ports;
+  out.clear();  // rebuild in place, keeping the slot's capacity
   std::vector<std::uint32_t> fallback;
   for (std::uint32_t p = 1; p <= port_count(); ++p) {
     const PortState& s = pstate(p);

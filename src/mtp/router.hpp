@@ -298,10 +298,12 @@ class MtpRouter : public net::Node {
   }
   void note_update_stats(const net::Frame& frame);
 
-  /// Drops every cached uplink candidate set; called whenever anything that
-  /// feeds eligibility (liveness, admin state, neighbor tier, exclusions)
-  /// changes.
-  void invalidate_up_cache() { up_cache_.clear(); }
+  /// Invalidates every cached uplink candidate set; called whenever anything
+  /// that feeds eligibility (liveness, admin state, neighbor tier,
+  /// exclusions) changes. O(1): slots validate themselves lazily against the
+  /// bumped epoch, and their vectors keep their capacity across rebuilds —
+  /// convergence churn no longer frees and reallocates every candidate set.
+  void invalidate_up_cache() { ++up_cache_epoch_; }
 
   MtpConfig config_;
   std::uint16_t own_vid_ = 0;
@@ -320,10 +322,18 @@ class MtpRouter : public net::Node {
   /// Statement counter stamped into every ADVERTISE (shared across ports;
   /// still strictly increasing per port, which is all receivers need).
   std::uint32_t adv_seq_ = 0;
-  /// Eligible-uplink sets keyed by destination root (lazy, see
-  /// eligible_up_ports); mutable because lookups are logically const.
-  mutable std::unordered_map<std::uint16_t, std::vector<std::uint32_t>>
-      up_cache_;
+  /// Eligible-uplink sets as a dense epoch-validated slab indexed by
+  /// destination root (lazy, see eligible_up_ports); mutable because
+  /// lookups are logically const. A slot is valid iff its epoch matches
+  /// up_cache_epoch_, so invalidation is one counter bump and a lookup is
+  /// one indexed load — no hash, no rehash churn, no allocation on the
+  /// steady-state path (roots are ToR VIDs: small, dense integers).
+  struct UpCacheSlot {
+    std::uint64_t epoch = 0;  // valid iff == up_cache_epoch_ (0 = never)
+    std::vector<std::uint32_t> ports;
+  };
+  mutable std::vector<UpCacheSlot> up_cache_;
+  mutable std::uint64_t up_cache_epoch_ = 1;
   mutable MtpStats stats_;
 };
 

@@ -12,10 +12,34 @@ void erase_from(std::vector<VidEntry>& v, const Vid& vid) {
 }
 }  // namespace
 
+void VidTable::drop_bucket_if_empty(std::uint16_t root) {
+  const std::int32_t pos = bucket_of(root);
+  if (pos < 0 || !buckets_[static_cast<std::size_t>(pos)].empty()) return;
+  const std::size_t last = buckets_.size() - 1;
+  const auto upos = static_cast<std::size_t>(pos);
+  if (upos != last) {  // swap-remove; re-point the moved root's slot
+    roots_[upos] = roots_[last];
+    buckets_[upos] = std::move(buckets_[last]);
+    root_pos_[roots_[upos]] = pos;
+  }
+  roots_.pop_back();
+  buckets_.pop_back();
+  root_pos_[root] = -1;
+}
+
 bool VidTable::add(Vid vid, std::uint32_t port) {
   if (contains(vid)) return false;
   VidEntry entry{std::move(vid), port};
-  by_root_[entry.vid.root()].push_back(entry);
+  const std::uint16_t root = entry.vid.root();
+  if (root >= root_pos_.size()) root_pos_.resize(root + 1, -1);
+  std::int32_t pos = root_pos_[root];
+  if (pos < 0) {
+    pos = static_cast<std::int32_t>(buckets_.size());
+    root_pos_[root] = pos;
+    roots_.push_back(root);
+    buckets_.emplace_back();
+  }
+  buckets_[static_cast<std::size_t>(pos)].push_back(entry);
   entries_.push_back(std::move(entry));
   return true;
 }
@@ -24,10 +48,10 @@ bool VidTable::remove(const Vid& vid) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const VidEntry& e) { return e.vid == vid; });
   if (it == entries_.end()) return false;
-  auto root_it = by_root_.find(vid.root());
-  if (root_it != by_root_.end()) {
-    erase_from(root_it->second, vid);
-    if (root_it->second.empty()) by_root_.erase(root_it);
+  const std::int32_t pos = bucket_of(vid.root());
+  if (pos >= 0) {
+    erase_from(buckets_[static_cast<std::size_t>(pos)], vid);
+    drop_bucket_if_empty(vid.root());
   }
   entries_.erase(it);
   return true;
@@ -45,10 +69,10 @@ std::vector<VidEntry> VidTable::remove_port(std::uint32_t port) {
                            });
   entries_.erase(it, entries_.end());
   for (const VidEntry& e : removed) {
-    auto root_it = by_root_.find(e.vid.root());
-    if (root_it == by_root_.end()) continue;
-    erase_from(root_it->second, e.vid);
-    if (root_it->second.empty()) by_root_.erase(root_it);
+    const std::int32_t pos = bucket_of(e.vid.root());
+    if (pos < 0) continue;
+    erase_from(buckets_[static_cast<std::size_t>(pos)], e.vid);
+    drop_bucket_if_empty(e.vid.root());
   }
   return removed;
 }
@@ -61,14 +85,14 @@ const VidEntry* VidTable::find(const Vid& vid) const {
 }
 
 bool VidTable::has_root(std::uint16_t root) const {
-  return by_root_.contains(root);
+  return bucket_of(root) >= 0;  // empty buckets are dropped eagerly
 }
 
 const std::vector<VidEntry>& VidTable::entries_for_root(
     std::uint16_t root) const {
   static const std::vector<VidEntry> kEmpty;
-  auto it = by_root_.find(root);
-  return it == by_root_.end() ? kEmpty : it->second;
+  const std::int32_t pos = bucket_of(root);
+  return pos < 0 ? kEmpty : buckets_[static_cast<std::size_t>(pos)];
 }
 
 std::string VidTable::dump() const {

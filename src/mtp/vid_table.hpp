@@ -58,13 +58,30 @@ class VidTable {
 
   void clear() {
     entries_.clear();
-    by_root_.clear();
+    root_pos_.clear();
+    roots_.clear();
+    buckets_.clear();
   }
 
  private:
+  /// Bucket index for `root`, or -1. O(1) array load — the downward data
+  /// path resolves its per-root candidate set with no tree or hash walk.
+  [[nodiscard]] std::int32_t bucket_of(std::uint16_t root) const {
+    return root < root_pos_.size() ? root_pos_[root] : -1;
+  }
+  void drop_bucket_if_empty(std::uint16_t root);
+
   std::vector<VidEntry> entries_;
-  /// Per-root candidate sets, the downward-forwarding hot path's view.
-  std::map<std::uint16_t, std::vector<VidEntry>> by_root_;
+  /// Per-root candidate index as a structure-of-arrays slab: `root_pos_` is
+  /// dense by root value (grown to the highest root seen, -1 = absent);
+  /// `roots_`/`buckets_` are parallel arrays of the live roots and their
+  /// candidate sets, compacted by swap-remove when a root empties. Roots are
+  /// ToR VIDs — small integers — so the dense map costs a few KB per router
+  /// and the hot path is one load + one indexed vector, replacing the old
+  /// std::map node walk per packet.
+  std::vector<std::int32_t> root_pos_;
+  std::vector<std::uint16_t> roots_;
+  std::vector<std::vector<VidEntry>> buckets_;
 };
 
 class ExclusionTable {

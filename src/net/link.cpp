@@ -9,8 +9,9 @@
 namespace mrmtp::net {
 
 Link::Link(SimContext& ctx, Port& a, Port& b, Params params)
-    : a_(&a), b_(&b), params_(params) {
-  (void)ctx;  // kept for API stability; endpoint contexts are authoritative
+    : a_(&a), b_(&b), params_(params), stats_(&ctx.stats.alloc_link()) {
+  // Endpoint contexts are authoritative for scheduling; `ctx` (the wiring
+  // context) owns this link's slab-allocated counters.
   if (a.link_ != nullptr || b.link_ != nullptr) {
     throw std::logic_error("Link: port already wired (" + a.str() + " / " +
                            b.str() + ")");
@@ -70,14 +71,21 @@ void Link::schedule_delivery(int dir, sim::Time at, sim::Scheduler::Callback fn)
     snd.sched.schedule_at(at, std::move(fn));
     return;
   }
-  // Sharded run: every delivery rides the bus so the destination drains
-  // same-instant arrivals in (sender node, sender port, send sequence)
-  // order — the same tie-break at any shard count.
+  // Sharded run: every delivery is keyed by (sender node, sender port,
+  // send sequence) so the destination scheduler breaks same-instant ties
+  // identically at any shard count. Same-shard deliveries go straight into
+  // the destination scheduler; only true cross-shard frames ride the bus,
+  // which is what lets the engine derive lookahead from the actual
+  // inter-shard links instead of the global minimum over ALL links.
   const Port& sender = dir == static_cast<int>(Dir::kAToB) ? *a_ : *b_;
   std::uint64_t order =
       (static_cast<std::uint64_t>(sender.owner().id()) << 48) |
       (static_cast<std::uint64_t>(sender.number()) << 32) |
       tx_seq_[dir]++;
+  if (snd.shard == rcv.shard) {
+    rcv.sched.schedule_at_ordered(at, order, std::move(fn));
+    return;
+  }
   snd.bus->post(snd.shard, rcv.shard, at, order, std::move(fn));
 }
 

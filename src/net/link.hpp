@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "net/node.hpp"
+#include "net/stats.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -71,65 +72,11 @@ class Link {
     sim::Duration ramp_over{};
   };
 
-  /// Per-direction delivery/drop counters.
-  struct DirStats {
-    std::uint64_t delivered = 0;
-    std::uint64_t dropped_link_down = 0;   // sender-side port down
-    std::uint64_t dropped_dst_down = 0;    // receiver-side port down at arrival
-    std::uint64_t dropped_impairment = 0;  // random loss (static or gray)
-    std::uint64_t dropped_blackhole = 0;   // directional blackhole
-    std::uint64_t dropped_queue_full = 0;  // output-queue tail drop (any class)
-    std::uint64_t duplicated = 0;
-    /// Subset of dropped_queue_full that was control-class (hello / control /
-    /// ACK). Nonzero here under congestion is the smoking gun for false dead
-    /// declarations; priority mode exists to keep it at zero.
-    std::uint64_t dropped_queue_control = 0;
-    /// High-water serialization backlog (ns) observed at frame admission,
-    /// split by the admitted frame's band. In shared-FIFO mode both classes
-    /// see the same queue, so these record the shared backlog as each class
-    /// encountered it.
-    std::uint64_t control_backlog_hw_ns = 0;
-    std::uint64_t data_backlog_hw_ns = 0;
-
-    [[nodiscard]] std::uint64_t dropped_total() const {
-      return dropped_link_down + dropped_dst_down + dropped_impairment +
-             dropped_blackhole + dropped_queue_full;
-    }
-  };
-
-  /// Both directions plus whole-link aggregates (the pre-gray-failure API).
-  struct Stats {
-    DirStats ab;  // a() -> b()
-    DirStats ba;  // b() -> a()
-
-    [[nodiscard]] const DirStats& dir(Dir d) const {
-      return d == Dir::kAToB ? ab : ba;
-    }
-    [[nodiscard]] std::uint64_t delivered() const {
-      return ab.delivered + ba.delivered;
-    }
-    [[nodiscard]] std::uint64_t dropped_link_down() const {
-      return ab.dropped_link_down + ba.dropped_link_down;
-    }
-    [[nodiscard]] std::uint64_t dropped_dst_down() const {
-      return ab.dropped_dst_down + ba.dropped_dst_down;
-    }
-    [[nodiscard]] std::uint64_t dropped_impairment() const {
-      return ab.dropped_impairment + ba.dropped_impairment;
-    }
-    [[nodiscard]] std::uint64_t dropped_blackhole() const {
-      return ab.dropped_blackhole + ba.dropped_blackhole;
-    }
-    [[nodiscard]] std::uint64_t dropped_queue_full() const {
-      return ab.dropped_queue_full + ba.dropped_queue_full;
-    }
-    [[nodiscard]] std::uint64_t dropped_queue_control() const {
-      return ab.dropped_queue_control + ba.dropped_queue_control;
-    }
-    [[nodiscard]] std::uint64_t duplicated() const {
-      return ab.duplicated + ba.duplicated;
-    }
-  };
+  /// Per-direction delivery/drop counters and the two-direction aggregate.
+  /// The structs live in net/stats.hpp so the per-context StatsArena can
+  /// slab-allocate them (SoA hot state); the old nested names stay valid.
+  using DirStats = LinkDirStats;
+  using Stats = LinkStats;
 
   Link(SimContext& ctx, Port& a, Port& b, Params params);
 
@@ -189,7 +136,7 @@ class Link {
   [[nodiscard]] Port& b() const { return *b_; }
   [[nodiscard]] Port& other(const Port& p) const { return &p == a_ ? *b_ : *a_; }
   [[nodiscard]] const Params& params() const { return params_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return *stats_; }
   Params& mutable_params() { return params_; }
 
  private:
@@ -213,7 +160,7 @@ class Link {
   /// itself at the next transmitter-free instant while frames wait.
   void drain(int dir);
   DirStats& dir_stats(Dir dir) {
-    return dir == Dir::kAToB ? stats_.ab : stats_.ba;
+    return dir == Dir::kAToB ? stats_->ab : stats_->ba;
   }
   [[nodiscard]] sim::Duration ser_time(const Frame& frame) const;
 
@@ -237,7 +184,8 @@ class Link {
   Port* a_;
   Port* b_;
   Params params_;
-  Stats stats_;
+  /// Stable pointer into the wiring context's StatsArena slab.
+  Stats* stats_;
   Impairments impair_[2];
   /// Per-direction private draw streams (see use_stream_rng); empty means
   /// draws come from the sending context's shared rng, the legacy behavior.

@@ -7,6 +7,12 @@
 
 namespace mrmtp::net {
 
+Port::Port(Node& owner, std::uint32_t number)
+    : owner_(&owner),
+      number_(number),
+      tx_(&owner.ctx().stats.alloc_traffic()),
+      rx_(&owner.ctx().stats.alloc_traffic()) {}
+
 MacAddr Port::mac() const { return MacAddr::for_port(owner_->id(), number_); }
 
 Port* Port::peer() const {

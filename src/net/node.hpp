@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/stats.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -40,13 +41,19 @@ struct SimContext {
   sim::Rng rng;
   std::uint32_t shard = 0;
   sim::ShardBus* bus = nullptr;
+  /// Slab-backed per-frame counters (SoA hot state): every port and link
+  /// wired on this context allocates its counter block here, so a shard's
+  /// counters are contiguous and whole-fabric stat sweeps are linear scans.
+  StatsArena stats;
 
   [[nodiscard]] sim::Time now() const { return sched.now(); }
 };
 
 class Port {
  public:
-  Port(Node& owner, std::uint32_t number) : owner_(&owner), number_(number) {}
+  /// Allocates the port's traffic counters from the owner context's arena
+  /// (defined in node.cpp, after Node).
+  Port(Node& owner, std::uint32_t number);
 
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
@@ -64,10 +71,10 @@ class Port {
   /// messages, not by peeking.
   [[nodiscard]] Port* peer() const;
 
-  [[nodiscard]] TrafficStats& tx_stats() { return tx_; }
-  [[nodiscard]] TrafficStats& rx_stats() { return rx_; }
-  [[nodiscard]] const TrafficStats& tx_stats() const { return tx_; }
-  [[nodiscard]] const TrafficStats& rx_stats() const { return rx_; }
+  [[nodiscard]] TrafficStats& tx_stats() { return *tx_; }
+  [[nodiscard]] TrafficStats& rx_stats() { return *rx_; }
+  [[nodiscard]] const TrafficStats& tx_stats() const { return *tx_; }
+  [[nodiscard]] const TrafficStats& rx_stats() const { return *rx_; }
 
   [[nodiscard]] std::string str() const;  // "S-1-1:2"
 
@@ -79,8 +86,9 @@ class Port {
   std::uint32_t number_;
   Link* link_ = nullptr;
   bool admin_up_ = true;
-  TrafficStats tx_;
-  TrafficStats rx_;
+  /// Stable pointers into the owning SimContext's StatsArena slab.
+  TrafficStats* tx_;
+  TrafficStats* rx_;
 };
 
 class Node {

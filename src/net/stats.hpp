@@ -1,0 +1,136 @@
+// Slab storage for the per-frame hot counters (SoA hot-state layout).
+//
+// Every delivered frame bumps a handful of counters: the link's directional
+// delivery/drop stats and the two ports' traffic tallies. With thousands of
+// routers (64-PoD fabrics) those counters used to live inline in Link/Port
+// objects scattered across the heap, so the per-frame counter writes — and
+// the harness aggregation sweeps that read EVERY counter in the fabric —
+// walked pointer-chased allocations. The SimContext now owns one StatsArena
+// per shard; links and ports allocate their counter blocks from it at wiring
+// time and keep a stable pointer. Blocks are packed into fixed-size chunks
+// (contiguous, cache-resident, never reallocated), and the dense allocation
+// ids follow wiring order, so a whole-fabric sweep is a linear scan.
+//
+// Per-shard ownership also means a sharded run's counter writes stay on the
+// owning thread's slab pages instead of false-sharing one global array.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace mrmtp::net {
+
+/// Per-direction delivery/drop counters of one Link.
+struct LinkDirStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_link_down = 0;   // sender-side port down
+  std::uint64_t dropped_dst_down = 0;    // receiver-side port down at arrival
+  std::uint64_t dropped_impairment = 0;  // random loss (static or gray)
+  std::uint64_t dropped_blackhole = 0;   // directional blackhole
+  std::uint64_t dropped_queue_full = 0;  // output-queue tail drop (any class)
+  std::uint64_t duplicated = 0;
+  /// Subset of dropped_queue_full that was control-class (hello / control /
+  /// ACK). Nonzero here under congestion is the smoking gun for false dead
+  /// declarations; priority mode exists to keep it at zero.
+  std::uint64_t dropped_queue_control = 0;
+  /// High-water serialization backlog (ns) observed at frame admission,
+  /// split by the admitted frame's band. In shared-FIFO mode both classes
+  /// see the same queue, so these record the shared backlog as each class
+  /// encountered it.
+  std::uint64_t control_backlog_hw_ns = 0;
+  std::uint64_t data_backlog_hw_ns = 0;
+
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_link_down + dropped_dst_down + dropped_impairment +
+           dropped_blackhole + dropped_queue_full;
+  }
+};
+
+/// Both directions plus whole-link aggregates (the pre-gray-failure API).
+/// Direction 0 is a() -> b() — `Link::Dir` casts to the right index, but the
+/// struct lives here (below the Link class) so the arena can store it.
+struct LinkStats {
+  LinkDirStats ab;  // a() -> b()
+  LinkDirStats ba;  // b() -> a()
+
+  template <typename DirT>  // Link::Dir or a raw direction index
+  [[nodiscard]] const LinkDirStats& dir(DirT d) const {
+    return static_cast<int>(d) == 0 ? ab : ba;
+  }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return ab.delivered + ba.delivered;
+  }
+  [[nodiscard]] std::uint64_t dropped_link_down() const {
+    return ab.dropped_link_down + ba.dropped_link_down;
+  }
+  [[nodiscard]] std::uint64_t dropped_dst_down() const {
+    return ab.dropped_dst_down + ba.dropped_dst_down;
+  }
+  [[nodiscard]] std::uint64_t dropped_impairment() const {
+    return ab.dropped_impairment + ba.dropped_impairment;
+  }
+  [[nodiscard]] std::uint64_t dropped_blackhole() const {
+    return ab.dropped_blackhole + ba.dropped_blackhole;
+  }
+  [[nodiscard]] std::uint64_t dropped_queue_full() const {
+    return ab.dropped_queue_full + ba.dropped_queue_full;
+  }
+  [[nodiscard]] std::uint64_t dropped_queue_control() const {
+    return ab.dropped_queue_control + ba.dropped_queue_control;
+  }
+  [[nodiscard]] std::uint64_t duplicated() const {
+    return ab.duplicated + ba.duplicated;
+  }
+};
+
+/// Chunked slab of T: stable addresses (chunks never move), contiguous
+/// storage within a chunk, dense ids in allocation order. alloc() is the
+/// only mutator; blocks live until the arena does (wiring is append-only).
+template <typename T>
+class StatsSlab {
+ public:
+  static constexpr std::size_t kChunk = 256;
+
+  T& alloc() {
+    if (count_ % kChunk == 0) {
+      chunks_.push_back(std::make_unique<T[]>(kChunk));
+    }
+    T& slot = chunks_[count_ / kChunk][count_ % kChunk];
+    ++count_;
+    return slot;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] T& operator[](std::size_t id) {
+    return chunks_[id / kChunk][id % kChunk];
+  }
+  [[nodiscard]] const T& operator[](std::size_t id) const {
+    return chunks_[id / kChunk][id % kChunk];
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t count_ = 0;
+};
+
+/// One per SimContext (i.e. one per shard): the counter blocks of every
+/// link and port wired on that shard's context.
+class StatsArena {
+ public:
+  TrafficStats& alloc_traffic() { return traffic_.alloc(); }
+  LinkStats& alloc_link() { return links_.alloc(); }
+
+  [[nodiscard]] const StatsSlab<TrafficStats>& traffic() const {
+    return traffic_;
+  }
+  [[nodiscard]] const StatsSlab<LinkStats>& links() const { return links_; }
+
+ private:
+  StatsSlab<TrafficStats> traffic_;
+  StatsSlab<LinkStats> links_;
+};
+
+}  // namespace mrmtp::net

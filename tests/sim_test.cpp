@@ -167,13 +167,14 @@ TEST(SchedulerTest, ReschedulePastClampsToNow) {
   EXPECT_EQ(sched.now().ns(), 100);
 }
 
-/// The compaction invariant: no matter how hot the reschedule churn, the heap
-/// never outgrows max(64, 4 x live callbacks).
-std::size_t heap_bound(const Scheduler& sched) {
+/// The compaction invariant: no matter how hot the reschedule churn, the
+/// calendar (day buckets + overflow ladder, stale hints included) never
+/// outgrows max(64, 4 x live events).
+std::size_t queue_bound(const Scheduler& sched) {
   return std::max<std::size_t>(64, 4 * sched.pending());
 }
 
-TEST(SchedulerTest, MillionReschedulesBoundHeapGrowth) {
+TEST(SchedulerTest, MillionReschedulesBoundQueueGrowth) {
   Scheduler sched;
   // One background event per "router" plus the churning dead-timer event.
   for (int i = 0; i < 16; ++i) {
@@ -187,15 +188,15 @@ TEST(SchedulerTest, MillionReschedulesBoundHeapGrowth) {
   for (std::int64_t i = 0; i < 1'000'000; ++i) {
     std::int64_t at = 1'000'000'000 + ((i % 2 == 0) ? i : -i);
     ASSERT_TRUE(sched.reschedule(dead, Time::from_ns(at)));
-    ASSERT_LE(sched.heap_size(), heap_bound(sched)) << "at churn step " << i;
+    ASSERT_LE(sched.queue_size(), queue_bound(sched)) << "at churn step " << i;
   }
   EXPECT_EQ(sched.reschedules(), 1'000'000u);
-  EXPECT_LE(sched.heap_high_water(), heap_bound(sched));
+  EXPECT_LE(sched.queue_high_water(), queue_bound(sched));
   sched.run();
   EXPECT_TRUE(fired);
 }
 
-TEST(SchedulerTest, CancelChurnCompactsHeap) {
+TEST(SchedulerTest, CancelChurnCompactsQueue) {
   Scheduler sched;
   for (int round = 0; round < 100; ++round) {
     std::vector<EventId> ids;
@@ -203,7 +204,7 @@ TEST(SchedulerTest, CancelChurnCompactsHeap) {
       ids.push_back(sched.schedule_after(Duration::millis(i + 1), [] {}));
     }
     for (EventId id : ids) sched.cancel(id);
-    ASSERT_LE(sched.heap_size(), heap_bound(sched)) << "round " << round;
+    ASSERT_LE(sched.queue_size(), queue_bound(sched)) << "round " << round;
   }
   EXPECT_GT(sched.compactions(), 0u);
   EXPECT_EQ(sched.pending(), 0u);
