@@ -34,6 +34,7 @@ from pathlib import Path
 # Host-dependent metrics: report deltas, but never fail the diff on them.
 HOST_DEPENDENT = {
     "events_per_sec",
+    "events_per_wall_sec",  # BENCH_buffer_occupancy.json throughput telemetry
     "wall_seconds",
     "speedup_vs_1",
     "hardware_concurrency",

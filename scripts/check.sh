@@ -11,7 +11,11 @@
 # stay violation-free, and MR-MTP's disruption budget must not exceed
 # BGP+BFD's), and the workload gate (under a production flow mix with a
 # mid-campaign link failure, MR-MTP's p99 flow completion time must not
-# exceed BGP/ECMP's, and it must strand no more flows). Run from anywhere;
+# exceed BGP/ECMP's, and it must strand no more flows), and the
+# buffer-occupancy gate (finite switch pools under a 64:1 incast: ECN+PFC
+# must beat tail-drop on p99 FCT and stranded flows, the control band must
+# stay lossless at full data occupancy, and the auditor must report zero
+# PFC deadlocks, chaos row included). Run from anywhere;
 # the build trees live under the repo root (build/, build-asan/,
 # build-tsan/).
 #
@@ -271,6 +275,75 @@ if fails:
 EOF
 
   echo
+  echo "== buffer-occupancy gate (bench_buffer_occupancy) =="
+  # Finite-buffer congestion containment, all simulated-time deterministic:
+  # ECN+PFC must beat commodity tail-drop on p99 FCT and stranded flows at
+  # the 64:1 incast, tail-drop must genuinely fill a pool (~100% occupancy)
+  # while the control band stays lossless, and the auditor must report zero
+  # PFC deadlocks on every point including the seeded chaos-squeeze row.
+  (cd build && ./bench/bench_buffer_occupancy > /dev/null)
+  python3 - <<'EOF'
+import json, sys
+doc = json.load(open("build/BENCH_buffer_occupancy.json"))
+points = doc["points"]
+fails = []
+def pick(**kv):
+    for p in points:
+        if all(p.get(k) == v for k, v in kv.items()):
+            return p
+    return None
+for proto in ("MR-MTP", "BGP/ECMP"):
+    td = pick(protocol=proto, mode="taildrop", fanin=64, pool_kib=256)
+    ecn = pick(protocol=proto, mode="ecn_pfc", fanin=64, pool_kib=256,
+               chaos=False)
+    if td is None or ecn is None:
+        fails.append(f"{proto}: missing the 64:1 taildrop/ecn_pfc pair")
+        continue
+    if not (td["initial_converged"] and ecn["initial_converged"]):
+        fails.append(f"{proto}: fabric failed to converge before launch")
+    if ecn["fct_p99_ms"] > td["fct_p99_ms"]:
+        fails.append(f'{proto}: ECN+PFC p99 FCT {ecn["fct_p99_ms"]:.1f} ms '
+                     f'exceeds tail-drop {td["fct_p99_ms"]:.1f} ms at 64:1')
+    if ecn["flows_incomplete"] > td["flows_incomplete"]:
+        fails.append(f'{proto}: ECN+PFC strands {ecn["flows_incomplete"]} '
+                     f'flows vs tail-drop {td["flows_incomplete"]}')
+    # Congestion collapse must be reproduced, not dodged: the tail-drop pool
+    # fills to within one max-size frame of 100% and refuses admissions...
+    if td["occupancy_hw_ratio"] < 0.95:
+        fails.append(f'{proto}: tail-drop occupancy high-water '
+                     f'{td["occupancy_hw_ratio"]:.3f} never filled the pool')
+    if td["buffer_drops"] < 1:
+        fails.append(f"{proto}: tail-drop run shows no buffer drops")
+    # ...and the relief valves actually engaged on the protected run.
+    if ecn["ecn_marked"] < 1 or ecn["pause_tx"] < 1:
+        fails.append(f"{proto}: ECN+PFC run shows no CE marks/PAUSE frames")
+    print(f'  {proto}: p99 ECN+PFC {ecn["fct_p99_ms"]:.1f} ms <= tail-drop '
+          f'{td["fct_p99_ms"]:.1f} ms, stranded {ecn["flows_incomplete"]} '
+          f'<= {td["flows_incomplete"]}, tail-drop occ_hw '
+          f'{td["occupancy_hw_ratio"]:.3f} ok')
+for p in points:
+    label = f'{p["protocol"]}/{p["mode"]}/{p["fanin"]}:1/{p["pool_kib"]}KiB'
+    # Graceful degradation: control band is never pool-charged, so data
+    # congestion — even a 100%-full pool — must never drop control frames.
+    if p["ctrl_queue_drops"] != 0:
+        fails.append(f'{label}: {p["ctrl_queue_drops"]} control-band drops')
+    if p["pfc_deadlocks"] != 0:
+        fails.append(f'{label}: auditor reports {p["pfc_deadlocks"]} PFC '
+                     "deadlocks")
+chaos = pick(chaos=True)
+if chaos is None:
+    fails.append("missing the seeded chaos-squeeze row")
+else:
+    print(f'  chaos row: {chaos["flows_completed"]} flows completed under '
+          f'pool squeezes, {chaos["pfc_deadlocks"]} deadlocks ok')
+print("  control band lossless and zero PFC deadlocks on all "
+      f"{len(points)} points ok")
+if fails:
+    for f in fails: print("FAIL:", f)
+    sys.exit(1)
+EOF
+
+  echo
   echo "== campaign seeds stamped into every bench artifact =="
   for f in build/BENCH_*.json; do
     if ! grep -q '"campaign_seeds"' "$f"; then
@@ -292,9 +365,10 @@ EOF
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
     --target buffer_test sim_test net_test util_test overload_damping_test \
-             parallel_engine_test lifecycle_test calendar_queue_property_test
+             parallel_engine_test lifecycle_test \
+             calendar_queue_property_test buffer_backpressure_test
   ctest --test-dir build-tsan \
-    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test|calendar_queue_property_test)$' \
+    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test|calendar_queue_property_test|buffer_backpressure_test)$' \
     --output-on-failure -j "$jobs"
 fi
 

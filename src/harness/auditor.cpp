@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <stdexcept>
 
 #include "net/link.hpp"
@@ -20,6 +21,9 @@ std::string_view to_string(InvariantKind kind) {
     case InvariantKind::kForwardingBlackhole: return "forwarding-blackhole";
     case InvariantKind::kExclusionBlackhole: return "exclusion-blackhole";
     case InvariantKind::kFalseDeadNeighbor: return "false-dead-neighbor";
+    case InvariantKind::kPfcDeadlock: return "pfc-deadlock";
+    case InvariantKind::kPauseStorm: return "pause-storm";
+    case InvariantKind::kControlStarved: return "control-starved";
   }
   return "?";
 }
@@ -80,6 +84,7 @@ std::size_t FabricAuditor::sweep() {
   } else {
     audit_bgp(out);
   }
+  audit_buffers(out);
   ++sweeps_;
   last_ = out.size();
   if (last_ > 0) ++dirty_sweeps_;
@@ -96,6 +101,95 @@ void FabricAuditor::start(sim::Duration period) {
 
 void FabricAuditor::stop() {
   if (timer_) timer_->stop();
+}
+
+void FabricAuditor::audit_buffers(std::vector<Violation>& out) {
+  bool any_buffered = false;
+  for (std::uint32_t d = 0; d < dep_.router_count(); ++d) {
+    if (dep_.router(d).switch_buffer() != nullptr) {
+      any_buffered = true;
+      break;
+    }
+  }
+  if (!any_buffered) return;
+
+  const sim::Time now = dep_.ctx().now();
+  const auto& links = dep_.network().links();
+
+  // Pause-wait graph: X -> Y when some X->Y direction is PAUSEd (Y told X to
+  // stop) while X still has data queued behind the pause. Valley-free Clos
+  // routing should keep this a DAG; a cycle is a PFC deadlock — every switch
+  // on it waits on the next forever.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> wait_edges;
+  for (const auto& lp : links) {
+    const net::Link& l = *lp;
+    for (int d = 0; d < 2; ++d) {
+      const auto dir = static_cast<net::Link::Dir>(d);
+      if (!l.data_paused(dir) || l.queued_data_bytes(dir) == 0) continue;
+      const net::Node& snd = (d == 0 ? l.a() : l.b()).owner();
+      const net::Node& rcv = (d == 0 ? l.b() : l.a()).owner();
+      auto si = router_index_.find(&snd);
+      auto ri = router_index_.find(&rcv);
+      if (si == router_index_.end() || ri == router_index_.end()) continue;
+      wait_edges[si->second].push_back(ri->second);
+    }
+  }
+  // Coloring DFS over the wait graph; each back edge is one reported cycle.
+  std::map<std::uint32_t, int> color;  // 0 = new, 1 = on stack, 2 = done
+  std::function<void(std::uint32_t)> dfs = [&](std::uint32_t u) {
+    color[u] = 1;
+    auto it = wait_edges.find(u);
+    if (it != wait_edges.end()) {
+      for (std::uint32_t v : it->second) {
+        if (color[v] == 1) {
+          ++pfc_deadlocks_;
+          flag(out, u, InvariantKind::kPfcDeadlock,
+               "pause-wait cycle through " +
+                   dep_.blueprint().device(v).name);
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    color[u] = 2;
+  };
+  for (const auto& [u, _] : wait_edges) {
+    if (color[u] == 0) dfs(u);
+  }
+
+  // Pause storms and control starvation, scored as deltas since the last
+  // sweep (first sweep: since time zero).
+  const auto interval_ns =
+      static_cast<std::uint64_t>((now - last_buffer_sweep_).ns());
+  for (const auto& lp : links) {
+    const net::Link& l = *lp;
+    auto& psnap = pause_snap_[&l];
+    auto& csnap = ctrl_drop_snap_[&l];
+    for (int d = 0; d < 2; ++d) {
+      const auto dir = static_cast<net::Link::Dir>(d);
+      const net::Node& snd = (d == 0 ? l.a() : l.b()).owner();
+      const std::uint64_t pause_now = l.pause_ns_total(dir);
+      const net::Link::DirStats& ds = d == 0 ? l.stats().ab : l.stats().ba;
+      const std::uint64_t cdrop_now = ds.dropped_queue_control;
+      auto si = router_index_.find(&snd);
+      if (si != router_index_.end()) {
+        if (interval_ns > 0 && pause_now - psnap[d] > interval_ns / 10 * 9) {
+          flag(out, si->second, InvariantKind::kPauseStorm,
+               "direction paused " + std::to_string(pause_now - psnap[d]) +
+                   " ns of a " + std::to_string(interval_ns) + " ns interval");
+        }
+        if (cdrop_now > csnap[d] &&
+            dep_.router(si->second).switch_buffer() != nullptr) {
+          flag(out, si->second, InvariantKind::kControlStarved,
+               std::to_string(cdrop_now - csnap[d]) +
+                   " control-band drops on a finite-buffer switch");
+        }
+      }
+      psnap[d] = pause_now;
+      csnap[d] = cdrop_now;
+    }
+  }
+  last_buffer_sweep_ = now;
 }
 
 // --- liveness watcher: false-dead declarations + cascade depth ---

@@ -20,6 +20,7 @@
 // stays empty across campaigns once each re-convergence window has passed.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
@@ -37,6 +38,9 @@ enum class InvariantKind : std::uint8_t {
   kForwardingBlackhole,  // probe died though a live path still exists
   kExclusionBlackhole,   // ...because exclusions ruled out live uplinks
   kFalseDeadNeighbor,    // neighbor declared dead on an unimpaired up link
+  kPfcDeadlock,          // cycle in the PFC pause-wait graph
+  kPauseStorm,           // a link direction spent >90% of the sweep paused
+  kControlStarved,       // control-band drops on a finite-buffer switch
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);
@@ -98,6 +102,9 @@ class FabricAuditor {
     return windows_;
   }
   [[nodiscard]] std::vector<Violation> violations_outside_windows() const;
+  /// PFC pause-wait cycles detected across all sweeps (each sweep counts a
+  /// cycle once). The bench gate asserts this stays zero.
+  [[nodiscard]] std::uint64_t pfc_deadlocks() const { return pfc_deadlocks_; }
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
   [[nodiscard]] std::size_t last_sweep_violations() const { return last_; }
   [[nodiscard]] std::uint64_t sweeps_with_violations() const {
@@ -113,6 +120,12 @@ class FabricAuditor {
 
   void audit_mtp(std::vector<Violation>& out);
   void audit_bgp(std::vector<Violation>& out);
+  /// Finite-buffer invariants, proto-independent: PFC pause-wait deadlock
+  /// cycles, pause storms (a direction paused >90% of the sweep interval),
+  /// and control-band starvation (control drops on a buffered switch — the
+  /// graceful-degradation guarantee says the control band stays live even at
+  /// 100% data occupancy). No-op on fabrics without switch buffers.
+  void audit_buffers(std::vector<Violation>& out);
 
   /// A leaf worth probing from/to: powered, and not deliberately costed out
   /// (a draining ToR has withdrawn its own prefix/root — probes toward it
@@ -168,6 +181,15 @@ class FabricAuditor {
   std::uint64_t sweeps_ = 0;
   std::uint64_t dirty_sweeps_ = 0;
   std::size_t last_ = 0;
+  std::uint64_t pfc_deadlocks_ = 0;
+
+  // --- buffer-audit snapshots (deltas scored sweep-over-sweep; the first
+  // sweep scores against time zero and all-zero counters) ---
+  sim::Time last_buffer_sweep_{};
+  /// Per link, per direction: pause_ns_total and dropped_queue_control at
+  /// the previous sweep.
+  std::map<const net::Link*, std::array<std::uint64_t, 2>> pause_snap_;
+  std::map<const net::Link*, std::array<std::uint64_t, 2>> ctrl_drop_snap_;
 
   // --- liveness watcher state (watch_liveness) ---
   struct DownEvent {

@@ -281,6 +281,11 @@ void Deployment::wire(const DeployOptions& options) {
       defer(g, *hosts_[h], 1);  // a host's only port
     }
   }
+  if (options.switch_buffer.has_value()) {
+    // Switches only — hosts model NICs, which obey PAUSE at the generator
+    // (traffic::Host pacing) rather than owning a shared pool.
+    for (net::Node* r : routers_) r->enable_switch_buffer(*options.switch_buffer);
+  }
 }
 
 void Deployment::init_lifecycle(const DeployOptions& options) {

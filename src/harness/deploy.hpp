@@ -12,6 +12,7 @@
 #include "bgp/router.hpp"
 #include "mtp/router.hpp"
 #include "net/network.hpp"
+#include "net/switch_buffer.hpp"
 #include "sim/parallel.hpp"
 #include "topo/clos.hpp"
 #include "traffic/vxlan.hpp"
@@ -96,6 +97,11 @@ struct DeployOptions {
   /// byte copy-paste error. MR-MTP only; the victim announces a duplicate
   /// root that the fabric must reject without disturbing other trees.
   std::optional<std::pair<std::uint32_t, std::uint32_t>> duplicate_subnet_of;
+  /// Finite shared-buffer switches: every router gets a SwitchBuffer with
+  /// these parameters (per-port egress accounting against a shared pool,
+  /// ECN marking, PFC backpressure). Unset = today's infinite time-bounded
+  /// output queues — the A/B ablation switch for the congestion study.
+  std::optional<net::SwitchBufferParams> switch_buffer;
 };
 
 /// A deployed network; indices mirror the blueprint's device/host vectors.

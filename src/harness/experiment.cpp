@@ -319,6 +319,10 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
           std::max(result.ctrl_backlog_hw_ns, ds->control_backlog_hw_ns);
       result.data_backlog_hw_ns =
           std::max(result.data_backlog_hw_ns, ds->data_backlog_hw_ns);
+      result.ecn_marked += ds->ecn_marked_data + ds->ecn_marked_ctrl;
+      result.pause_tx += ds->pause_tx;
+      result.pause_rx += ds->pause_rx;
+      result.buffer_drops += ds->dropped_buffer;
     }
   }
 
@@ -552,6 +556,10 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
           std::max(result.ctrl_backlog_hw_ns, ds->control_backlog_hw_ns);
       result.data_backlog_hw_ns =
           std::max(result.data_backlog_hw_ns, ds->data_backlog_hw_ns);
+      result.ecn_marked += ds->ecn_marked_data + ds->ecn_marked_ctrl;
+      result.pause_tx += ds->pause_tx;
+      result.pause_rx += ds->pause_rx;
+      result.buffer_drops += ds->dropped_buffer;
     }
   }
 
@@ -596,6 +604,10 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.allocs_avoided += static_cast<double>(r.allocs_avoided);
     avg.ctrl_queue_drops += static_cast<double>(r.ctrl_queue_drops);
     avg.data_queue_drops += static_cast<double>(r.data_queue_drops);
+    avg.ecn_marked += static_cast<double>(r.ecn_marked);
+    avg.pause_tx += static_cast<double>(r.pause_tx);
+    avg.pause_rx += static_cast<double>(r.pause_rx);
+    avg.buffer_drops += static_cast<double>(r.buffer_drops);
     avg.ctrl_backlog_hw_ns = std::max(
         avg.ctrl_backlog_hw_ns, static_cast<double>(r.ctrl_backlog_hw_ns));
     avg.data_backlog_hw_ns = std::max(
@@ -632,6 +644,10 @@ AveragedResult run_averaged(ExperimentSpec spec,
     avg.allocs_avoided /= n;
     avg.ctrl_queue_drops /= n;
     avg.data_queue_drops /= n;
+    avg.ecn_marked /= n;
+    avg.pause_tx /= n;
+    avg.pause_rx /= n;
+    avg.buffer_drops /= n;
   }
   if (cache_hits + cache_misses > 0) {
     avg.cache_hit_rate = cache_hits / (cache_hits + cache_misses);

@@ -131,6 +131,14 @@ struct ExperimentResult {
   std::uint64_t ctrl_backlog_hw_ns = 0;
   std::uint64_t data_backlog_hw_ns = 0;
 
+  /// Finite-buffer counters summed over every link direction (all zero when
+  /// DeployOptions::switch_buffer is unset): ECN CE marks applied, PFC
+  /// PAUSE/RESUME frames sent/received, and pool-admission drops.
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t pause_tx = 0;
+  std::uint64_t pause_rx = 0;
+  std::uint64_t buffer_drops = 0;
+
   /// Parallel-engine health (all zero on the classic path): shards actually
   /// used, barrier windows executed, windows in which some shard had no
   /// local work before the horizon (pure synchronization overhead), frames
@@ -183,6 +191,12 @@ struct AveragedResult {
   double data_queue_drops = 0;
   double ctrl_backlog_hw_ns = 0;
   double data_backlog_hw_ns = 0;
+  /// Finite-buffer aggregates: mean per-run counts (zero without switch
+  /// buffers).
+  double ecn_marked = 0;
+  double pause_tx = 0;
+  double pause_rx = 0;
+  double buffer_drops = 0;
   int runs = 0;
   int converged_runs = 0;
   int detected_runs = 0;

@@ -5,6 +5,7 @@
 #include "harness/deploy.hpp"
 #include "net/buffer.hpp"
 #include "net/network.hpp"
+#include "net/switch_buffer.hpp"
 
 namespace mrmtp::harness {
 
@@ -71,6 +72,7 @@ std::string fmt(double value, int decimals) {
 Table link_direction_table(const net::Network& network, bool busy_only) {
   Table table({"direction", "delivered", "link_down", "dst_down", "impaired",
                "blackhole", "queue_full", "ctrl_drop", "data_drop",
+               "buf_drop", "ecn", "pause_tx", "pause_rx", "pause_ms",
                "ctrl_hw_us", "data_hw_us", "dup"});
   auto row = [&](const net::Port& from, const net::Port& to,
                  const net::Link::DirStats& s) {
@@ -83,6 +85,10 @@ Table link_direction_table(const net::Network& network, bool busy_only) {
                    std::to_string(s.dropped_queue_control),
                    std::to_string(s.dropped_queue_full -
                                   s.dropped_queue_control),
+                   std::to_string(s.dropped_buffer),
+                   std::to_string(s.ecn_marked()),
+                   std::to_string(s.pause_tx), std::to_string(s.pause_rx),
+                   fmt(static_cast<double>(s.pause_ns) / 1e6, 1),
                    fmt(static_cast<double>(s.control_backlog_hw_ns) / 1e3, 1),
                    fmt(static_cast<double>(s.data_backlog_hw_ns) / 1e3, 1),
                    std::to_string(s.duplicated)});
@@ -146,6 +152,30 @@ Table hot_path_table(Deployment& dep, bool busy_only) {
                  "oversize=" + std::to_string(bp.oversize_allocs),
                  "regrows=" + std::to_string(bp.writer_regrows),
                  "import=" + std::to_string(bp.import_bytes)});
+  // Finite switch buffers, summed over every router that has one (absent on
+  // fabrics deployed without DeployOptions::switch_buffer).
+  std::uint64_t admitted = 0, bdrops = 0, marks = 0, pauses = 0;
+  std::uint64_t occ_hw = 0;
+  bool any_buffered = false;
+  for (std::uint32_t d = 0;
+       d < static_cast<std::uint32_t>(dep.router_count()); ++d) {
+    const net::SwitchBuffer* sb = dep.router(d).switch_buffer();
+    if (sb == nullptr) continue;
+    any_buffered = true;
+    const net::SwitchBufferStats& s = sb->stats();
+    admitted += s.data_admitted;
+    bdrops += s.dropped;
+    marks += s.ecn_marked;
+    pauses += s.pause_onsets;
+    occ_hw = std::max(occ_hw, s.occupancy_hw);
+  }
+  if (any_buffered) {
+    table.add_row({"[buffers]", "admitted=" + std::to_string(admitted),
+                   "drops=" + std::to_string(bdrops),
+                   "ecn=" + std::to_string(marks),
+                   "pauses=" + std::to_string(pauses),
+                   "occ_hw=" + std::to_string(occ_hw)});
+  }
   return table;
 }
 

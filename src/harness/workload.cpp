@@ -1,7 +1,12 @@
 #include "harness/workload.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
+
+#include "harness/auditor.hpp"
+#include "net/switch_buffer.hpp"
+#include "topo/chaos.hpp"
 
 namespace mrmtp::harness {
 
@@ -42,6 +47,28 @@ WorkloadRunResult run_workload(const WorkloadRunSpec& spec) {
     injector.schedule_failure(spec.tc, t_launch + spec.failure_after);
   }
 
+  // Seeded buffer-squeeze chaos, spread evenly across the launch window.
+  std::optional<topo::ChaosEngine> chaos;
+  if (spec.chaos_squeezes > 0) {
+    chaos.emplace(dep->network(), blueprint, spec.seed ^ 0x53515a45ull);
+    topo::ChaosEngine::CampaignSpec camp;
+    camp.events = static_cast<int>(spec.chaos_squeezes);
+    camp.spacing = spec.launch_window / (spec.chaos_squeezes + 1);
+    camp.start = t_launch + camp.spacing;
+    camp.heal_after = camp.spacing / 2;
+    camp.w_blackhole = camp.w_loss = camp.w_ramp = 0;
+    camp.w_flap = camp.w_correlated = camp.w_congestion = 0;
+    camp.w_squeeze = 1.0;
+    camp.squeeze_frac = spec.squeeze_frac;
+    chaos->run_campaign(camp);
+  }
+
+  std::optional<FabricAuditor> auditor;
+  if (spec.audit) {
+    auditor.emplace(*dep);
+    if (!sharded) auditor->start(spec.audit_period);
+  }
+
   // Pause just before launch for the cross-shard converged() snapshot (the
   // sharded engine forbids cross-shard reads mid-window), then run out the
   // campaign. The classic scheduler takes the same two-step path.
@@ -76,7 +103,29 @@ WorkloadRunResult run_workload(const WorkloadRunSpec& spec) {
     for (const net::Link::DirStats* ds : {&ls.ab, &ls.ba}) {
       result.data_queue_drops +=
           ds->dropped_queue_full - ds->dropped_queue_control;
+      result.ecn_marked += ds->ecn_marked_data + ds->ecn_marked_ctrl;
+      result.pause_tx += ds->pause_tx;
+      result.pause_rx += ds->pause_rx;
+      result.buffer_drops += ds->dropped_buffer;
+      result.ctrl_queue_drops += ds->dropped_queue_control;
     }
+  }
+  for (std::uint32_t d = 0; d < dep->router_count(); ++d) {
+    const net::SwitchBuffer* sb = dep->router(d).switch_buffer();
+    if (sb == nullptr || sb->params().pool_bytes == 0) continue;
+    result.occupancy_hw_ratio =
+        std::max(result.occupancy_hw_ratio,
+                 static_cast<double>(sb->stats().occupancy_hw) /
+                     static_cast<double>(sb->params().pool_bytes));
+  }
+  if (auditor.has_value()) {
+    // The sharded engine has stopped; cross-shard reads are legal now. The
+    // classic path also takes a final sweep so both engines score the
+    // end-state invariants.
+    auditor->stop();
+    auditor->sweep();
+    result.pfc_deadlocks = auditor->pfc_deadlocks();
+    result.audit_violations = auditor->violations().size();
   }
   return result;
 }

@@ -41,6 +41,18 @@ struct WorkloadRunSpec {
   bool inject_failure = false;
   topo::TestCase tc = topo::TestCase::kTC1;
   sim::Duration failure_after = sim::Duration::millis(300);  // after launch
+
+  /// Run a FabricAuditor over the campaign: periodic sweeps every
+  /// `audit_period` under the classic engine; sharded runs take one final
+  /// sweep instead (cross-shard reads are only legal once the engine
+  /// stops), so the audited invariants are identical at any shard count.
+  bool audit = false;
+  sim::Duration audit_period = sim::Duration::millis(500);
+  /// Seeded kBufferSqueeze chaos events spread across the launch window,
+  /// each shrinking a random switch's pool to `squeeze_frac` until it heals
+  /// half a spacing later. No-ops without options.switch_buffer.
+  std::uint32_t chaos_squeezes = 0;
+  double squeeze_frac = 0.25;
 };
 
 struct WorkloadRunResult {
@@ -53,6 +65,21 @@ struct WorkloadRunResult {
   /// Data-class egress tail drops over every link direction — the
   /// congestion context behind an FCT tail.
   std::uint64_t data_queue_drops = 0;
+
+  // --- finite-buffer counters (all zero without options.switch_buffer) ---
+  std::uint64_t ecn_marked = 0;    // CE marks applied fabric-wide
+  std::uint64_t pause_tx = 0;      // PFC PAUSE/RESUME frames sent
+  std::uint64_t pause_rx = 0;      // ...and received/applied
+  std::uint64_t buffer_drops = 0;  // admissions refused by a full pool/port
+  /// Control-band tail drops fabric-wide. The graceful-degradation gate
+  /// asserts this stays zero even when data pools run at 100%.
+  std::uint64_t ctrl_queue_drops = 0;
+  /// Max over switches of (pool occupancy high-water / pool size); ~1.0
+  /// means some pool genuinely filled. 0 when no switch buffers deployed.
+  double occupancy_hw_ratio = 0;
+  /// From the auditor (0 when spec.audit is off).
+  std::uint64_t pfc_deadlocks = 0;
+  std::uint64_t audit_violations = 0;
 };
 
 [[nodiscard]] WorkloadRunResult run_workload(const WorkloadRunSpec& spec);

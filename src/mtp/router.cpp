@@ -117,6 +117,10 @@ void MtpRouter::send_msg(std::uint32_t port_number, MtpMessage msg) {
       break;
     case MsgType::kData:
       frame.traffic_class = net::TrafficClass::kMtpData;
+      // The encapsulated IPv4 header sits right behind the MTP data header;
+      // expose it so finite-buffer switches can apply ECN CE marks to MTP
+      // transit traffic too.
+      frame.inner_ip_offset = DataMsg::kHeaderSize;
       break;
     default:
       frame.traffic_class = net::TrafficClass::kMtpControl;

@@ -22,6 +22,7 @@ std::string_view to_string(TrafficClass tc) {
     case TrafficClass::kTcpAck: return "tcp-ack";
     case TrafficClass::kIpData: return "ip-data";
     case TrafficClass::kOther: return "other";
+    case TrafficClass::kPfc: return "pfc";
   }
   return "?";
 }

@@ -16,6 +16,9 @@ namespace mrmtp::net {
 enum class EtherType : std::uint16_t {
   kIpv4 = 0x0800,
   kMtp = 0x8850,
+  /// IEEE 802.3x / 802.1Qbb flow-control frames (PFC PAUSE / RESUME).
+  /// Link-local: consumed by the receiving Link, never forwarded.
+  kFlowControl = 0x8808,
 };
 
 /// Simulation-side classification of a frame's purpose. This never appears on
@@ -31,10 +34,11 @@ enum class TrafficClass : std::uint8_t {
   kTcpAck,        // pure TCP acknowledgements (no payload)
   kIpData,        // server IP traffic on host links / BGP-routed fabric
   kOther,
+  kPfc,           // PFC PAUSE/RESUME backpressure frames (hop-local)
 };
 
 [[nodiscard]] std::string_view to_string(TrafficClass tc);
-constexpr std::size_t kTrafficClassCount = 9;
+constexpr std::size_t kTrafficClassCount = 10;
 
 /// Control-band membership for class-aware egress queueing: everything a
 /// router needs to keep adjacencies and sessions alive under congestion.
@@ -49,6 +53,7 @@ constexpr std::size_t kTrafficClassCount = 9;
     case TrafficClass::kBgpKeepalive:
     case TrafficClass::kBfd:
     case TrafficClass::kTcpAck:
+    case TrafficClass::kPfc:
       return true;
     case TrafficClass::kMtpData:
     case TrafficClass::kIpData:
@@ -71,8 +76,24 @@ struct Frame {
   Buffer payload;
   TrafficClass traffic_class = TrafficClass::kOther;
 
+  /// Offset of an encapsulated IPv4 header inside `payload` for non-kIpv4
+  /// ethertypes (MTP data encap sets it to the MTP data-header size).
+  /// kNoInnerIp = no reachable IP header. Plain kIpv4 frames carry theirs at
+  /// offset 0 and ignore this field. This is what lets a finite-buffer
+  /// egress queue apply an ECN CE mark without understanding every
+  /// encapsulation format (net cannot depend on the ip codec layer).
+  static constexpr std::uint8_t kNoInnerIp = 0xff;
+  std::uint8_t inner_ip_offset = kNoInnerIp;
+
   static constexpr std::size_t kHeaderSize = 14;
   static constexpr std::size_t kMinWireSize = 60;
+
+  /// Byte offset of the IPv4 header reachable in `payload`, or -1 if none.
+  [[nodiscard]] int ip_offset() const {
+    if (ethertype == EtherType::kIpv4) return 0;
+    if (inner_ip_offset != kNoInnerIp) return inner_ip_offset;
+    return -1;
+  }
 
   [[nodiscard]] std::size_t wire_size() const {
     return kHeaderSize + payload.size();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/switch_buffer.hpp"
 #include "sim/parallel.hpp"
 
 namespace mrmtp::net {
@@ -121,6 +122,10 @@ void Link::transmit(Port& from, Frame frame) {
   from.tx_stats().record(frame);
 
   int dir = static_cast<int>(direction);
+  if (SwitchBuffer* sb = from.owner().switch_buffer()) {
+    transmit_buffered(dir, std::move(frame), *sb);
+    return;
+  }
   if (params_.priority_queues) {
     transmit_priority(dir, std::move(frame));
     return;
@@ -179,9 +184,101 @@ void Link::transmit_priority(int dir, Frame frame) {
   hw = std::max(hw, static_cast<std::uint64_t>(wait.ns()));
 
   int band = control ? kControlBand : kDataBand;
+  band_bytes_[dir][band] += frame.padded_wire_size();
   bands_[dir][band].push_back(Pending{std::move(frame), ser});
   band_backlog_[dir][band] = band_backlog_[dir][band] + ser;
   if (!drain_armed_[dir]) {
+    drain_armed_[dir] = true;
+    send_ctx(dir).sched.schedule_at(std::max(now, busy_until_[dir]),
+                                    [this, dir] { drain(dir); });
+  }
+}
+
+void Link::transmit_buffered(int dir, Frame frame, SwitchBuffer& sb) {
+  DirStats& dstats = dir_stats(static_cast<Dir>(dir));
+  bool control = is_control_class(frame.traffic_class);
+  sim::Duration ser = ser_time(frame);
+
+  sim::Time now = send_ctx(dir).now();
+  sim::Duration residual =
+      busy_until_[dir] > now ? busy_until_[dir] - now : sim::Duration{};
+  bool idle = residual <= sim::Duration{} &&
+              bands_[dir][kControlBand].empty() &&
+              bands_[dir][kDataBand].empty();
+
+  if (control) {
+    // The control band keeps its serialization-time carve-out from priority
+    // mode and is never charged to the data pool — this is the invariant
+    // that keeps hellos/ACKs deliverable at 100% data occupancy. A PAUSE
+    // only stops the data band, so control also ignores paused_.
+    if (idle) {
+      serialize_and_send(dir, std::move(frame), ser);
+      return;
+    }
+    sim::Duration wait = band_backlog_[dir][kControlBand];
+    if (wait > params_.control_queue) {
+      ++dstats.dropped_queue_full;
+      ++dstats.dropped_queue_control;
+      return;
+    }
+    dstats.control_backlog_hw_ns = std::max(
+        dstats.control_backlog_hw_ns, static_cast<std::uint64_t>(wait.ns()));
+    if (sb.params().ecn_ctrl_threshold > 0 &&
+        band_bytes_[dir][kControlBand] + frame.padded_wire_size() >
+            sb.params().ecn_ctrl_threshold &&
+        mark_ce(frame)) {
+      ++dstats.ecn_marked_ctrl;
+      sb.note_ecn_mark();
+    }
+    sb.note_ctrl_admitted();
+    band_bytes_[dir][kControlBand] += frame.padded_wire_size();
+    bands_[dir][kControlBand].push_back(Pending{std::move(frame), ser});
+    band_backlog_[dir][kControlBand] =
+        band_backlog_[dir][kControlBand] + ser;
+    if (!drain_armed_[dir]) {
+      drain_armed_[dir] = true;
+      send_ctx(dir).sched.schedule_at(std::max(now, busy_until_[dir]),
+                                      [this, dir] { drain(dir); });
+    }
+    return;
+  }
+
+  // Data. Fast path only while unpaused: one delivery event, no buffer held
+  // (cut-through approximation — occupancy counts queued frames).
+  if (idle && !paused_[dir]) {
+    serialize_and_send(dir, std::move(frame), ser);
+    return;
+  }
+  sim::Duration wait = residual + band_backlog_[dir][kControlBand] +
+                       band_backlog_[dir][kDataBand];
+  if (wait > params_.max_queue) {
+    ++dstats.dropped_queue_full;
+    return;
+  }
+  auto bytes = static_cast<std::uint32_t>(frame.padded_wire_size());
+  Port& from = sender(dir);
+  if (!sb.admit_egress(from.number(), bytes)) {
+    ++dstats.dropped_buffer;
+    return;
+  }
+  std::uint32_t ingress = from.owner().current_rx_port();
+  if (ingress != 0) sb.charge_ingress(ingress, bytes);
+  if (sb.params().ecn_data_threshold > 0 &&
+      band_bytes_[dir][kDataBand] + bytes >
+          sb.params().ecn_data_threshold &&
+      mark_ce(frame)) {
+    ++dstats.ecn_marked_data;
+    sb.note_ecn_mark();
+  }
+  dstats.data_backlog_hw_ns = std::max(
+      dstats.data_backlog_hw_ns, static_cast<std::uint64_t>(wait.ns()));
+  band_bytes_[dir][kDataBand] += bytes;
+  bands_[dir][kDataBand].push_back(
+      Pending{std::move(frame), ser, bytes, ingress});
+  band_backlog_[dir][kDataBand] = band_backlog_[dir][kDataBand] + ser;
+  // While paused with nothing else queued, leave the drain unarmed; the
+  // RESUME (or a later control frame) re-arms it.
+  if (!drain_armed_[dir] && !paused_[dir]) {
     drain_armed_[dir] = true;
     send_ctx(dir).sched.schedule_at(std::max(now, busy_until_[dir]),
                                     [this, dir] { drain(dir); });
@@ -192,15 +289,29 @@ void Link::drain(int dir) {
   int band =
       !bands_[dir][kControlBand].empty() ? kControlBand : kDataBand;
   auto& q = bands_[dir][band];
-  if (q.empty()) {  // defensive: both bands drained out from under the event
+  // Defensive empty check; a PAUSEd data band with no control waiting also
+  // parks the drain (the RESUME re-arms it).
+  if (q.empty() || (band == kDataBand && paused_[dir])) {
     drain_armed_[dir] = false;
     return;
   }
   Pending p = std::move(q.front());
   q.pop_front();
   band_backlog_[dir][band] = band_backlog_[dir][band] - p.ser;
+  std::uint64_t wire = p.frame.padded_wire_size();
+  band_bytes_[dir][band] -= std::min(band_bytes_[dir][band], wire);
   serialize_and_send(dir, std::move(p.frame), p.ser);
-  if (!bands_[dir][kControlBand].empty() || !bands_[dir][kDataBand].empty()) {
+  if (p.charged > 0) {
+    // The frame left the buffer: release its pool/ingress charges. This can
+    // emit a RESUME out the ingress port (a different link's control band).
+    if (SwitchBuffer* sb = sender(dir).owner().switch_buffer()) {
+      sb->release_egress(sender(dir).number(), p.charged);
+      if (p.ingress != 0) sb->release_ingress(p.ingress, p.charged);
+    }
+  }
+  bool more = !bands_[dir][kControlBand].empty() ||
+              (!paused_[dir] && !bands_[dir][kDataBand].empty());
+  if (more) {
     send_ctx(dir).sched.schedule_at(busy_until_[dir],
                                     [this, dir] { drain(dir); });
   } else {
@@ -254,18 +365,18 @@ void Link::serialize_and_send(int dir, Frame frame, sim::Duration ser) {
     ++dstats.duplicated;
     Frame copy = frame;
     schedule_delivery(dir, arrival + sim::Duration::micros(1),
-                      [this, &to, &dstats, copy = std::move(copy)]() mutable {
-                        deliver(to, std::move(copy), dstats);
+                      [this, dir, &to, &dstats, copy = std::move(copy)]() mutable {
+                        deliver(dir, to, std::move(copy), dstats);
                       });
   }
   // The last/only delivery moves the frame — no payload copy on transit.
   schedule_delivery(dir, arrival,
-                    [this, &to, &dstats, frame = std::move(frame)]() mutable {
-                      deliver(to, std::move(frame), dstats);
+                    [this, dir, &to, &dstats, frame = std::move(frame)]() mutable {
+                      deliver(dir, to, std::move(frame), dstats);
                     });
 }
 
-void Link::deliver(Port& to, Frame frame, DirStats& dstats) {
+void Link::deliver(int dir, Port& to, Frame frame, DirStats& dstats) {
   if (!to.admin_up()) {
     ++dstats.dropped_dst_down;
     return;
@@ -273,7 +384,48 @@ void Link::deliver(Port& to, Frame frame, DirStats& dstats) {
   ++dstats.delivered;
   if (tap_) tap_(to.owner().ctx().now(), frame);
   to.rx_stats().record(frame);
-  to.owner().handle_frame(to, std::move(frame));
+  if (frame.ethertype == EtherType::kFlowControl) {
+    // Link-local PFC: consumed here, never handed to the node. The paused
+    // direction is the reverse of the PFC's travel — its transmitter is the
+    // receiving node, so this executes on the shard that owns that state.
+    apply_flow_control(dir, frame);
+    return;
+  }
+  to.owner().receive_frame(to, std::move(frame));
+}
+
+void Link::apply_flow_control(int delivery_dir, const Frame& frame) {
+  int pd = 1 - delivery_dir;  // the direction being paused/resumed
+  bool pause = !frame.payload.empty() && frame.payload[0] != 0;
+  DirStats& dstats = dir_stats(static_cast<Dir>(pd));
+  if (pause) {
+    if (!paused_[pd]) {
+      paused_[pd] = true;
+      pause_start_[pd] = send_ctx(pd).now();
+      ++dstats.pause_rx;
+    }
+    return;
+  }
+  if (!paused_[pd]) return;
+  paused_[pd] = false;
+  ++dstats.pause_rx;
+  dstats.pause_ns += static_cast<std::uint64_t>(
+      (send_ctx(pd).now() - pause_start_[pd]).ns());
+  if (!bands_[pd][kDataBand].empty() && !drain_armed_[pd]) {
+    drain_armed_[pd] = true;
+    sim::Time at = std::max(send_ctx(pd).now(), busy_until_[pd]);
+    send_ctx(pd).sched.schedule_at(at, [this, pd] { drain(pd); });
+  }
+}
+
+std::uint64_t Link::pause_ns_total(Dir dir) const {
+  int d = static_cast<int>(dir);
+  std::uint64_t ns = stats_->dir(dir).pause_ns;
+  if (paused_[d]) {
+    ns += static_cast<std::uint64_t>(
+        (send_ctx(d).now() - pause_start_[d]).ns());
+  }
+  return ns;
 }
 
 }  // namespace mrmtp::net

@@ -139,16 +139,42 @@ class Link {
   [[nodiscard]] const Stats& stats() const { return *stats_; }
   Params& mutable_params() { return params_; }
 
+  // --- PFC backpressure state (driven by received kFlowControl frames) ---
+  /// True while `dir`'s data band is PAUSEd by the receiving peer. The
+  /// control band is never paused.
+  [[nodiscard]] bool data_paused(Dir dir) const {
+    return paused_[static_cast<int>(dir)];
+  }
+  /// Bytes currently waiting in `dir`'s data band (auditor's deadlock walk:
+  /// paused + nonzero = traffic blocked behind the pause).
+  [[nodiscard]] std::uint64_t queued_data_bytes(Dir dir) const {
+    return band_bytes_[static_cast<int>(dir)][kDataBand];
+  }
+  /// Cumulative paused time including any pause still in progress (the
+  /// DirStats::pause_ns field only counts completed pauses).
+  [[nodiscard]] std::uint64_t pause_ns_total(Dir dir) const;
+  /// Counts a PFC frame the owner of `from` is about to transmit (bumped by
+  /// SwitchBuffer::signal so per-direction pause_tx lands with the rest of
+  /// the link counters).
+  void note_pause_tx(Port& from) {
+    ++dir_stats(direction_from(from)).pause_tx;
+  }
+
  private:
-  /// A frame admitted to a band, waiting for the transmitter.
+  /// A frame admitted to a band, waiting for the transmitter. `charged` is
+  /// the byte count held against the sender's SwitchBuffer pool (0 = not
+  /// charged: control frames and non-buffered links), `ingress` the 1-based
+  /// arrival port charged for PFC (0 = self-originated).
   struct Pending {
     Frame frame;
     sim::Duration ser;
+    std::uint32_t charged = 0;
+    std::uint32_t ingress = 0;
   };
   static constexpr int kControlBand = 0;
   static constexpr int kDataBand = 1;
 
-  void deliver(Port& to, Frame frame, DirStats& dstats);
+  void deliver(int dir, Port& to, Frame frame, DirStats& dstats);
   /// Serializes `frame` starting no earlier than now (impairments, jitter,
   /// loss and duplication applied) and schedules delivery. Shared tail of the
   /// fast path and the band drain.
@@ -156,9 +182,20 @@ class Link {
   /// Priority-mode admission: fast path when the transmitter is idle,
   /// otherwise band enqueue with per-class depth limits.
   void transmit_priority(int dir, Frame frame);
+  /// Finite-buffer admission (the sender node has a SwitchBuffer): priority
+  /// banding plus byte-accurate pool/ingress charging, ECN marking, and
+  /// respect for an active PAUSE on the data band.
+  void transmit_buffered(int dir, Frame frame, SwitchBuffer& sb);
   /// Pops the next frame (control band first) onto the transmitter; rearms
   /// itself at the next transmitter-free instant while frames wait.
   void drain(int dir);
+  /// Applies a received PFC frame (traveling `delivery_dir`) to the reverse
+  /// direction's data band.
+  void apply_flow_control(int delivery_dir, const Frame& frame);
+  /// The sending port of direction `dir`.
+  [[nodiscard]] Port& sender(int dir) const {
+    return dir == static_cast<int>(Dir::kAToB) ? *a_ : *b_;
+  }
   DirStats& dir_stats(Dir dir) {
     return dir == Dir::kAToB ? stats_->ab : stats_->ba;
   }
@@ -198,6 +235,13 @@ class Link {
   std::deque<Pending> bands_[2][2];
   /// Serialization backlog held in each band's deque, [dir][band].
   sim::Duration band_backlog_[2][2];
+  /// Padded wire bytes held in each band's deque, [dir][band] (ECN
+  /// thresholds and the auditor's pause-wait walk read these).
+  std::uint64_t band_bytes_[2][2] = {};
+  /// PFC pause state per direction (data band only) and the onset instant
+  /// of the pause in progress.
+  bool paused_[2] = {false, false};
+  sim::Time pause_start_[2];
   /// True while a drain event is scheduled for the direction.
   bool drain_armed_[2] = {false, false};
   /// Per-direction delivery send sequence, the low word of the ShardBus

@@ -4,8 +4,14 @@
 #include <utility>
 
 #include "net/link.hpp"
+#include "net/switch_buffer.hpp"
 
 namespace mrmtp::net {
+
+Node::Node(SimContext& ctx, std::string name, std::uint32_t tier)
+    : ctx_(ctx), name_(std::move(name)), tier_(tier) {}
+
+Node::~Node() = default;
 
 Port::Port(Node& owner, std::uint32_t number)
     : owner_(&owner),
@@ -48,6 +54,18 @@ void Node::transmit(Port& out, Frame frame) {
   }
   if (!out.connected() || !out.admin_up()) return;
   out.link()->transmit(out, std::move(frame));
+}
+
+SwitchBuffer& Node::enable_switch_buffer(const SwitchBufferParams& params) {
+  switch_buffer_ = std::make_unique<SwitchBuffer>(*this, params);
+  return *switch_buffer_;
+}
+
+void Node::receive_frame(Port& in, Frame frame) {
+  std::uint32_t saved = rx_port_no_;
+  rx_port_no_ = in.number();
+  handle_frame(in, std::move(frame));
+  rx_port_no_ = saved;
 }
 
 void Node::set_interface_down(std::uint32_t port_number) {

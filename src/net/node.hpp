@@ -28,6 +28,8 @@ namespace mrmtp::net {
 
 class Node;
 class Link;
+class SwitchBuffer;
+struct SwitchBufferParams;
 
 /// Shared simulation services handed to every node. In a sharded run each
 /// shard owns one SimContext (scheduler + clock); `shard`/`bus` identify it
@@ -93,9 +95,9 @@ class Port {
 
 class Node {
  public:
-  Node(SimContext& ctx, std::string name, std::uint32_t tier)
-      : ctx_(ctx), name_(std::move(name)), tier_(tier) {}
-  virtual ~Node() = default;
+  // Ctor/dtor out of line: SwitchBuffer is incomplete here.
+  Node(SimContext& ctx, std::string name, std::uint32_t tier);
+  virtual ~Node();
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -116,6 +118,23 @@ class Node {
 
   /// Sends a frame out `out`; silently dropped if the port is down/unwired.
   void transmit(Port& out, Frame frame);
+
+  /// Gives this node a finite shared egress buffer (see switch_buffer.hpp);
+  /// every Link admission from this node then charges it. Enabling twice
+  /// replaces the buffer with a fresh one (fresh accounting).
+  SwitchBuffer& enable_switch_buffer(const SwitchBufferParams& params);
+  [[nodiscard]] SwitchBuffer* switch_buffer() { return switch_buffer_.get(); }
+  [[nodiscard]] const SwitchBuffer* switch_buffer() const {
+    return switch_buffer_.get();
+  }
+
+  /// Delivery entry point used by Link: records which port the frame arrived
+  /// on (ingress attribution for PFC charging — forwarding is synchronous in
+  /// every protocol stack here) and dispatches to handle_frame().
+  void receive_frame(Port& in, Frame frame);
+  /// 1-based port number of the frame currently being received; 0 outside
+  /// receive_frame (self-originated traffic charges no ingress account).
+  [[nodiscard]] std::uint32_t current_rx_port() const { return rx_port_no_; }
 
   /// Administratively fails/restores an interface. Down notifies this node
   /// (on_port_down) at the current instant; the peer is NOT notified.
@@ -149,6 +168,8 @@ class Node {
   std::uint32_t id_ = 0;
   std::uint32_t tier_;
   std::vector<std::unique_ptr<Port>> ports_;
+  std::unique_ptr<SwitchBuffer> switch_buffer_;
+  std::uint32_t rx_port_no_ = 0;
 };
 
 }  // namespace mrmtp::net

@@ -43,9 +43,32 @@ struct LinkDirStats {
   std::uint64_t control_backlog_hw_ns = 0;
   std::uint64_t data_backlog_hw_ns = 0;
 
+  /// Finite-buffer / congestion-control counters, per class (all stay zero
+  /// unless the sending node has a SwitchBuffer enabled):
+  ///   ecn_marked_*   — CE marks applied at band admission, split by band.
+  ///   pause_tx       — PFC PAUSE/RESUME frames that traveled this direction
+  ///                    (the sender asking its upstream peer to stop).
+  ///   pause_rx       — pause transitions applied to this direction's data
+  ///                    band by a received PFC frame.
+  ///   dropped_buffer — data admissions refused because the shared buffer
+  ///                    pool (or the port's dynamic-threshold cap) was
+  ///                    exhausted. Disjoint from dropped_queue_full.
+  ///   pause_ns       — cumulative time this direction's data band spent
+  ///                    paused.
+  std::uint64_t ecn_marked_data = 0;
+  std::uint64_t ecn_marked_ctrl = 0;
+  std::uint64_t pause_tx = 0;
+  std::uint64_t pause_rx = 0;
+  std::uint64_t dropped_buffer = 0;
+  std::uint64_t pause_ns = 0;
+
+  [[nodiscard]] std::uint64_t ecn_marked() const {
+    return ecn_marked_data + ecn_marked_ctrl;
+  }
+
   [[nodiscard]] std::uint64_t dropped_total() const {
     return dropped_link_down + dropped_dst_down + dropped_impairment +
-           dropped_blackhole + dropped_queue_full;
+           dropped_blackhole + dropped_queue_full + dropped_buffer;
   }
 };
 
@@ -84,6 +107,34 @@ struct LinkStats {
   [[nodiscard]] std::uint64_t duplicated() const {
     return ab.duplicated + ba.duplicated;
   }
+  [[nodiscard]] std::uint64_t ecn_marked() const {
+    return ab.ecn_marked() + ba.ecn_marked();
+  }
+  [[nodiscard]] std::uint64_t pause_tx() const {
+    return ab.pause_tx + ba.pause_tx;
+  }
+  [[nodiscard]] std::uint64_t pause_rx() const {
+    return ab.pause_rx + ba.pause_rx;
+  }
+  [[nodiscard]] std::uint64_t dropped_buffer() const {
+    return ab.dropped_buffer + ba.dropped_buffer;
+  }
+};
+
+/// Occupancy / admission counters of one switch's shared egress buffer,
+/// slab-allocated in the StatsArena like every other per-frame-hot block.
+/// Occupancy is accounted per class: the control band keeps its own
+/// serialization-time carve-out and is never charged to the data pool, so
+/// `ctrl_admitted` counts frames, not pool bytes.
+struct SwitchBufferStats {
+  std::uint64_t data_admitted = 0;       // data frames charged to the pool
+  std::uint64_t ctrl_admitted = 0;       // control frames (carve-out band)
+  std::uint64_t dropped = 0;             // admissions refused (pool/cap)
+  std::uint64_t ecn_marked = 0;          // CE marks applied by this switch
+  std::uint64_t pause_onsets = 0;        // XOFF transitions signalled
+  std::uint64_t resume_onsets = 0;       // XON transitions signalled
+  std::uint64_t occupancy_hw = 0;        // pool-occupancy high-water (bytes)
+  std::uint64_t port_occupancy_hw = 0;   // worst single egress port (bytes)
 };
 
 /// Chunked slab of T: stable addresses (chunks never move), contiguous
@@ -122,15 +173,20 @@ class StatsArena {
  public:
   TrafficStats& alloc_traffic() { return traffic_.alloc(); }
   LinkStats& alloc_link() { return links_.alloc(); }
+  SwitchBufferStats& alloc_buffer() { return buffers_.alloc(); }
 
   [[nodiscard]] const StatsSlab<TrafficStats>& traffic() const {
     return traffic_;
   }
   [[nodiscard]] const StatsSlab<LinkStats>& links() const { return links_; }
+  [[nodiscard]] const StatsSlab<SwitchBufferStats>& buffers() const {
+    return buffers_;
+  }
 
  private:
   StatsSlab<TrafficStats> traffic_;
   StatsSlab<LinkStats> links_;
+  StatsSlab<SwitchBufferStats> buffers_;
 };
 
 }  // namespace mrmtp::net

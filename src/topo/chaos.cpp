@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/switch_buffer.hpp"
 #include "traffic/host.hpp"
 
 namespace mrmtp::topo {
@@ -25,6 +26,7 @@ std::string_view to_string(GrayKind kind) {
     case GrayKind::kFlapStorm: return "flap-storm";
     case GrayKind::kCorrelatedBlackhole: return "correlated-blackhole";
     case GrayKind::kCongestionStorm: return "congestion-storm";
+    case GrayKind::kBufferSqueeze: return "buffer-squeeze";
     case GrayKind::kMaintenance: return "maintenance";
     case GrayKind::kExpansion: return "expansion";
     case GrayKind::kMisconfig: return "misconfig";
@@ -244,9 +246,28 @@ std::string ChaosEngine::congestion_storm(const StormSpec& spec, sim::Time at) {
   return victim.name;
 }
 
+std::string ChaosEngine::buffer_squeeze(const std::string& device, double frac,
+                                        sim::Time at,
+                                        sim::Duration heal_after) {
+  net::Node& node = network_.find(device);
+  net::SwitchBuffer* sb = node.switch_buffer();
+  if (sb == nullptr) return {};
+  record(at, GrayKind::kBufferSqueeze, ChaosPhase::kOnset,
+         device + " pool squeezed to " + std::to_string(frac));
+  // Pool mutations execute on the owning node's shard, like impairments.
+  node.ctx().sched.schedule_at(at, [sb, frac] { sb->squeeze(frac); });
+  if (heal_after > sim::Duration{}) {
+    record(at + heal_after, GrayKind::kBufferSqueeze, ChaosPhase::kHeal,
+           device + " pool restored");
+    node.ctx().sched.schedule_at(at + heal_after, [sb] { sb->restore(); });
+  }
+  return device;
+}
+
 void ChaosEngine::run_campaign(const CampaignSpec& spec) {
   const double total = spec.w_blackhole + spec.w_loss + spec.w_ramp +
-                       spec.w_flap + spec.w_correlated + spec.w_congestion;
+                       spec.w_flap + spec.w_correlated + spec.w_congestion +
+                       spec.w_squeeze;
   for (int e = 0; e < spec.events; ++e) {
     sim::Time at = spec.start + spec.spacing * e;
     FailurePoint fp = random_fabric_point();
@@ -282,7 +303,7 @@ void ChaosEngine::run_campaign(const CampaignSpec& spec) {
         }
       }
       continue;
-    } else {
+    } else if ((pick -= spec.w_congestion) < 0 || spec.w_squeeze <= 0) {
       StormSpec storm;
       storm.senders = spec.storm_senders;
       storm.gap = spec.storm_gap;
@@ -292,6 +313,11 @@ void ChaosEngine::run_campaign(const CampaignSpec& spec) {
                            : sim::Duration::millis(500);
       congestion_storm(storm, at);
       continue;  // the storm stops itself; no link impairment to heal
+    } else {
+      // Squeeze the random link's lower device; a bufferless fabric makes
+      // this a skipped draw (the RNG sequence is unchanged either way).
+      buffer_squeeze(fp.device, spec.squeeze_frac, at, spec.heal_after);
+      continue;  // restore is scheduled by the squeeze itself
     }
     if (spec.heal_after > sim::Duration{}) {
       heal(fp, at + spec.heal_after, healed);

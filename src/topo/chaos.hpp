@@ -31,6 +31,8 @@ enum class GrayKind : std::uint8_t {
   kFlapStorm,         // admin down/up toggles faster than damping
   kCorrelatedBlackhole,  // several links of one device fail together
   kCongestionStorm,   // seeded incast burst from N hosts toward one rack
+  kBufferSqueeze,     // one switch's shared buffer pool shrinks (ASIC fault /
+                      // co-tenant pressure); heals by restoring the pool
 
   // --- lifecycle events (harness::LifecycleEngine shares this timeline) ---
   kMaintenance,  // planned drain / reboot / rejoin of one router
@@ -93,6 +95,12 @@ class ChaosEngine {
     int storm_senders = 6;
     sim::Duration storm_gap = sim::Duration::micros(30);
     std::size_t storm_payload = 1000;
+    /// kBufferSqueeze weight. Defaults to 0 so existing seeded campaigns
+    /// replay bit-identically; finite-buffer campaigns opt in. A squeeze on
+    /// a fabric without switch buffers is a logged no-op.
+    double w_squeeze = 0.0;
+    /// kBufferSqueeze shape: the pool shrinks to this fraction until heal.
+    double squeeze_frac = 0.25;
   };
 
   /// Incast-burst parameters for congestion_storm().
@@ -138,6 +146,13 @@ class ChaosEngine {
   /// the overload analogue of a blackhole. The victim is returned so a bench
   /// can read its sink stats.
   std::string congestion_storm(const StormSpec& spec, sim::Time at);
+
+  /// Shrinks `device`'s shared buffer pool to `frac` of its configured size
+  /// at `at`, restoring it `heal_after` later (0 = permanent). Models an
+  /// ASIC memory fault or co-tenant buffer pressure. Returns the device name
+  /// ("" if it has no SwitchBuffer — the injection is skipped).
+  std::string buffer_squeeze(const std::string& device, double frac,
+                             sim::Time at, sim::Duration heal_after);
 
   /// Schedules `spec.events` randomized gray failures over the fabric links
   /// (host links are never touched), each healing after `heal_after`.

@@ -1,6 +1,15 @@
 #include "traffic/host.hpp"
 
+#include "net/link.hpp"
+
 namespace mrmtp::traffic {
+
+namespace {
+/// While the NIC's egress data band is PFC-paused the generator re-polls at
+/// this quantum instead of sending — the "NIC honors PAUSE" approximation.
+/// Each skipped quantum accrues into the flow's paused_ns ledger.
+constexpr sim::Duration kPausePoll = sim::Duration::micros(10);
+}  // namespace
 
 net::Buffer ProbePacket::serialize(std::size_t pad_to) const {
   net::BufferWriter w(std::max(pad_to, kMinSize));
@@ -9,6 +18,8 @@ net::Buffer ProbePacket::serialize(std::size_t pad_to) const {
   w.u64(seq);
   w.u64(static_cast<std::uint64_t>(sent_ns));
   w.u32(flow_packets);
+  w.u64(paused_ns);
+  w.u8(flags);
   if (w.size() < pad_to) w.zeros(pad_to - w.size());
   return w.take();
 }
@@ -23,7 +34,25 @@ std::optional<ProbePacket> ProbePacket::parse(
   p.seq = r.u64();
   p.sent_ns = static_cast<std::int64_t>(r.u64());
   p.flow_packets = r.u32();
+  p.paused_ns = r.u64();
+  p.flags = r.u8();
   return p;
+}
+
+net::Buffer EcnEcho::serialize() const {
+  net::BufferWriter w(kSize);
+  w.u32(kMagic);
+  w.u64(flow_id);
+  return w.take();
+}
+
+std::optional<EcnEcho> EcnEcho::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  util::BufReader r(data);
+  if (r.u32() != kMagic) return std::nullopt;
+  EcnEcho e;
+  e.flow_id = r.u64();
+  return e;
 }
 
 Host::Host(net::SimContext& ctx, std::string name, ip::Ipv4Addr addr,
@@ -57,9 +86,29 @@ std::uint64_t Host::start_flow(const FlowConfig& flow) {
   g.cfg = flow;
   g.cfg.flow_id = id;
   g.sent = 0;
+  g.paused_ns = 0;
+  g.gap_scale = 1.0;
   ++flows_started_;
+  if (flow.ecn_response) bind_echo_port();
   send_next(id);
   return id;
+}
+
+void Host::bind_echo_port() {
+  if (echo_port_bound_) return;
+  echo_port_bound_ = true;
+  bind_udp(EcnEcho::kPort,
+           [this](ip::Ipv4Addr, ip::Ipv4Addr, const transport::UdpHeader&,
+                  std::span<const std::uint8_t> payload) {
+             auto echo = EcnEcho::parse(payload);
+             if (!echo.has_value()) return;
+             auto it = gen_flows_.find(echo->flow_id);
+             if (it == gen_flows_.end()) return;
+             GenFlow& g = it->second;
+             if (!g.cfg.ecn_response) return;
+             ++ecn_echoes_rx_;
+             g.gap_scale = std::min(g.gap_scale * 1.5, 32.0);
+           });
 }
 
 void Host::stop_flow(std::uint64_t flow_id) {
@@ -86,23 +135,42 @@ void Host::send_next(std::uint64_t flow_id) {
     gen_flows_.erase(it);
     return;
   }
+  // PFC pause-aware pacing: while the ToR holds this NIC's egress direction
+  // PAUSEd, poll instead of sending and accrue the blocked time.
+  if (const net::Link* l = port(1).link(); l != nullptr) {
+    const net::Link::Dir dir = l->direction_from(port(1));
+    if (l->data_paused(dir)) {
+      g.paused_ns += static_cast<std::uint64_t>(kPausePoll.ns());
+      gen_paused_ns_ += static_cast<std::uint64_t>(kPausePoll.ns());
+      g.next = ctx_.sched.schedule_after(kPausePoll,
+                                         [this, flow_id] { send_next(flow_id); });
+      return;
+    }
+  }
   ProbePacket p;
   p.flow_id = flow_id;
   p.seq = g.sent++;
   p.sent_ns = ctx_.now().ns();
   p.flow_packets = static_cast<std::uint32_t>(g.cfg.count);
+  p.paused_ns = g.paused_ns;
+  if (g.cfg.ecn_response) p.flags |= ProbePacket::kFlagEcnResponse;
   ++total_sent_;
   send_udp(addr_, g.cfg.dst, g.cfg.src_port, g.cfg.dst_port,
            p.serialize(g.cfg.payload_size), net::TrafficClass::kIpData);
-  g.next = ctx_.sched.schedule_after(
-      g.cfg.gap, [this, flow_id] { send_next(flow_id); });
+  sim::Duration gap = g.cfg.gap;
+  if (g.cfg.ecn_response && g.gap_scale > 1.0) {
+    gap = sim::Duration::nanos(
+        static_cast<std::int64_t>(static_cast<double>(gap.ns()) * g.gap_scale));
+    g.gap_scale = std::max(1.0, g.gap_scale * 0.995);
+  }
+  g.next =
+      ctx_.sched.schedule_after(gap, [this, flow_id] { send_next(flow_id); });
 }
 
 void Host::listen(std::uint16_t port_number) {
   bind_udp(port_number, [this](ip::Ipv4Addr src, ip::Ipv4Addr dst,
                                const transport::UdpHeader& hdr,
                                std::span<const std::uint8_t> payload) {
-    (void)dst;
     auto probe = ProbePacket::parse(payload);
     if (!probe.has_value()) return;
 
@@ -129,6 +197,23 @@ void Host::listen(std::uint16_t port_number) {
     ++rec.received;
     ++sink_.received;
     sink_.max_seq_seen = std::max(sink_.max_seq_seen, probe->seq);
+    rec.paused_ns = std::max(rec.paused_ns, probe->paused_ns);
+    if (last_rx_ce()) {
+      ++rec.ecn_marked;
+      ++sink_.ecn_marked;
+      // CNP-style echo back to the sender, rate-limited per flow so an
+      // incast's worth of marks doesn't become its own reverse-path storm.
+      constexpr sim::Duration kEchoMinGap = sim::Duration::millis(1);
+      if ((probe->flags & ProbePacket::kFlagEcnResponse) != 0 &&
+          (rec.echoes_sent == 0 || now - rec.last_echo >= kEchoMinGap)) {
+        rec.last_echo = now;
+        ++rec.echoes_sent;
+        ++sink_.echoes_sent;
+        EcnEcho echo{.flow_id = probe->flow_id};
+        send_udp(dst, src, hdr.dst_port, EcnEcho::kPort, echo.serialize(),
+                 net::TrafficClass::kOther);
+      }
+    }
 
     auto wit = windows_.find(probe->flow_id);
     if (wit == windows_.end()) {

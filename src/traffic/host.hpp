@@ -24,7 +24,10 @@ namespace mrmtp::traffic {
 /// flow's total packet count (0 = open-ended stream), padding.
 struct ProbePacket {
   static constexpr std::uint32_t kMagic = 0x4d545047;  // "MTPG"
-  static constexpr std::size_t kMinSize = 32;
+  static constexpr std::size_t kMinSize = 41;
+  /// ProbePacket::flags bit: the sender backs off when the sink echoes CE
+  /// marks (see FlowConfig::ecn_response).
+  static constexpr std::uint8_t kFlagEcnResponse = 0x01;
 
   std::uint64_t flow_id = 0;
   std::uint64_t seq = 0;
@@ -32,11 +35,31 @@ struct ProbePacket {
   /// Total packets this flow will send; lets the sink detect completion
   /// without out-of-band state. 0 for run-until-stopped probe streams.
   std::uint32_t flow_packets = 0;
+  /// Cumulative time this flow's generator spent blocked behind a PFC PAUSE
+  /// on its NIC, as of this send. The sink keeps the max per flow, so the
+  /// pause-blocked ledger survives even when only a prefix of the flow
+  /// arrives. Zero leaves the wire bytes identical to the pre-PFC format.
+  std::uint64_t paused_ns = 0;
+  std::uint8_t flags = 0;
 
   /// Serializes into a pooled buffer with headroom for the UDP/IP headers,
   /// so the generator's steady state never copies payload bytes.
   [[nodiscard]] net::Buffer serialize(std::size_t pad_to) const;
   static std::optional<ProbePacket> parse(std::span<const std::uint8_t> data);
+};
+
+/// Sink-to-sender congestion notification (CNP-style): sent when a probe
+/// arrives CE-marked and the probe requested echoes. Rate-limited per flow.
+struct EcnEcho {
+  static constexpr std::uint32_t kMagic = 0x4d544745;  // "MTGE"
+  static constexpr std::size_t kSize = 12;
+  /// Well-known sender-side UDP port the echo targets.
+  static constexpr std::uint16_t kPort = 7002;
+
+  std::uint64_t flow_id = 0;
+
+  [[nodiscard]] net::Buffer serialize() const;
+  static std::optional<EcnEcho> parse(std::span<const std::uint8_t> data);
 };
 
 struct FlowConfig {
@@ -53,6 +76,12 @@ struct FlowConfig {
   /// assigns one ((host address << 32) | local counter, unique across the
   /// fabric). The workload engine passes its own globally sequenced ids.
   std::uint64_t flow_id = 0;
+  /// End-to-end ECN response: probes carry kFlagEcnResponse, the sink echoes
+  /// CE marks back (EcnEcho to EcnEcho::kPort), and each echo multiplies the
+  /// sender's inter-packet gap by 1.5x (capped at 32x; the scale decays
+  /// 0.5% per send back toward 1x). Off by default — an open-loop probe
+  /// stream ignores marking entirely, which is the tail-drop baseline.
+  bool ecn_response = false;
 };
 
 /// Bounded sliding-window duplicate / out-of-order classifier: a kSpan-bit
@@ -118,9 +147,18 @@ struct FlowRecord {
   std::uint64_t ancient = 0;       // fell off the tracking window
   std::uint64_t bytes = 0;         // unique payload bytes
   std::uint32_t expected_packets = 0;  // from the probe header (0 = open)
+  /// Deliveries that arrived ECN CE-marked (a finite-buffer switch marked
+  /// them en route).
+  std::uint64_t ecn_marked = 0;
+  /// Sender-reported time blocked behind a PFC PAUSE (max over received
+  /// probes — the field is cumulative at the sender).
+  std::uint64_t paused_ns = 0;
+  std::uint64_t echoes_sent = 0;  // CNP-style CE echoes back to the sender
   sim::Time first_arrival{};
   sim::Time last_arrival{};
   sim::Duration max_gap{};
+  /// Echo rate-limit state (not telemetry).
+  sim::Time last_echo{};
 
   [[nodiscard]] bool complete() const {
     return expected_packets != 0 && unique >= expected_packets;
@@ -139,6 +177,9 @@ struct SinkStats {
   sim::Duration max_gap{};            // max per-flow inter-arrival gap
   std::uint64_t flows_seen = 0;
   std::uint64_t flows_complete = 0;
+  /// CE-marked deliveries and the echoes they triggered, across all flows.
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t echoes_sent = 0;
   /// High-water count of live SeqWindows — the proof that tracker memory is
   /// bounded by *concurrent* flows (windows are freed on completion), not by
   /// flow or packet totals.
@@ -179,6 +220,11 @@ class Host : public transport::L3Node {
   [[nodiscard]] std::uint64_t flows_finished() const { return flows_finished_; }
   [[nodiscard]] std::uint64_t flow_restarts() const { return flow_restarts_; }
   [[nodiscard]] std::size_t active_flows() const { return gen_flows_.size(); }
+  /// CE echoes received from sinks (ECN-responsive flows only).
+  [[nodiscard]] std::uint64_t ecn_echoes_rx() const { return ecn_echoes_rx_; }
+  /// Total generator time spent blocked behind a PFC PAUSE on the NIC,
+  /// across all flows ever started.
+  [[nodiscard]] std::uint64_t gen_paused_ns() const { return gen_paused_ns_; }
 
   // --- analyzer ---
   /// Begins analyzing probes arriving on `port` (default flow dst port).
@@ -201,10 +247,14 @@ class Host : public transport::L3Node {
   struct GenFlow {
     FlowConfig cfg;
     std::uint64_t sent = 0;
+    std::uint64_t paused_ns = 0;  // cumulative PFC-blocked time
+    double gap_scale = 1.0;       // ECN-response multiplicative backoff
     sim::EventId next{};
   };
 
   void send_next(std::uint64_t flow_id);
+  /// Installs the EcnEcho listener on EcnEcho::kPort (once).
+  void bind_echo_port();
 
   ip::Ipv4Addr addr_;
   std::uint8_t prefix_len_;
@@ -216,6 +266,9 @@ class Host : public transport::L3Node {
   std::uint64_t flows_finished_ = 0;
   std::uint64_t flow_restarts_ = 0;
   std::uint32_t next_local_flow_ = 0;
+  std::uint64_t ecn_echoes_rx_ = 0;
+  std::uint64_t gen_paused_ns_ = 0;
+  bool echo_port_bound_ = false;
 
   SinkStats sink_;
   std::unordered_map<std::uint64_t, FlowRecord> records_;

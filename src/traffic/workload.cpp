@@ -232,6 +232,7 @@ void WorkloadEngine::launch(sim::Time start, sim::Duration window) {
     cfg.count = f.packets;
     cfg.payload_size = spec_.payload_size;
     cfg.flow_id = f.id;
+    cfg.ecn_response = spec_.ecn_response;
     src->ctx().sched.schedule_at(f.start,
                                  [src, cfg] { src->start_flow(cfg); });
   }
@@ -256,6 +257,9 @@ FlowStats WorkloadEngine::collect(sim::Time end) const {
       st.out_of_order += rec->out_of_order;
       st.ancient += rec->ancient;
       st.bytes_delivered += rec->bytes;
+      st.ecn_marked += rec->ecn_marked;
+      st.ecn_echoes += rec->echoes_sent;
+      st.pause_blocked_ns += rec->paused_ns;
     }
     if (rec != nullptr && rec->complete()) {
       ++st.flows_completed;

@@ -84,6 +84,10 @@ struct WorkloadSpec {
   /// and sender pacing. 0 = the harness fills it from the deployed
   /// host-link bandwidth.
   std::uint64_t edge_bw_bps = 0;
+  /// Close the congestion loop: flows request CE echoes from their sinks and
+  /// back off multiplicatively on each echo (see FlowConfig::ecn_response).
+  /// Off = open-loop probes, the tail-drop baseline.
+  bool ecn_response = false;
 };
 
 /// One planned flow: drawn before the run, joined with sink records after.
@@ -113,6 +117,11 @@ struct FlowStats {
   std::uint64_t ancient = 0;
   std::uint64_t bytes_offered = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Congestion-loop telemetry: CE-marked deliveries, CNP echoes the sinks
+  /// sent, and the summed per-flow sender time blocked behind PFC PAUSEs.
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t ecn_echoes = 0;
+  std::uint64_t pause_blocked_ns = 0;
   /// FCT = flow start (sender schedule) -> last packet arrival (sink) for
   /// completed flows; incomplete flows are censored at the observation end —
   /// the user-visible "still waiting" time, identical policy per protocol.

@@ -65,9 +65,13 @@ void L3Node::route_packet(const ip::Ipv4Header& header, net::Buffer packet,
 
   if (is_local_addr(header.dst)) {
     ++fwd_stats_.delivered_local;
+    // ECN CE applied by a finite-buffer switch en route; exposed to TCP
+    // directly and to UDP handlers via last_rx_ce() for the duration of the
+    // (synchronous) dispatch below.
+    last_rx_ce_ = (header.tos & 0x03) == 0x03;
     switch (header.protocol) {
       case ip::IpProto::kTcp:
-        tcp_.handle_packet(header.src, header.dst, payload);
+        tcp_.handle_packet(header.src, header.dst, payload, last_rx_ce_);
         return;
       case ip::IpProto::kUdp: {
         std::span<const std::uint8_t> udp_payload;

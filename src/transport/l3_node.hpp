@@ -68,6 +68,10 @@ class L3Node : public net::Node, public IpSender {
   };
   [[nodiscard]] const ForwardingStats& forwarding_stats() const { return fwd_stats_; }
 
+  /// True if the most recent locally-delivered packet arrived ECN CE-marked
+  /// (valid during the synchronous TCP/UDP dispatch it triggered).
+  [[nodiscard]] bool last_rx_ce() const { return last_rx_ce_; }
+
  protected:
   /// Routes a serialized IP packet: local delivery or ECMP forwarding.
   /// `header` is the already-parsed view of `packet`'s leading bytes. On the
@@ -96,6 +100,7 @@ class L3Node : public net::Node, public IpSender {
   std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
   TcpStack tcp_;
   std::uint16_t next_ip_id_ = 1;
+  bool last_rx_ce_ = false;
 };
 
 }  // namespace mrmtp::transport

@@ -11,12 +11,22 @@ constexpr std::uint8_t kFlagFin = 0x01;
 constexpr std::uint8_t kFlagSyn = 0x02;
 constexpr std::uint8_t kFlagRst = 0x04;
 constexpr std::uint8_t kFlagAck = 0x10;
+constexpr std::uint8_t kFlagEce = 0x40;
+constexpr std::uint8_t kFlagCwr = 0x80;
 
 constexpr std::uint32_t kInitialSeq = 1000;
 
 /// Signed sequence-space comparison (a - b).
 std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
   return static_cast<std::int32_t>(a - b);
+}
+
+/// Shard-invariant per-connection jitter seed from the 4-tuple.
+std::uint64_t tuple_seed(ip::Ipv4Addr local, std::uint16_t lport,
+                         ip::Ipv4Addr remote, std::uint16_t rport) {
+  std::uint64_t s = (static_cast<std::uint64_t>(local.value()) << 32) |
+                    remote.value();
+  return s ^ ((static_cast<std::uint64_t>(lport) << 16) | rport) * 0x9e3779b9ull;
 }
 
 }  // namespace
@@ -32,6 +42,8 @@ net::Buffer TcpSegment::serialize() const {
   if (flags.syn) flag_bits |= kFlagSyn;
   if (flags.rst) flag_bits |= kFlagRst;
   if (flags.ack) flag_bits |= kFlagAck;
+  if (flags.ece) flag_bits |= kFlagEce;
+  if (flags.cwr) flag_bits |= kFlagCwr;
   w.u8(0x80);  // data offset = 8 32-bit words (32 bytes)
   w.u8(flag_bits);
   w.u16(0xffff);  // window (flow control not modeled)
@@ -69,6 +81,8 @@ TcpSegment TcpSegment::parse(std::span<const std::uint8_t> data) {
   s.flags.syn = (flag_bits & kFlagSyn) != 0;
   s.flags.rst = (flag_bits & kFlagRst) != 0;
   s.flags.ack = (flag_bits & kFlagAck) != 0;
+  s.flags.ece = (flag_bits & kFlagEce) != 0;
+  s.flags.cwr = (flag_bits & kFlagCwr) != 0;
   auto rest = r.rest();
   s.payload.assign(rest.begin(), rest.end());
   return s;
@@ -91,7 +105,11 @@ TcpConnection::TcpConnection(IpSender& ip, ip::Ipv4Addr local,
           ack_pending_ = false;
           emit({.ack = true}, snd_nxt_, {}, net::TrafficClass::kTcpAck);
         }
-      }) {}
+      }),
+      jitter_rng_(tuple_seed(local, local_port, remote, remote_port)),
+      cwnd_(static_cast<std::uint64_t>(tuning.init_cwnd_segments) *
+            tuning.mss),
+      ssthresh_(cwnd_) {}
 
 TcpConnection::~TcpConnection() = default;
 
@@ -120,7 +138,7 @@ void TcpConnection::reset() {
   state_ = State::kClosed;
 }
 
-void TcpConnection::handle_segment(const TcpSegment& seg) {
+void TcpConnection::handle_segment(const TcpSegment& seg, bool ce) {
   if (seg.flags.rst) {
     if (state_ != State::kClosed) fail_connection();
     return;
@@ -180,6 +198,9 @@ void TcpConnection::handle_segment(const TcpSegment& seg) {
       dup_acks_ = 0;
       in_recovery_ = true;
       recover_point_ = snd_nxt_;
+      // Classic multiplicative decrease on the loss signal.
+      ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * tuning_.mss);
+      cwnd_ = ssthresh_;
       resend_head();
       arm_rto();
     }
@@ -190,6 +211,35 @@ void TcpConnection::handle_segment(const TcpSegment& seg) {
     snd_una_ = seg.ack;
     retransmit_count_ = 0;
     dup_acks_ = 0;
+    // Congestion-window growth plus the DCTCP observation window: track the
+    // ECE-acked byte fraction, and once per ~RTT (when the window end is
+    // acked) fold it into alpha and apply the fractional reduction.
+    total_acked_ += acked;
+    if (seg.flags.ece && tuning_.ecn_enabled) ce_acked_ += acked;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min<std::uint64_t>(acked, tuning_.mss);
+    } else {
+      cwnd_ += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(tuning_.mss) * tuning_.mss / cwnd_);
+    }
+    if (seq_diff(seg.ack, dctcp_window_end_) >= 0) {
+      if (tuning_.ecn_enabled && total_acked_ > 0) {
+        double f = static_cast<double>(ce_acked_) /
+                   static_cast<double>(total_acked_);
+        dctcp_alpha_ =
+            (1.0 - tuning_.dctcp_g) * dctcp_alpha_ + tuning_.dctcp_g * f;
+        if (ce_acked_ > 0) {
+          auto cut = static_cast<std::uint64_t>(
+              static_cast<double>(cwnd_) * (1.0 - dctcp_alpha_ / 2.0));
+          cwnd_ = std::max<std::uint64_t>(tuning_.mss, cut);
+          ssthresh_ = cwnd_;
+          cwr_pending_ = true;
+        }
+      }
+      ce_acked_ = 0;
+      total_acked_ = 0;
+      dctcp_window_end_ = snd_nxt_;
+    }
     // Release acknowledged bytes from the front of the send queue.
     std::uint32_t to_drop = acked;
     while (to_drop > 0 && !send_queue_.empty()) {
@@ -222,6 +272,9 @@ void TcpConnection::handle_segment(const TcpSegment& seg) {
   }
 
   if (!seg.payload.empty()) {
+    // DCTCP echo: every ACK from here on reports the CE state of the most
+    // recent data segment until it changes.
+    if (tuning_.ecn_enabled) ce_to_echo_ = ce;
     if (seg.seq == rcv_nxt_) {
       rcv_nxt_ += static_cast<std::uint32_t>(seg.payload.size());
       schedule_ack();
@@ -251,6 +304,11 @@ void TcpConnection::handle_segment(const TcpSegment& seg) {
 void TcpConnection::emit(TcpFlags flags, std::uint32_t seq,
                          std::vector<std::uint8_t> payload,
                          net::TrafficClass tc) {
+  if (flags.ack && ce_to_echo_) flags.ece = true;
+  if (!payload.empty() && cwr_pending_) {
+    flags.cwr = true;
+    cwr_pending_ = false;
+  }
   TcpSegment seg;
   seg.src_port = local_port_;
   seg.dst_port = remote_port_;
@@ -266,7 +324,7 @@ void TcpConnection::try_send_data() {
   // Bytes of the queue already in flight (sent but unacked).
   std::uint32_t in_flight = snd_nxt_ - snd_una_;
 
-  while (true) {
+  while (in_flight < cwnd_) {
     // Locate the first unsent byte: position `in_flight` within the queue.
     std::uint32_t offset = in_flight;
     std::vector<std::uint8_t> segment_data;
@@ -317,6 +375,9 @@ void TcpConnection::retransmit() {
   } else if (state_ == State::kSynReceived) {
     emit({.syn = true, .ack = true}, snd_una_, {}, net::TrafficClass::kTcpAck);
   } else {
+    // RTO = heavy congestion signal: collapse to one segment.
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * tuning_.mss);
+    cwnd_ = tuning_.mss;
     resend_head();
   }
   arm_rto();
@@ -345,11 +406,25 @@ void TcpConnection::resend_head() {
   }
 }
 
+sim::Duration TcpConnection::backoff_rto(const TcpTuning& tuning,
+                                         int retransmits, sim::Rng& rng) {
+  // Exponential backoff on consecutive retransmissions, clamped at rto_max.
+  sim::Duration rto = tuning.rto;
+  for (int i = 0; i < retransmits && rto < tuning.rto_max; ++i) rto = rto * 2;
+  if (rto > tuning.rto_max) rto = tuning.rto_max;
+  if (tuning.rto_jitter > 0) {
+    // Uniform factor in [1 - j, 1 + j], quantized to ppm.
+    double u =
+        static_cast<double>(rng.below(2'000'001)) / 1'000'000.0 - 1.0;
+    double factor = 1.0 + tuning.rto_jitter * u;
+    rto = sim::Duration::nanos(static_cast<std::int64_t>(
+        static_cast<double>(rto.ns()) * factor));
+  }
+  return rto;
+}
+
 void TcpConnection::arm_rto() {
-  // Exponential backoff on consecutive retransmissions.
-  sim::Duration rto = tuning_.rto;
-  for (int i = 0; i < retransmit_count_ && i < 6; ++i) rto = rto * 2;
-  rto_timer_.start(rto);
+  rto_timer_.start(backoff_rto(tuning_, retransmit_count_, jitter_rng_));
 }
 
 void TcpConnection::schedule_ack() {
@@ -381,7 +456,7 @@ TcpConnection& TcpStack::connect(ip::Ipv4Addr local, std::uint16_t local_port,
 }
 
 void TcpStack::handle_packet(ip::Ipv4Addr src, ip::Ipv4Addr dst,
-                             std::span<const std::uint8_t> payload) {
+                             std::span<const std::uint8_t> payload, bool ce) {
   TcpSegment seg = TcpSegment::parse(payload);
   TcpConnection* conn = find(dst, seg.dst_port, src, seg.src_port);
   if (conn == nullptr && seg.flags.syn && !seg.flags.ack) {
@@ -397,7 +472,7 @@ void TcpStack::handle_packet(ip::Ipv4Addr src, ip::Ipv4Addr dst,
       }
     }
   }
-  if (conn != nullptr) conn->handle_segment(seg);
+  if (conn != nullptr) conn->handle_segment(seg, ce);
 }
 
 void TcpStack::destroy(TcpConnection& conn) {

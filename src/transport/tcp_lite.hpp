@@ -54,6 +54,11 @@ struct TcpFlags {
   bool ack = false;
   bool fin = false;
   bool rst = false;
+  /// ECN-Echo: the receiver saw CE on its most recent data segment (DCTCP's
+  /// per-ACK echo — no RFC 3168 latching).
+  bool ece = false;
+  /// Congestion Window Reduced: first data segment after an ECE-driven cut.
+  bool cwr = false;
 };
 
 struct TcpSegment {
@@ -79,6 +84,22 @@ struct TcpTuning {
   /// Delayed-ACK timer; a pure ACK is sent when it fires with no piggyback
   /// opportunity.
   sim::Duration delayed_ack = sim::Duration::millis(10);
+  /// Ceiling for the exponential RTO backoff (a lost SYN no longer waits
+  /// 200 ms * 2^6 before the cap applies).
+  sim::Duration rto_max = sim::Duration::seconds(5);
+  /// ± fractional seeded jitter applied to every armed RTO, so an incast's
+  /// synchronized retransmit storm de-correlates instead of re-colliding
+  /// every backoff epoch. The draw stream is per-connection, seeded from the
+  /// 4-tuple — deterministic at any shard count.
+  double rto_jitter = 0.1;
+  /// Initial/idle congestion window in segments. Deliberately generous so
+  /// uncongested control-plane sessions (the pre-finite-buffer behavior)
+  /// never hit the window; DCTCP cuts it only when CE marks arrive.
+  std::size_t init_cwnd_segments = 64;
+  /// DCTCP gain g for the EWMA of the marked-byte fraction.
+  double dctcp_g = 0.0625;
+  /// Echo + react to ECN CE marks (DCTCP-style fractional cwnd reduction).
+  bool ecn_enabled = true;
 };
 
 /// One TCP-lite connection. Created by TcpStack.
@@ -119,7 +140,18 @@ class TcpConnection {
   /// Aborts with RST.
   void reset();
 
-  void handle_segment(const TcpSegment& seg);
+  /// `ce` = the IP packet carrying this segment arrived CE-marked.
+  void handle_segment(const TcpSegment& seg, bool ce = false);
+
+  /// The backed-off RTO for the given consecutive-retransmit count: rto *
+  /// 2^count, clamped at rto_max, with ±rto_jitter applied from `rng`.
+  /// Static so tests can assert the clamp/jitter envelope directly.
+  [[nodiscard]] static sim::Duration backoff_rto(const TcpTuning& tuning,
+                                                 int retransmits,
+                                                 sim::Rng& rng);
+
+  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] double dctcp_alpha() const { return dctcp_alpha_; }
 
   /// Replaces the callback set (used by passive acceptors).
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
@@ -167,6 +199,26 @@ class TcpConnection {
 
   sim::Timer rto_timer_;
   sim::Timer ack_timer_;
+  /// Per-connection RTO-jitter stream, seeded from the 4-tuple (see
+  /// TcpTuning::rto_jitter).
+  sim::Rng jitter_rng_;
+
+  /// Congestion control: byte-denominated cwnd (slow start below ssthresh_,
+  /// AIMD above) plus DCTCP state — the EWMA `dctcp_alpha_` of the
+  /// ECE-acked byte fraction, accumulated per ~RTT observation window
+  /// ending at `dctcp_window_end_`.
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = 0;
+  double dctcp_alpha_ = 0.0;
+  std::uint64_t ce_acked_ = 0;
+  std::uint64_t total_acked_ = 0;
+  std::uint32_t dctcp_window_end_ = 0;
+  /// Receiver side: CE state of the most recent in-order data segment,
+  /// echoed as ECE on every ACK until it changes (DCTCP echo).
+  bool ce_to_echo_ = false;
+  /// Sender side: set CWR on the next data segment after an ECE cut.
+  bool cwr_pending_ = false;
+
   int retransmit_count_ = 0;
   int dup_acks_ = 0;  // fast retransmit after 3 duplicate ACKs
   /// NewReno-style recovery: after a fast retransmit, partial ACKs below
@@ -193,9 +245,10 @@ class TcpStack {
                          TcpConnection::Callbacks callbacks,
                          TcpTuning tuning = {});
 
-  /// Entry point from the host's IP demux.
+  /// Entry point from the host's IP demux. `ce` = the carrying IP packet
+  /// arrived with ECN CE set (a finite-buffer switch marked it en route).
   void handle_packet(ip::Ipv4Addr src, ip::Ipv4Addr dst,
-                     std::span<const std::uint8_t> payload);
+                     std::span<const std::uint8_t> payload, bool ce = false);
 
   /// Destroys a connection (its callbacks must not run afterwards).
   void destroy(TcpConnection& conn);
