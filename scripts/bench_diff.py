@@ -2,7 +2,8 @@
 """Diff committed BENCH_*.json artifacts against a freshly generated set.
 
 The repo commits one JSON artifact per bench (BENCH_parallel.json,
-BENCH_scalability.json, ...). After rerunning a bench into some output
+BENCH_scalability.json, BENCH_wcmp.json, ...). After rerunning a bench into
+some output
 directory, this script lines the two trees up and reports every metric that
 moved, so a PR review can separate "the code got faster" from "the artifact
 was regenerated on different hardware".

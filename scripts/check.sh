@@ -15,7 +15,11 @@
 # buffer-occupancy gate (finite switch pools under a 64:1 incast: ECN+PFC
 # must beat tail-drop on p99 FCT and stranded flows, the control band must
 # stay lossless at full data occupancy, and the auditor must report zero
-# PFC deadlocks, chaos row included). Run from anywhere;
+# PFC deadlocks, chaos row included), and the wcmp gate (on the 2:1
+# oversubscribed fabric capacity-weighted hashing must not lose to plain
+# HRW on p99 FCT or stranded flows, flowlet switching must keep max_gap
+# bounded, and the weighted pick must cost < 5% events/sec). Run from
+# anywhere;
 # the build trees live under the repo root (build/, build-asan/,
 # build-tsan/).
 #
@@ -344,6 +348,95 @@ if fails:
 EOF
 
   echo
+  echo "== wcmp gate (bench_wcmp_sweep) =="
+  # FCT/ordering checks are simulated-time deterministic; the events/sec
+  # ratio compares the wcmp+flowlet run against the plain-hrw control from
+  # the SAME bench process, so it survives throttled containers — but it
+  # still jitters, so like the other perf gates it takes the best of up to
+  # 3 runs.
+  (cd build && ./bench/bench_wcmp_sweep > /dev/null)
+  python3 - <<'EOF'
+import json, sys
+doc = json.load(open("build/BENCH_wcmp.json"))
+points = doc["points"]
+fails = []
+def pick(**kv):
+    for p in points:
+        if all(p.get(k) == v for k, v in kv.items()):
+            return p
+    return None
+for proto in ("MR-MTP", "BGP/ECMP"):
+    rows = {m: pick(topology="8-PoD-asym-2:1", protocol=proto, path_select=m)
+            for m in ("hrw", "wcmp", "wcmp+flowlet")}
+    if any(r is None for r in rows.values()):
+        fails.append(f"{proto}: missing asymmetric-fabric mode rows")
+        continue
+    if any(not r["initial_converged"] for r in rows.values()):
+        fails.append(f"{proto}: fabric failed to converge before launch")
+    hrw = rows["hrw"]
+    # The tentpole claim: capacity-weighted hashing must not make the tail
+    # worse on the fabric whose uplinks it was built for, and flowlets must
+    # not strand flows the baseline delivered.
+    for m in ("wcmp", "wcmp+flowlet"):
+        if rows[m]["fct_p99_ms"] > hrw["fct_p99_ms"]:
+            fails.append(f'{proto}/{m}: p99 FCT {rows[m]["fct_p99_ms"]:.1f} '
+                         f'ms exceeds plain hrw {hrw["fct_p99_ms"]:.1f} ms '
+                         "on the 2:1 oversubscribed fabric")
+        if rows[m]["flows_incomplete"] > hrw["flows_incomplete"]:
+            fails.append(f'{proto}/{m}: strands {rows[m]["flows_incomplete"]}'
+                         f' flows vs hrw {hrw["flows_incomplete"]}')
+    # Flowlet reordering guard: switching paths only across idle gaps must
+    # keep the worst per-flow inter-arrival gap in the same regime as the
+    # baseline (2x headroom for quantile noise), never blow it up.
+    fl = rows["wcmp+flowlet"]
+    if fl["max_gap_ms"] > max(2.0 * hrw["max_gap_ms"], 1.0):
+        fails.append(f'{proto}/wcmp+flowlet: max_gap {fl["max_gap_ms"]:.1f} '
+                     f'ms vs hrw {hrw["max_gap_ms"]:.1f} ms — rerouting '
+                     "inside open flowlets")
+    print(f'  asym {proto}: p99 hrw {hrw["fct_p99_ms"]:.1f} / wcmp '
+          f'{rows["wcmp"]["fct_p99_ms"]:.1f} / +flowlet '
+          f'{fl["fct_p99_ms"]:.1f} ms, stranded {hrw["flows_incomplete"]}/'
+          f'{rows["wcmp"]["flows_incomplete"]}/{fl["flows_incomplete"]}, '
+          f'reroutes {fl["flowlet_reroutes"]} ok')
+    if fl["wcmp_weight_updates"] < 1:
+        fails.append(f"{proto}: wcmp+flowlet run installed no weights — the "
+                     "asymmetric stripe never reached the routers")
+if fails:
+    for f in fails: print("FAIL:", f)
+    sys.exit(1)
+EOF
+  # Weighted picking is O(n) like the unweighted pick: the wcmp+flowlet run
+  # must keep events/sec within 5% of the same-process hrw control.
+  wgate() {  # wgate <path_select> -> events_per_sec of the MR-MTP asym row
+    python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open("build/BENCH_wcmp.json"))
+for p in doc["points"]:
+    if p["topology"] == "8-PoD-asym-2:1" and p["protocol"] == "MR-MTP" \
+       and p["path_select"] == sys.argv[1]:
+        print(p["events_per_sec"]); break
+EOF
+  }
+  attempts=3
+  for try in $(seq 1 "$attempts"); do
+    ev_hrw="$(wgate hrw)"
+    ev_fl="$(wgate "wcmp+flowlet")"
+    if awk -v f="$ev_fl" -v h="$ev_hrw" 'BEGIN { exit !(f >= h * 0.95) }'; then
+      break
+    fi
+    if [[ "$try" -eq "$attempts" ]]; then
+      echo "FAIL: wcmp+flowlet steady state at $ev_fl events/sec — more" \
+           "than 5% below the same-run hrw control ($ev_hrw) in" \
+           "$attempts consecutive runs."
+      exit 1
+    fi
+    echo "  retry $try/$attempts: ratio $ev_fl/$ev_hrw below 0.95," \
+         "re-measuring"
+    (cd build && ./bench/bench_wcmp_sweep > /dev/null)
+  done
+  echo "  events_per_sec wcmp+flowlet=$ev_fl vs hrw=$ev_hrw (>= 0.95) ok"
+
+  echo
   echo "== campaign seeds stamped into every bench artifact =="
   for f in build/BENCH_*.json; do
     if ! grep -q '"campaign_seeds"' "$f"; then
@@ -366,9 +459,10 @@ EOF
   cmake --build --preset tsan -j "$jobs" \
     --target buffer_test sim_test net_test util_test overload_damping_test \
              parallel_engine_test lifecycle_test \
-             calendar_queue_property_test buffer_backpressure_test
+             calendar_queue_property_test buffer_backpressure_test \
+             wcmp_flowlet_test
   ctest --test-dir build-tsan \
-    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test|calendar_queue_property_test|buffer_backpressure_test)$' \
+    -R '^(buffer_test|sim_test|net_test|util_test|overload_damping_test|parallel_engine_test|lifecycle_test|calendar_queue_property_test|buffer_backpressure_test|wcmp_flowlet_test)$' \
     --output-on-failure -j "$jobs"
 fi
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/link.hpp"
+
 namespace mrmtp::bgp {
 
 namespace {
@@ -411,10 +413,23 @@ bool BgpRouter::run_decision(ip::Ipv4Prefix prefix) {
 
   // Install into the forwarding table (originated prefixes are connected).
   if (!originates(prefix)) {
+    // Static WCMP: when weighted path selection is enabled, each next hop
+    // carries the configured capacity of its egress link (Mb/s) so the
+    // weighted rendezvous pick splits flows capacity-proportionally across
+    // a mixed-speed ECMP group.
+    const bool wcmp = path_select() != util::PathSelect::kHrw;
     std::vector<ip::NextHop> nexthops;
     for (const auto& path : (chosen.empty() ? std::vector<PathInfo>{} : chosen)) {
       std::uint32_t port_number = egress_port_for(path.next_hop);
-      if (port_number != 0) nexthops.push_back({path.next_hop, port_number});
+      if (port_number == 0) continue;
+      ip::NextHop nh{path.next_hop, port_number};
+      if (wcmp) {
+        if (const net::Link* l = port(port_number).link(); l != nullptr) {
+          nh.weight = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+              1, l->params().bandwidth_bps / 1'000'000));
+        }
+      }
+      nexthops.push_back(nh);
     }
     const ip::Route* before = routes().exact(prefix);
     bool had = before != nullptr && before->proto == ip::RouteProto::kBgp;
@@ -429,6 +444,12 @@ bool BgpRouter::run_decision(ip::Ipv4Prefix prefix) {
             std::sort(sorted.begin(), sorted.end());
             return sorted;
           }()) {
+        if (wcmp) {
+          for (const ip::NextHop& nh : nexthops) {
+            const net::Port& eg = port(nh.port);
+            if (eg.connected()) eg.link()->note_weight_update(eg);
+          }
+        }
         routes().set(prefix, ip::RouteProto::kBgp, nexthops);
         note_rib_change();
       }

@@ -141,6 +141,8 @@ void Deployment::deploy_mtp(const DeployOptions& options) {
     mtp::MtpConfig cfg;
     cfg.tier = spec.tier;
     cfg.timers = options.mtp_timers;
+    cfg.path_select = options.path_select;
+    cfg.flowlet_gap = options.effective_flowlet_gap();
     if (spec.role == topo::Role::kLeaf) {
       cfg.server_subnet = spec.server_subnet;
       if (options.duplicate_subnet_of.has_value() &&
@@ -194,8 +196,17 @@ void Deployment::deploy_bgp(const DeployOptions& options) {
     if (spec.role == topo::Role::kLeaf) {
       cfg.originate.push_back(*spec.server_subnet);
     }
-    routers_.push_back(&network_.add_node_on<bgp::BgpRouter>(
-        device_ctx(d), spec.name, spec.tier, cfg));
+    auto& router = network_.add_node_on<bgp::BgpRouter>(device_ctx(d),
+                                                        spec.name, spec.tier,
+                                                        cfg);
+    if (options.path_select != util::PathSelect::kHrw) {
+      // Must precede start(): install() reads the mode to stamp next-hop
+      // weights as sessions come up. Hosts keep plain HRW — their single
+      // default route has nothing to weight.
+      router.enable_path_select(options.path_select,
+                                options.effective_flowlet_gap());
+    }
+    routers_.push_back(&router);
   }
 
   add_hosts(options);

@@ -102,6 +102,23 @@ struct DeployOptions {
   /// ECN marking, PFC backpressure). Unset = today's infinite time-bounded
   /// output queues — the A/B ablation switch for the congestion study.
   std::optional<net::SwitchBufferParams> switch_buffer;
+  /// Multipath path selection on every router (MTP DATA and BGP/ECMP
+  /// alike): kHrw keeps the PR 2 equal-share default bit-for-bit; kWcmp
+  /// weights next hops by link capacity; kWcmpFlowlet adds flowlet
+  /// switching with congestion feedback. The WCMP/flowlet A/B knob.
+  util::PathSelect path_select = util::PathSelect::kHrw;
+  /// Idle gap that closes a flowlet (kWcmpFlowlet). Zero = derive ~8x the
+  /// propagation RTT of the longest host-to-host path from `link.delay`,
+  /// floored at 500 µs.
+  sim::Duration flowlet_gap{};
+
+  /// The flowlet gap actually deployed (explicit value or RTT derivation).
+  [[nodiscard]] sim::Duration effective_flowlet_gap() const {
+    if (flowlet_gap.ns() > 0) return flowlet_gap;
+    // Longest 3-tier host-to-host path is 6 hops each way = 12 traversals.
+    const std::int64_t derived = 8 * 12 * link.delay.ns();
+    return sim::Duration::nanos(derived > 500'000 ? derived : 500'000);
+  }
 };
 
 /// A deployed network; indices mirror the blueprint's device/host vectors.

@@ -307,6 +307,13 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
       result.up_cache_hits += ms.up_cache_hits;
       result.up_cache_misses += ms.up_cache_misses;
     }
+  } else {
+    for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+      const auto& ss = dep.bgp(d).routes().select_stats();
+      result.allocs_avoided += ss.allocs_avoided;
+      result.up_cache_hits += ss.cache_hits;
+      result.up_cache_misses += ss.cache_misses;
+    }
   }
 
   for (const auto& link : dep.network().links()) {
@@ -323,6 +330,8 @@ ExperimentResult run_sharded_experiment(const ExperimentSpec& spec) {
       result.pause_tx += ds->pause_tx;
       result.pause_rx += ds->pause_rx;
       result.buffer_drops += ds->dropped_buffer;
+      result.flowlet_reroutes += ds->flowlet_reroutes;
+      result.wcmp_weight_updates += ds->wcmp_weight_updates;
     }
   }
 
@@ -544,6 +553,13 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
       result.up_cache_hits += ms.up_cache_hits;
       result.up_cache_misses += ms.up_cache_misses;
     }
+  } else {
+    for (std::uint32_t d = 0; d < dep.router_count(); ++d) {
+      const auto& ss = dep.bgp(d).routes().select_stats();
+      result.allocs_avoided += ss.allocs_avoided;
+      result.up_cache_hits += ss.cache_hits;
+      result.up_cache_misses += ss.cache_misses;
+    }
   }
 
   for (const auto& link : dep.network().links()) {
@@ -560,6 +576,8 @@ ExperimentResult run_failure_experiment(const ExperimentSpec& spec) {
       result.pause_tx += ds->pause_tx;
       result.pause_rx += ds->pause_rx;
       result.buffer_drops += ds->dropped_buffer;
+      result.flowlet_reroutes += ds->flowlet_reroutes;
+      result.wcmp_weight_updates += ds->wcmp_weight_updates;
     }
   }
 

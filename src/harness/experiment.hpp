@@ -118,10 +118,17 @@ struct ExperimentResult {
   std::uint64_t queue_high_water = 0;  // scheduler heap peak (entries)
   std::uint64_t sched_reschedules = 0;
   std::uint64_t sched_compactions = 0;
-  /// MTP data-path counters summed over routers (0 under BGP).
+  /// Forwarding-cache counters summed over routers: MTP's VID/up-cache
+  /// stats, or the BGP RouteTable's cached-LPM SelectStats — both protocols
+  /// now run an epoch-validated candidate cache, so the scalability bench
+  /// compares algorithms rather than cache presence.
   std::uint64_t allocs_avoided = 0;
   std::uint64_t up_cache_hits = 0;
   std::uint64_t up_cache_misses = 0;
+  /// WCMP/flowlet telemetry summed over every link direction (0 under the
+  /// default kHrw path selection).
+  std::uint64_t flowlet_reroutes = 0;
+  std::uint64_t wcmp_weight_updates = 0;
 
   /// Per-class egress-queue outcome summed over every link direction:
   /// control-class vs data-class tail drops, and the worst serialization

@@ -132,6 +132,29 @@ Table hot_path_table(Deployment& dep, bool busy_only) {
     table.add_row({"TOTAL", std::to_string(fwd), std::to_string(avoided),
                    std::to_string(hits), std::to_string(misses),
                    rate(hits, misses)});
+  } else {
+    // BGP speakers run the cached-LPM fast path in their RouteTable, so the
+    // same columns apply: avoided candidate-vector walks and epoch-validated
+    // cache hits per node.
+    std::uint64_t fwd = 0, avoided = 0, hits = 0, misses = 0;
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(dep.router_count()); ++d) {
+      const auto& ss = dep.bgp(d).routes().select_stats();
+      const auto& fs = dep.bgp(d).forwarding_stats();
+      fwd += fs.forwarded;
+      avoided += ss.allocs_avoided;
+      hits += ss.cache_hits;
+      misses += ss.cache_misses;
+      if (busy_only && fs.forwarded == 0) continue;
+      table.add_row({dep.router(d).name(), std::to_string(fs.forwarded),
+                     std::to_string(ss.allocs_avoided),
+                     std::to_string(ss.cache_hits),
+                     std::to_string(ss.cache_misses),
+                     rate(ss.cache_hits, ss.cache_misses)});
+    }
+    table.add_row({"TOTAL", std::to_string(fwd), std::to_string(avoided),
+                   std::to_string(hits), std::to_string(misses),
+                   rate(hits, misses)});
   }
   const sim::Scheduler& sched = dep.ctx().sched;
   table.add_row({"[scheduler]",

@@ -108,6 +108,8 @@ WorkloadRunResult run_workload(const WorkloadRunSpec& spec) {
       result.pause_rx += ds->pause_rx;
       result.buffer_drops += ds->dropped_buffer;
       result.ctrl_queue_drops += ds->dropped_queue_control;
+      result.flows.flowlet_reroutes += ds->flowlet_reroutes;
+      result.flows.wcmp_weight_updates += ds->wcmp_weight_updates;
     }
   }
   for (std::uint32_t d = 0; d < dep->router_count(); ++d) {

@@ -26,6 +26,7 @@ void RouteTable::add_connected(Ipv4Prefix prefix, std::uint32_t port,
   auto& slot = by_length_[prefix.length()][prefix.network().value()];
   if (slot.nexthops.empty()) ++count_;
   slot = std::move(r);
+  ++epoch_;
 }
 
 void RouteTable::set(Ipv4Prefix prefix, RouteProto proto,
@@ -35,6 +36,12 @@ void RouteTable::set(Ipv4Prefix prefix, RouteProto proto,
     return;
   }
   std::sort(nexthops.begin(), nexthops.end());
+  for (const NextHop& nh : nexthops) {
+    if (nh.weight != 1) {
+      ++select_stats_.weight_updates;
+      break;
+    }
+  }
   Route r;
   r.prefix = prefix;
   r.proto = proto;
@@ -44,12 +51,14 @@ void RouteTable::set(Ipv4Prefix prefix, RouteProto proto,
   auto [it, inserted] = bucket.try_emplace(prefix.network().value());
   if (inserted) ++count_;
   it->second = std::move(r);
+  ++epoch_;
 }
 
 bool RouteTable::remove(Ipv4Prefix prefix) {
   auto& bucket = by_length_[prefix.length()];
   if (bucket.erase(prefix.network().value()) > 0) {
     --count_;
+    ++epoch_;
     return true;
   }
   return false;
@@ -66,6 +75,24 @@ const Route* RouteTable::lookup(Ipv4Addr dst) const {
   return nullptr;
 }
 
+const Route* RouteTable::lookup_cached(Ipv4Addr dst) const {
+  ++select_stats_.lookups;
+  if (lpm_cache_.empty()) lpm_cache_.resize(kLpmCacheSlots);
+  LpmSlot& slot =
+      lpm_cache_[util::mix64(dst.value()) & (kLpmCacheSlots - 1)];
+  if (slot.epoch == epoch_ && slot.dst == dst.value()) {
+    ++select_stats_.cache_hits;
+    ++select_stats_.allocs_avoided;
+    return slot.route;
+  }
+  ++select_stats_.cache_misses;
+  const Route* r = lookup(dst);
+  slot.epoch = epoch_;
+  slot.dst = dst.value();
+  slot.route = r;
+  return r;
+}
+
 const Route* RouteTable::exact(Ipv4Prefix prefix) const {
   const auto& bucket = by_length_[prefix.length()];
   auto it = bucket.find(prefix.network().value());
@@ -73,7 +100,7 @@ const Route* RouteTable::exact(Ipv4Prefix prefix) const {
 }
 
 const NextHop* RouteTable::select(Ipv4Addr dst, std::uint64_t flow_hash) const {
-  const Route* r = lookup(dst);
+  const Route* r = lookup_cached(dst);
   if (r == nullptr || r->nexthops.empty()) return nullptr;
   // Rendezvous hashing keyed by the next hop itself: when one member of the
   // group vanishes, only the flows it was winning remap (~1/n of them);
@@ -83,6 +110,20 @@ const NextHop* RouteTable::select(Ipv4Addr dst, std::uint64_t flow_hash) const {
         const NextHop& nh = r->nexthops[i];
         return (static_cast<std::uint64_t>(nh.via.value()) << 32) | nh.port;
       });
+  return &r->nexthops[pick];
+}
+
+const NextHop* RouteTable::select_weighted(Ipv4Addr dst,
+                                           std::uint64_t flow_hash) const {
+  const Route* r = lookup_cached(dst);
+  if (r == nullptr || r->nexthops.empty()) return nullptr;
+  std::size_t pick = util::hrw_pick_weighted(
+      flow_hash, r->nexthops.size(),
+      [&](std::size_t i) {
+        const NextHop& nh = r->nexthops[i];
+        return (static_cast<std::uint64_t>(nh.via.value()) << 32) | nh.port;
+      },
+      [&](std::size_t i) { return r->nexthops[i].weight; });
   return &r->nexthops[pick];
 }
 
@@ -122,7 +163,8 @@ std::string RouteTable::dump() const {
            std::to_string(r->metric) + "\n";
     for (const NextHop& nh : r->nexthops) {
       out += "\tnexthop via " + nh.via.str() + " dev eth" +
-             std::to_string(nh.port) + " weight 1\n";
+             std::to_string(nh.port) + " weight " +
+             std::to_string(nh.weight) + "\n";
     }
   }
   return out;
@@ -141,6 +183,7 @@ std::size_t RouteTable::memory_bytes() const {
 void RouteTable::clear() {
   for (auto& bucket : by_length_) bucket.clear();
   count_ = 0;
+  ++epoch_;
 }
 
 }  // namespace mrmtp::ip

@@ -25,6 +25,11 @@ struct NextHop {
   Ipv4Addr via;        // gateway (0.0.0.0 for connected routes)
   std::uint32_t port;  // egress interface number (1-based; "eth<n>")
 
+  // WCMP weight in Mb/s of egress capacity; 1 = unweighted/legacy. Kept as
+  // an integer so NextHop stays totally ordered and routes stay comparable
+  // bit-for-bit across shards.
+  std::uint32_t weight = 1;
+
   auto operator<=>(const NextHop&) const = default;
 };
 
@@ -34,6 +39,17 @@ struct Route {
   std::uint32_t metric = 0;
   Ipv4Addr src_hint;  // "src" shown on connected routes
   std::vector<NextHop> nexthops;
+};
+
+/// Hot-path counters for the cached LPM/select path — the ECMP analog of
+/// mtp::MtpStats' up-cache telemetry, so BENCH_scalability BGP rows compare
+/// algorithms instead of cache presence.
+struct SelectStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t allocs_avoided = 0;   // full 33-bucket LPM walks skipped
+  std::uint64_t weight_updates = 0;   // route installs carrying WCMP weights
 };
 
 class RouteTable {
@@ -51,13 +67,28 @@ class RouteTable {
   /// Longest-prefix match; nullptr if no route covers `dst`.
   [[nodiscard]] const Route* lookup(Ipv4Addr dst) const;
 
+  /// LPM through a direct-mapped, epoch-validated cache. Any table mutation
+  /// bumps the epoch, so stale Route pointers are never returned; negative
+  /// results (no covering route) are cached too. This is the dense cached
+  /// candidate set MTP's up-cache has had since PR 2.
+  [[nodiscard]] const Route* lookup_cached(Ipv4Addr dst) const;
+
   /// Exact-prefix fetch; nullptr if absent.
   [[nodiscard]] const Route* exact(Ipv4Prefix prefix) const;
 
-  /// ECMP selection: LPM then rendezvous (HRW) hash over the next-hop group,
-  /// so a member loss remaps only the flows that member was carrying.
+  /// ECMP selection: cached LPM then rendezvous (HRW) hash over the next-hop
+  /// group, so a member loss remaps only the flows that member was carrying.
   [[nodiscard]] const NextHop* select(Ipv4Addr dst,
                                       std::uint64_t flow_hash) const;
+
+  /// WCMP selection: like select() but weight-proportional — a next hop with
+  /// twice the weight carries twice the flows (weighted rendezvous hashing).
+  [[nodiscard]] const NextHop* select_weighted(Ipv4Addr dst,
+                                               std::uint64_t flow_hash) const;
+
+  [[nodiscard]] const SelectStats& select_stats() const {
+    return select_stats_;
+  }
 
   [[nodiscard]] std::size_t size() const { return count_; }
 
@@ -74,8 +105,20 @@ class RouteTable {
   void clear();
 
  private:
+  // One direct-mapped cache line per hashed destination. Slots start at
+  // epoch 0 and the table at epoch 1, so an untouched slot is never valid.
+  struct LpmSlot {
+    std::uint64_t epoch = 0;
+    std::uint32_t dst = 0;
+    const Route* route = nullptr;  // nullptr = cached negative result
+  };
+  static constexpr std::size_t kLpmCacheSlots = 1024;  // power of two
+
   std::array<std::unordered_map<std::uint32_t, Route>, 33> by_length_;
   std::size_t count_ = 0;
+  std::uint64_t epoch_ = 1;
+  mutable std::vector<LpmSlot> lpm_cache_;  // sized lazily on first lookup
+  mutable SelectStats select_stats_;
 };
 
 }  // namespace mrmtp::ip

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/link.hpp"
+#include "net/switch_buffer.hpp"
 #include "util/hash.hpp"
 
 namespace mrmtp::mtp {
@@ -19,6 +21,9 @@ MtpRouter::MtpRouter(net::SimContext& ctx, std::string name, MtpConfig config)
     : net::Node(ctx, std::move(name), config.tier), config_(std::move(config)) {
   if (config_.server_subnet.has_value()) {
     own_vid_ = config_.server_subnet->network().third_octet();
+  }
+  if (config_.path_select == util::PathSelect::kWcmpFlowlet) {
+    flowlets_ = &ctx_.stats.alloc_flowlets();
   }
 }
 
@@ -879,6 +884,32 @@ void MtpRouter::handle_rack_frame(net::Port& in, net::Frame frame) {
   forward_data(std::move(msg), std::nullopt);
 }
 
+template <typename Contains, typename Redraw>
+std::uint32_t MtpRouter::flowlet_select(std::uint64_t flow_hash,
+                                        Contains&& still_valid,
+                                        Redraw&& redraw) {
+  // The table index wants the hash's low bits to be uniform; data_flow_hash
+  // is FNV, whose low bits are weaker than mix64's, so rescramble.
+  const std::uint64_t key = util::mix64(flow_hash);
+  const std::int64_t now_ns = ctx_.now().ns();
+  net::FlowletTable::Slot& s = flowlets_->probe(key);
+  if (s.key == key && s.last_ns >= 0 &&
+      now_ns - s.last_ns <= flowlet_gap_ns() && still_valid(s.port)) {
+    s.last_ns = now_ns;  // flowlet still open: stick, no reorder risk
+    return s.port;
+  }
+  const std::uint32_t chosen = redraw();
+  if (s.key == key && s.last_ns >= 0 && chosen != s.port) {
+    ++stats_.flowlet_reroutes;
+    const net::Port& out = port(chosen);
+    if (out.connected()) out.link()->note_flowlet_reroute(out);
+  }
+  s.key = key;
+  s.last_ns = now_ns;
+  s.port = chosen;
+  return chosen;
+}
+
 void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) {
   if (is_leaf() && msg.dst_root == own_vid_) {
     deliver_to_rack(std::move(msg));
@@ -893,6 +924,8 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
     --msg.ttl;
   }
 
+  const util::PathSelect mode = config_.path_select;
+
   // Downward: a VID rooted at the destination names the exact port. The
   // per-root index is a reference (no per-packet vector), and rendezvous
   // hashing keyed by the VID keeps every other flow in place when one
@@ -900,11 +933,40 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
   const auto& candidates = vid_table_.entries_for_root(msg.dst_root);
   if (!candidates.empty()) {
     std::uint64_t h = data_flow_hash(msg);
-    std::size_t pick = util::hrw_pick(h, candidates.size(), [&](std::size_t i) {
+    auto key_of = [&](std::size_t i) {
       const VidEntry& e = candidates[i];
       return static_cast<std::uint64_t>(std::hash<Vid>{}(e.vid)) ^ e.port;
-    });
-    std::uint32_t out = candidates[pick].port;
+    };
+    std::uint32_t out;
+    if (mode == util::PathSelect::kHrw) {
+      out = candidates[util::hrw_pick(h, candidates.size(), key_of)].port;
+    } else {
+      // Downward candidate sets are tiny (one entry per acquisition branch),
+      // so weights are computed inline from the egress capacity.
+      auto redraw = [&] {
+        auto weight_of = [&](std::size_t i) {
+          double w = port_mbps(candidates[i].port);
+          if (mode == util::PathSelect::kWcmpFlowlet) {
+            w *= congestion_discount(candidates[i].port);
+          }
+          return w;
+        };
+        return candidates[util::hrw_pick_weighted(h, candidates.size(), key_of,
+                                                  weight_of)]
+            .port;
+      };
+      if (mode == util::PathSelect::kWcmp) {
+        out = redraw();
+      } else {
+        auto still_valid = [&](std::uint32_t p) {
+          for (const VidEntry& e : candidates) {
+            if (e.port == p) return true;
+          }
+          return false;
+        };
+        out = flowlet_select(h, still_valid, redraw);
+      }
+    }
     ++stats_.data_forwarded;
     ++stats_.allocs_avoided;
     send_msg(out, MtpMessage{std::move(msg)});
@@ -916,14 +978,37 @@ void MtpRouter::forward_data(DataMsg msg, std::optional<std::uint32_t> in_port) 
     ++stats_.data_dropped_no_path;
     return;
   }
-  const auto& ups = eligible_up_ports(msg.dst_root);
+  const UpCacheSlot& slot = up_slot(msg.dst_root);
+  const auto& ups = slot.ports;
   if (ups.empty()) {
     ++stats_.data_dropped_no_path;
     return;
   }
   std::uint64_t h = data_flow_hash(msg);
-  std::uint32_t out = ups[util::hrw_pick(
-      h, ups.size(), [&](std::size_t i) { return std::uint64_t{ups[i]}; })];
+  auto key_of = [&](std::size_t i) { return std::uint64_t{ups[i]}; };
+  std::uint32_t out;
+  if (mode == util::PathSelect::kHrw) {
+    out = ups[util::hrw_pick(h, ups.size(), key_of)];
+  } else {
+    auto redraw = [&] {
+      auto weight_of = [&](std::size_t i) {
+        double w = i < slot.weights.size() ? slot.weights[i] : 1.0;
+        if (mode == util::PathSelect::kWcmpFlowlet) {
+          w *= congestion_discount(ups[i]);
+        }
+        return w;
+      };
+      return ups[util::hrw_pick_weighted(h, ups.size(), key_of, weight_of)];
+    };
+    if (mode == util::PathSelect::kWcmp) {
+      out = redraw();
+    } else {
+      auto still_valid = [&](std::uint32_t p) {
+        return std::find(ups.begin(), ups.end(), p) != ups.end();
+      };
+      out = flowlet_select(h, still_valid, redraw);
+    }
+  }
   ++stats_.data_forwarded;
   send_msg(out, MtpMessage{std::move(msg)});
 }
@@ -952,18 +1037,36 @@ void MtpRouter::deliver_to_rack(DataMsg msg) {
 
 const std::vector<std::uint32_t>& MtpRouter::eligible_up_ports(
     std::uint16_t dst_root) const {
+  return up_slot(dst_root).ports;
+}
+
+const MtpRouter::UpCacheSlot& MtpRouter::up_slot(std::uint16_t dst_root) const {
   if (dst_root >= up_cache_.size()) up_cache_.resize(dst_root + 1);
   UpCacheSlot& slot = up_cache_[dst_root];
   if (slot.epoch == up_cache_epoch_) {
     ++stats_.up_cache_hits;
     ++stats_.allocs_avoided;
-    return slot.ports;
+    return slot;
   }
   ++stats_.up_cache_misses;
   slot.epoch = up_cache_epoch_;
+  const bool weighted = config_.path_select != util::PathSelect::kHrw;
   std::vector<std::uint32_t>& out = slot.ports;
+  std::vector<double>& weights = slot.weights;
   out.clear();  // rebuild in place, keeping the slot's capacity
+  weights.clear();
   std::vector<std::uint32_t> fallback;
+  std::vector<double> fallback_w;
+  // WCMP weight of an uplink: egress capacity scaled by how many trees the
+  // neighbor currently advertises — the live proxy for its remaining
+  // downstream reachability ("remaining uplinks x link speed below the next
+  // hop"). Recomputed here, i.e. on every epoch bump (ADVERTISE, withdrawal,
+  // admin-down, drain), so the hot path stays O(1).
+  auto weight_of = [&](std::uint32_t p, const PortState& s) {
+    return port_mbps(p) *
+           static_cast<double>(std::max<std::size_t>(
+               std::size_t{1}, s.advertised_roots.size()));
+  };
   for (std::uint32_t p = 1; p <= port_count(); ++p) {
     const PortState& s = pstate(p);
     if (!s.mtp || !s.alive || !is_upstream(p)) continue;
@@ -977,12 +1080,24 @@ const std::vector<std::uint32_t>& MtpRouter::eligible_up_ports(
     // a pod spine's statement), every alive uplink is fair game as before.
     if (s.advertised_roots.contains(dst_root)) {
       out.push_back(p);
+      if (weighted) weights.push_back(weight_of(p, s));
     } else {
       fallback.push_back(p);
+      if (weighted) fallback_w.push_back(weight_of(p, s));
     }
   }
-  if (out.empty()) out = std::move(fallback);
-  return out;
+  if (out.empty()) {
+    out = std::move(fallback);
+    weights = std::move(fallback_w);
+  }
+  if (weighted) {
+    ++stats_.wcmp_weight_updates;
+    for (std::uint32_t p : out) {
+      const net::Port& eg = port(p);
+      if (eg.connected()) eg.link()->note_weight_update(eg);
+    }
+  }
+  return slot;
 }
 
 std::uint64_t MtpRouter::data_flow_hash(const DataMsg& msg) {
@@ -1012,6 +1127,31 @@ std::uint64_t MtpRouter::data_flow_hash(const DataMsg& msg) {
 }
 
 // ------------------------------------------------------------------ helpers
+
+double MtpRouter::port_mbps(std::uint32_t p) const {
+  const net::Link* l = port(p).link();
+  return l == nullptr ? 1.0 : static_cast<double>(l->params().bandwidth_bps) / 1e6;
+}
+
+double MtpRouter::congestion_discount(std::uint32_t p) const {
+  const net::Port& out = port(p);
+  net::Link* l = out.link();
+  if (l == nullptr) return 1.0;
+  const auto dir = l->direction_from(out);
+  if (l->data_paused(dir)) return 0.05;
+  std::uint64_t threshold = 64 * 1024;  // ECN default when no SwitchBuffer
+  if (const net::SwitchBuffer* sb = switch_buffer(); sb != nullptr) {
+    threshold = sb->params().ecn_data_threshold;
+  }
+  if (l->queued_data_bytes(dir) > threshold) return 0.25;
+  return 1.0;
+}
+
+std::int64_t MtpRouter::flowlet_gap_ns() const {
+  // 500 µs fallback: comfortably above one serialization quantum of the
+  // slowest edge (1000 B at 100 Mb/s = 80 µs), below PFC-pause stalls.
+  return config_.flowlet_gap.ns() > 0 ? config_.flowlet_gap.ns() : 500'000;
+}
 
 bool MtpRouter::is_upstream(std::uint32_t p) const {
   const PortState& s = pstate(p);

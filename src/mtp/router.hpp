@@ -32,6 +32,7 @@
 #include "mtp/message.hpp"
 #include "mtp/vid_table.hpp"
 #include "net/network.hpp"
+#include "util/hash.hpp"
 
 namespace mrmtp::mtp {
 
@@ -79,6 +80,16 @@ struct MtpConfig {
   std::optional<ip::Ipv4Prefix> server_subnet;
   /// Host-facing ports (plain IP, no MTP), keyed by the host address.
   std::map<ip::Ipv4Addr, std::uint32_t> rack_hosts;
+
+  // --- weighted multipath / flowlet switching ---
+  /// Path-selection policy for DATA forwarding. kHrw (default) keeps the
+  /// PR 2 equal-share behavior bit-for-bit; kWcmp weights candidates by
+  /// advertised downstream capacity; kWcmpFlowlet adds flowlet-granularity
+  /// rerouting with congestion feedback.
+  util::PathSelect path_select = util::PathSelect::kHrw;
+  /// Idle gap that closes a flowlet (kWcmpFlowlet only). Zero means "use
+  /// the deploy-derived default" (a multiple of the fabric RTT).
+  sim::Duration flowlet_gap{};
 };
 
 class MtpRouter : public net::Node {
@@ -160,6 +171,12 @@ class MtpRouter : public net::Node {
     /// Uplink candidate-set cache hits / (re)builds.
     std::uint64_t up_cache_hits = 0;
     std::uint64_t up_cache_misses = 0;
+    // --- weighted multipath / flowlet switching ---
+    /// Existing flows that re-drew their weighted choice after an idle gap
+    /// (or candidate loss) and landed on a different egress.
+    std::uint64_t flowlet_reroutes = 0;
+    /// Per-port weight recomputations (up-cache weight rebuilds).
+    std::uint64_t wcmp_weight_updates = 0;
   };
   [[nodiscard]] const MtpStats& mtp_stats() const { return stats_; }
 
@@ -292,6 +309,23 @@ class MtpRouter : public net::Node {
   [[nodiscard]] bool is_upstream(std::uint32_t port) const;
   [[nodiscard]] bool is_downstream(std::uint32_t port) const;
   [[nodiscard]] std::vector<std::uint32_t> alive_ports(bool upstream) const;
+  /// Configured egress capacity of `p` in Mb/s (1.0 when unwired).
+  [[nodiscard]] double port_mbps(std::uint32_t p) const;
+  /// Congestion feedback multiplier for WCMP+flowlet picks: 0.05 while the
+  /// egress data band is PFC-paused, 0.25 while its backlog exceeds the ECN
+  /// threshold, 1.0 otherwise.
+  [[nodiscard]] double congestion_discount(std::uint32_t p) const;
+  [[nodiscard]] std::int64_t flowlet_gap_ns() const;
+  struct UpCacheSlot;
+  /// eligible_up_ports' engine: the validated (rebuilt if stale) cache slot
+  /// for `dst_root`, ports and WCMP weights together.
+  [[nodiscard]] const UpCacheSlot& up_slot(std::uint16_t dst_root) const;
+  /// Flowlet-aware egress choice: keeps the flow's current port while the
+  /// idle gap stays open and `still_valid(port)` holds; otherwise re-draws
+  /// via `redraw()` and counts a reroute when an existing flow moved.
+  template <typename Contains, typename Redraw>
+  std::uint32_t flowlet_select(std::uint64_t flow_hash, Contains&& still_valid,
+                               Redraw&& redraw);
   PortState& pstate(std::uint32_t port) { return ports_state_[port - 1]; }
   [[nodiscard]] const PortState& pstate(std::uint32_t port) const {
     return ports_state_[port - 1];
@@ -331,10 +365,18 @@ class MtpRouter : public net::Node {
   struct UpCacheSlot {
     std::uint64_t epoch = 0;  // valid iff == up_cache_epoch_ (0 = never)
     std::vector<std::uint32_t> ports;
+    /// WCMP weights parallel to `ports` (advertised downstream capacity:
+    /// link Mb/s x trees the neighbor advertises). Rebuilt with the ports on
+    /// every epoch miss; left empty under kHrw so the default mode pays
+    /// nothing.
+    std::vector<double> weights;
   };
   mutable std::vector<UpCacheSlot> up_cache_;
   mutable std::uint64_t up_cache_epoch_ = 1;
   mutable MtpStats stats_;
+  /// Flowlet table in the owning shard's StatsArena; non-null only under
+  /// kWcmpFlowlet.
+  net::FlowletTable* flowlets_ = nullptr;
 };
 
 }  // namespace mrmtp::mtp

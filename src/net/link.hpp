@@ -160,6 +160,18 @@ class Link {
     ++dir_stats(direction_from(from)).pause_tx;
   }
 
+  // --- WCMP / flowlet telemetry (bumped by the owning router's forwarding
+  //     path; `from` is the egress port on this link) ---
+  /// Counts a flowlet that re-drew its weighted choice onto this egress.
+  void note_flowlet_reroute(const Port& from) {
+    ++dir_stats(direction_from(from)).flowlet_reroutes;
+  }
+  /// Counts a weight recomputation that touched this egress (route install
+  /// with WCMP weights, MTP up-cache weight rebuild).
+  void note_weight_update(const Port& from) {
+    ++dir_stats(direction_from(from)).wcmp_weight_updates;
+  }
+
  private:
   /// A frame admitted to a band, waiting for the transmitter. `charged` is
   /// the byte count held against the sender's SwitchBuffer pool (0 = not

@@ -62,6 +62,17 @@ struct LinkDirStats {
   std::uint64_t dropped_buffer = 0;
   std::uint64_t pause_ns = 0;
 
+  /// Weighted-multipath / flowlet telemetry (stay zero unless a router runs
+  /// with PathSelect != kHrw):
+  ///   flowlet_reroutes    — an existing flow re-drew its weighted choice
+  ///                         after an idle gap and landed on this direction
+  ///                         (counted at the NEW egress).
+  ///   wcmp_weight_updates — weight recomputations that touched this
+  ///                         direction's egress (route installs with WCMP
+  ///                         weights, MTP up-cache weight rebuilds).
+  std::uint64_t flowlet_reroutes = 0;
+  std::uint64_t wcmp_weight_updates = 0;
+
   [[nodiscard]] std::uint64_t ecn_marked() const {
     return ecn_marked_data + ecn_marked_ctrl;
   }
@@ -119,6 +130,45 @@ struct LinkStats {
   [[nodiscard]] std::uint64_t dropped_buffer() const {
     return ab.dropped_buffer + ba.dropped_buffer;
   }
+  [[nodiscard]] std::uint64_t flowlet_reroutes() const {
+    return ab.flowlet_reroutes + ba.flowlet_reroutes;
+  }
+  [[nodiscard]] std::uint64_t wcmp_weight_updates() const {
+    return ab.wcmp_weight_updates + ba.wcmp_weight_updates;
+  }
+};
+
+/// Flowlet-switching state of one router: flow key -> (last departure time,
+/// chosen egress port). A fixed-size direct-mapped array with a short linear
+/// probe run; when the run is full the stalest slot (oldest last_ns) is
+/// evicted. Losing a slot is always safe — the evicted flow simply re-draws
+/// its weighted choice on its next packet, exactly as if its idle gap had
+/// expired. Lives in the per-shard StatsArena, so accesses are single-thread
+/// by construction (TSan-clean under the async sharded engine).
+struct FlowletTable {
+  struct Slot {
+    std::uint64_t key = 0;      // mixed flow hash; 0 only while unused
+    std::int64_t last_ns = -1;  // sim time of the newest departure; -1 empty
+    std::uint32_t port = 0;     // egress chosen for the current flowlet
+  };
+  static constexpr std::size_t kSlots = 512;  // power of two
+  static constexpr std::size_t kProbe = 4;    // linear probe run length
+
+  Slot slots[kSlots] = {};
+
+  /// The slot holding `key`, or — if `key` is absent from its probe run —
+  /// the eviction victim (stalest slot in the run). The caller detects the
+  /// miss via `slot.key != key` and re-draws before overwriting.
+  [[nodiscard]] Slot& probe(std::uint64_t key) {
+    const std::size_t base = static_cast<std::size_t>(key) & (kSlots - 1);
+    Slot* victim = nullptr;
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slots[(base + i) & (kSlots - 1)];
+      if (s.key == key) return s;
+      if (victim == nullptr || s.last_ns < victim->last_ns) victim = &s;
+    }
+    return *victim;
+  }
 };
 
 /// Occupancy / admission counters of one switch's shared egress buffer,
@@ -174,6 +224,7 @@ class StatsArena {
   TrafficStats& alloc_traffic() { return traffic_.alloc(); }
   LinkStats& alloc_link() { return links_.alloc(); }
   SwitchBufferStats& alloc_buffer() { return buffers_.alloc(); }
+  FlowletTable& alloc_flowlets() { return flowlets_.alloc(); }
 
   [[nodiscard]] const StatsSlab<TrafficStats>& traffic() const {
     return traffic_;
@@ -182,11 +233,15 @@ class StatsArena {
   [[nodiscard]] const StatsSlab<SwitchBufferStats>& buffers() const {
     return buffers_;
   }
+  [[nodiscard]] const StatsSlab<FlowletTable>& flowlets() const {
+    return flowlets_;
+  }
 
  private:
   StatsSlab<TrafficStats> traffic_;
   StatsSlab<LinkStats> links_;
   StatsSlab<SwitchBufferStats> buffers_;
+  StatsSlab<FlowletTable> flowlets_;  // allocated only when flowlets enabled
 };
 
 }  // namespace mrmtp::net

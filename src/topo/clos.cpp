@@ -189,16 +189,17 @@ void ClosBlueprint::build() {
   //    *mis*configuration rather than a partition.
   {
     struct StagedUplink {
-      std::uint32_t top, spine, cluster, pod;
+      std::uint32_t top, spine, cluster, pod, ordinal;
     };
     std::vector<StagedUplink> uplinks;
     for (std::uint32_t c = 1; c <= p.clusters; ++c) {
       for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
         for (std::uint32_t s = 1; s <= p.spines_per_pod; ++s) {
+          std::uint32_t ordinal = 0;  // the spine's k-th uplink (stripe rate)
           for (std::uint32_t t = 1; t <= p.top_spines; ++t) {
             if ((t - 1) % p.spines_per_pod == s - 1) {
               uplinks.push_back({top_spine_in(c, t), pod_spine_in(c, pod, s),
-                                 c, pod});
+                                 c, pod, ordinal++});
             }
           }
         }
@@ -221,16 +222,21 @@ void ClosBlueprint::build() {
         ++crossed;
       }
     }
-    for (const StagedUplink& u : uplinks) add_link(u.top, u.spine);
+    for (const StagedUplink& u : uplinks) {
+      add_link(u.top, u.spine, p.stripe_rate_of(u.ordinal));
+    }
   }
   // 2) ToR uplinks: every leaf wires to every spine of its pod, spine order.
-  //    Asymmetric mode scales these links' bandwidth per PoD.
+  //    Asymmetric mode scales these links' bandwidth per PoD; stripe_rate
+  //    additionally scales the leaf's s-th uplink, putting mixed speeds
+  //    inside a single ECMP group.
   for (std::uint32_t c = 1; c <= p.clusters; ++c) {
     for (std::uint32_t pod = 1; pod <= p.pods; ++pod) {
       double rate = p.uplink_rate_of((c - 1) * p.pods + (pod - 1));
       for (std::uint32_t t = 1; t <= tors_in(c, pod); ++t) {
         for (std::uint32_t s = 1; s <= p.spines_per_pod; ++s) {
-          add_link(pod_spine_in(c, pod, s), leaf_in(c, pod, t), rate);
+          add_link(pod_spine_in(c, pod, s), leaf_in(c, pod, t),
+                   rate * p.stripe_rate_of(s - 1));
         }
       }
     }

@@ -61,6 +61,13 @@ struct ClosParams {
   /// uniform. Latency is untouched, so the parallel engine's link-delay
   /// lookahead is unaffected by mixed speeds.
   std::vector<double> pod_uplink_rate = {};
+  /// Per-stripe relative bandwidth of uplinks: a device's k-th uplink (ToR
+  /// -> spine s, pod spine -> its k-th top spine) runs at
+  /// stripe_rate[k % size]. Empty = uniform. {1.0, 0.5} models a 2:1
+  /// oversubscribed tier where every second stripe was cabled at half rate —
+  /// unlike pod_uplink_rate (uniform within a PoD), this puts *mixed* speeds
+  /// inside every ECMP/VID candidate set, the case WCMP exists for.
+  std::vector<double> stripe_rate = {};
   /// Build-time cabling errors: this many seeded swaps of the top-spine
   /// endpoints of two uplinks from *different* spines of the *same* PoD.
   /// Reachability is preserved (both cables stay inside the PoD) but the
@@ -81,6 +88,11 @@ struct ClosParams {
   [[nodiscard]] double uplink_rate_of(std::uint32_t g) const {
     return g < pod_uplink_rate.size() ? pod_uplink_rate[g] : 1.0;
   }
+  /// Rate multiplier of a device's 0-based `ordinal`-th uplink stripe.
+  [[nodiscard]] double stripe_rate_of(std::uint32_t ordinal) const {
+    return stripe_rate.empty() ? 1.0
+                               : stripe_rate[ordinal % stripe_rate.size()];
+  }
 
   /// The paper's 2-PoD topology (Figs 2/3): 4 ToRs, 4 pod spines, 4 tops.
   static ClosParams paper_2pod() { return ClosParams{2, 2, 2, 4, 1}; }
@@ -92,6 +104,19 @@ struct ClosParams {
     ClosParams p{8, 2, 2, 4, 1};
     p.pod_tors = {2, 3, 1, 2, 3, 1, 2, 2};
     p.pod_uplink_rate = {1.0, 0.5, 1.0, 0.25, 1.0, 0.5, 1.0, 1.0};
+    return p;
+  }
+  /// The WCMP A/B topology: non-uniform rack counts plus a 2:1
+  /// oversubscribed uplink tier — every device's FIRST uplink stripe runs at
+  /// half rate, so every ECMP/VID candidate set mixes speeds (and the TC1
+  /// failure lands on a half-rate uplink). pod_uplink_rate is deliberately
+  /// left uniform: it scales a whole PoD's candidate set together, which
+  /// weighted per-member selection cannot act on — it would only add
+  /// capacity noise to the A/B.
+  static ClosParams asymmetric_8pod_oversub() {
+    ClosParams p{8, 2, 2, 4, 1};
+    p.pod_tors = {2, 3, 1, 2, 3, 1, 2, 2};
+    p.stripe_rate = {0.5, 1.0};
     return p;
   }
   /// A 4-tier fabric: `clusters` copies of the 4-PoD design joined by

@@ -260,6 +260,9 @@ FlowStats WorkloadEngine::collect(sim::Time end) const {
       st.ecn_marked += rec->ecn_marked;
       st.ecn_echoes += rec->echoes_sent;
       st.pause_blocked_ns += rec->paused_ns;
+      if (rec->max_gap.to_millis() > st.max_gap_ms) {
+        st.max_gap_ms = rec->max_gap.to_millis();
+      }
     }
     if (rec != nullptr && rec->complete()) {
       ++st.flows_completed;

@@ -132,6 +132,15 @@ struct FlowStats {
   double fct_mean_ms = 0;
   double fct_min_ms = 0;
   double fct_max_ms = 0;
+  /// Reordering guard: the worst per-flow inter-arrival gap seen by any
+  /// sink. Flowlet switching must keep this bounded — a reroute inside an
+  /// open flowlet would show up here (and in out_of_order) first.
+  double max_gap_ms = 0;
+  /// Fabric-wide WCMP telemetry, summed from the link direction counters by
+  /// harness::run_workload. Router-local and sim-time driven, so they ride
+  /// the same any-shard-count determinism contract as everything above.
+  std::uint64_t flowlet_reroutes = 0;
+  std::uint64_t wcmp_weight_updates = 0;
 
   bool operator==(const FlowStats&) const = default;
 };

@@ -1,6 +1,18 @@
 #include "transport/l3_node.hpp"
 
+#include "net/link.hpp"
+#include "net/switch_buffer.hpp"
+
 namespace mrmtp::transport {
+
+void L3Node::enable_path_select(util::PathSelect mode,
+                                sim::Duration flowlet_gap) {
+  path_select_ = mode;
+  if (flowlet_gap.ns() > 0) flowlet_gap_ns_ = flowlet_gap.ns();
+  if (mode == util::PathSelect::kWcmpFlowlet && flowlets_ == nullptr) {
+    flowlets_ = &ctx_.stats.alloc_flowlets();
+  }
+}
 
 void L3Node::configure_port(std::uint32_t port_number, ip::Ipv4Addr addr,
                             std::uint8_t prefix_len) {
@@ -92,7 +104,7 @@ void L3Node::route_packet(const ip::Ipv4Header& header, net::Buffer packet,
     return;
   }
 
-  const ip::NextHop* nh = routes_.select(header.dst, flow_hash(header, payload));
+  const ip::NextHop* nh = select_next_hop(header, payload);
   if (nh == nullptr) {
     ++fwd_stats_.dropped_no_route;
     return;
@@ -105,6 +117,70 @@ void L3Node::route_packet(const ip::Ipv4Header& header, net::Buffer packet,
     ++fwd_stats_.forwarded;
   }
   emit_frame(nh->port, std::move(packet), tc);
+}
+
+const ip::NextHop* L3Node::select_next_hop(
+    const ip::Ipv4Header& header, std::span<const std::uint8_t> payload) {
+  const std::uint64_t h = flow_hash(header, payload);
+  if (path_select_ == util::PathSelect::kHrw) {
+    return routes_.select(header.dst, h);
+  }
+  const ip::Route* r = routes_.lookup_cached(header.dst);
+  if (r == nullptr || r->nexthops.empty()) return nullptr;
+  const auto& nhs = r->nexthops;
+  auto key_of = [&](std::size_t i) {
+    return (static_cast<std::uint64_t>(nhs[i].via.value()) << 32) | nhs[i].port;
+  };
+  auto redraw = [&]() -> std::size_t {
+    auto weight_of = [&](std::size_t i) {
+      double w = static_cast<double>(nhs[i].weight);
+      if (path_select_ == util::PathSelect::kWcmpFlowlet) {
+        w *= egress_discount(nhs[i].port);
+      }
+      return w;
+    };
+    return util::hrw_pick_weighted(h, nhs.size(), key_of, weight_of);
+  };
+  if (path_select_ == util::PathSelect::kWcmp || flowlets_ == nullptr) {
+    return &nhs[redraw()];
+  }
+  const std::uint64_t key = util::mix64(h);
+  const std::int64_t now_ns = ctx_.now().ns();
+  net::FlowletTable::Slot& s = flowlets_->probe(key);
+  if (s.key == key && s.last_ns >= 0 &&
+      now_ns - s.last_ns <= flowlet_gap_ns_) {
+    for (const ip::NextHop& cand : nhs) {
+      if (cand.port == s.port) {  // flowlet still open and port still valid
+        s.last_ns = now_ns;
+        return &cand;
+      }
+    }
+  }
+  const std::size_t pick = redraw();
+  const std::uint32_t chosen = nhs[pick].port;
+  if (s.key == key && s.last_ns >= 0 && chosen != s.port) {
+    ++fwd_stats_.flowlet_reroutes;
+    const net::Port& out = port(chosen);
+    if (out.connected()) out.link()->note_flowlet_reroute(out);
+  }
+  s.key = key;
+  s.last_ns = now_ns;
+  s.port = chosen;
+  return &nhs[pick];
+}
+
+double L3Node::egress_discount(std::uint32_t port_number) const {
+  const net::Port& out = port(port_number);
+  net::Link* l = out.link();
+  if (l == nullptr) return 1.0;
+  const auto dir = l->direction_from(out);
+  if (l->data_paused(dir)) return 0.05;
+  std::uint64_t threshold = 64 * 1024;  // ECN default when no SwitchBuffer
+  if (const net::SwitchBuffer* sb = switch_buffer(); sb != nullptr) {
+    threshold = sb->params().ecn_data_threshold;
+  }
+  if (l->queued_data_bytes(dir) > threshold) return 0.25;
+  return 1.0;
 }
 
 void L3Node::deliver_local(const ip::Ipv4Header& header,

@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "transport/tcp_lite.hpp"
 #include "transport/udp.hpp"
+#include "util/hash.hpp"
 
 namespace mrmtp::transport {
 
@@ -65,8 +66,19 @@ class L3Node : public net::Node, public IpSender {
     std::uint64_t dropped_no_route = 0;
     std::uint64_t dropped_ttl = 0;
     std::uint64_t dropped_iface_down = 0;
+    /// Existing flows that re-drew their weighted choice onto a different
+    /// egress after an idle gap (kWcmpFlowlet only).
+    std::uint64_t flowlet_reroutes = 0;
   };
   [[nodiscard]] const ForwardingStats& forwarding_stats() const { return fwd_stats_; }
+
+  /// Switches this node's ECMP selection to weighted (WCMP) or
+  /// WCMP+flowlet mode. Next-hop weights come from the RouteTable (the BGP
+  /// speaker installs link-capacity weights when this is enabled before
+  /// sessions come up). `flowlet_gap` = idle gap that closes a flowlet;
+  /// zero keeps the 500 µs default.
+  void enable_path_select(util::PathSelect mode, sim::Duration flowlet_gap = {});
+  [[nodiscard]] util::PathSelect path_select() const { return path_select_; }
 
   /// True if the most recent locally-delivered packet arrived ECN CE-marked
   /// (valid during the synchronous TCP/UDP dispatch it triggered).
@@ -94,6 +106,12 @@ class L3Node : public net::Node, public IpSender {
 
  private:
   void emit_frame(std::uint32_t port, net::Buffer packet, net::TrafficClass tc);
+  /// ECMP/WCMP/flowlet next-hop choice for a transit/self-originated packet.
+  [[nodiscard]] const ip::NextHop* select_next_hop(
+      const ip::Ipv4Header& header, std::span<const std::uint8_t> payload);
+  /// Congestion feedback multiplier for WCMP+flowlet picks (PFC pause 0.05,
+  /// ECN-level backlog 0.25, clear 1.0).
+  [[nodiscard]] double egress_discount(std::uint32_t port) const;
 
   ip::RouteTable routes_;
   std::unordered_map<std::uint32_t, ip::Ipv4Addr> port_addrs_;
@@ -101,6 +119,9 @@ class L3Node : public net::Node, public IpSender {
   TcpStack tcp_;
   std::uint16_t next_ip_id_ = 1;
   bool last_rx_ce_ = false;
+  util::PathSelect path_select_ = util::PathSelect::kHrw;
+  std::int64_t flowlet_gap_ns_ = 500'000;
+  net::FlowletTable* flowlets_ = nullptr;  // non-null only under kWcmpFlowlet
 };
 
 }  // namespace mrmtp::transport

@@ -11,12 +11,39 @@
 // the flows whose winner it was move — the property `hash % n` lacks, where
 // removing one member remaps (n-1)/n of all flows (paper §III.C's stable
 // load balancing; cf. FatPaths' flow-stability requirement).
+//
+// hrw_pick_weighted is the WCMP extension: each member carries a capacity
+// weight w_i and wins with probability w_i / Σw while keeping the HRW
+// stability property. It uses the score transform of Weighted Rendezvous
+// Hashing: score_i = -w_i / ln(u_i) with u_i the member's hash mapped into
+// (0,1). hrw_pick_replicated is the integer-replication fallback (member i
+// entered w_i times under distinct virtual keys) — exact for small integer
+// weights and float-free, but O(Σw) instead of O(n).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace mrmtp::util {
+
+/// Multipath path-selection policy, threaded from deploy options down into
+/// ip::RouteTable users and mtp::MtpRouter forwarding.
+enum class PathSelect : std::uint8_t {
+  kHrw,          // equal-share rendezvous hashing (PR 2 behavior; default)
+  kWcmp,         // capacity-weighted rendezvous hashing
+  kWcmpFlowlet,  // WCMP + flowlet-granularity rerouting w/ congestion feedback
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PathSelect m) {
+  switch (m) {
+    case PathSelect::kHrw: return "hrw";
+    case PathSelect::kWcmp: return "wcmp";
+    case PathSelect::kWcmpFlowlet: return "wcmp+flowlet";
+  }
+  return "?";
+}
 
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -47,6 +74,64 @@ template <typename KeyOf>
       best = i;
     }
   }
+  return best;
+}
+
+/// Maps a 64-bit hash onto the open interval (0,1). The top 53 bits become
+/// the mantissa and the +0.5 offset keeps the result strictly inside the
+/// interval, so ln(u) below is always finite and negative.
+[[nodiscard]] constexpr double hash_unit(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/// Weighted rendezvous pick: member i wins with probability
+/// weight_of(i) / Σ weight_of(j) via the score transform
+/// score_i = -w_i / ln(u_i). Members with weight <= 0 are never chosen;
+/// if every weight is <= 0 the pick degenerates to plain hrw_pick so a
+/// fully-discounted candidate set still forwards instead of blackholing.
+/// Deterministic: IEEE doubles, same inputs -> same winner on every shard.
+template <typename KeyOf, typename WeightOf>
+[[nodiscard]] std::size_t hrw_pick_weighted(std::uint64_t flow, std::size_t n,
+                                            KeyOf&& key_of,
+                                            WeightOf&& weight_of) {
+  std::size_t best = n;  // sentinel: no positive-weight member seen yet
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(weight_of(i));
+    if (!(w > 0.0)) continue;
+    const double u = hash_unit(hrw_weight(flow, key_of(i)));
+    const double score = -w / std::log(u);  // ln(u) < 0, so score > 0
+    if (best == n || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  if (best == n) return hrw_pick(flow, n, key_of);
+  return best;
+}
+
+/// Integer-weight replication fallback: member i is entered weight_of(i)
+/// times under distinct virtual keys and the plain HRW maximum wins. Exact
+/// w_i/Σw split without floating point, at O(Σ weights) cost — use for small
+/// weights (tests, verification); the hot paths use hrw_pick_weighted.
+template <typename KeyOf, typename WeightOf>
+[[nodiscard]] std::size_t hrw_pick_replicated(std::uint64_t flow,
+                                              std::size_t n, KeyOf&& key_of,
+                                              WeightOf&& weight_of) {
+  std::size_t best = n;
+  std::uint64_t best_w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t replicas = weight_of(i);
+    const std::uint64_t base = mix64(key_of(i));
+    for (std::uint64_t r = 0; r < replicas; ++r) {
+      const std::uint64_t w = hrw_weight(flow, base + r);
+      if (best == n || w > best_w) {
+        best = i;
+        best_w = w;
+      }
+    }
+  }
+  if (best == n) return hrw_pick(flow, n, key_of);
   return best;
 }
 
